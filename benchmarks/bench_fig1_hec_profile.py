@@ -1,0 +1,95 @@
+"""Fig. 1a — HEC testbed profile (per-layer execution times and link latencies).
+
+Fig. 1a of the paper annotates the testbed with the per-layer model execution
+times and the emulated WAN latencies between layers.  This benchmark
+regenerates that profile from the simulated substrate: the calibrated
+execution time of each deployed model and the per-hop round-trip latency,
+plus the quantisation (compression) applied before deployment.
+
+Expected shape: execution time decreases from IoT to cloud for both
+workloads; each hop adds ~250 ms round trip; the IoT and edge deployments are
+FP16-compressed (2x smaller) while the cloud deployment stays FP32.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.tables import format_table
+from repro.hec.delay import window_payload_bytes
+
+from .conftest import write_result
+
+
+def _profile_rows(result, dataset: str):
+    rows = []
+    window_shape = result.test_windows.shape[1:]
+    for deployment in result.deployments:
+        link_rtt = result.system.topology.round_trip_latency_ms(deployment.layer)
+        rows.append(
+            {
+                "dataset": dataset,
+                "layer": deployment.layer,
+                "device": deployment.device_name,
+                "model": deployment.detector.name,
+                "execution_ms": deployment.execution_time_ms,
+                "uplink_rtt_ms": link_rtt,
+                "expected_e2e_ms": result.system.expected_delay_ms(deployment.layer, window_shape),
+                "quantized": deployment.quantized,
+                "model_mb": deployment.model_bytes / 1e6,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig1-profile")
+@pytest.mark.parametrize("dataset", ["univariate", "multivariate"])
+def test_fig1_hec_profile(benchmark, univariate_result, multivariate_result, dataset):
+    """Benchmark the analytic delay model and emit the Fig. 1a-style profile table."""
+    result = univariate_result if dataset == "univariate" else multivariate_result
+    window_shape = result.test_windows.shape[1:]
+    payload = window_payload_bytes(window_shape)
+
+    def profile():
+        return [
+            result.system.expected_delay_ms(layer, window_shape)
+            for layer in range(result.system.n_layers)
+        ]
+
+    delays = benchmark(profile)
+    assert delays[0] < delays[1] < delays[2]
+
+    rows = _profile_rows(result, dataset)
+    text = format_table(
+        rows,
+        title=(
+            f"Fig. 1a profile ({dataset}): per-layer execution, link RTT and "
+            f"end-to-end delay for a {payload:.0f}-byte window"
+        ),
+    )
+    write_result(f"fig1_profile_{dataset}", text)
+    print("\n" + text)
+
+
+@pytest.mark.benchmark(group="fig1-quantization")
+def test_fig1_quantization_report(benchmark, multivariate_result):
+    """Benchmark the FP16 quantisation step used before deploying on IoT/edge devices."""
+    from repro.nn.quantization import quantization_report
+
+    detector = multivariate_result.detectors["iot"]
+    report = benchmark(lambda: quantization_report(detector.model))
+    assert report.compression_ratio == pytest.approx(2.0)
+
+    rows = [
+        {
+            "layer": deployment.layer,
+            "model": deployment.detector.name,
+            "quantized": deployment.quantized,
+            "parameters": deployment.detector.parameter_count(),
+            "deployed_mb": deployment.model_bytes / 1e6,
+        }
+        for deployment in multivariate_result.deployments
+    ]
+    text = format_table(rows, title="Model compression before deployment (multivariate)")
+    write_result("fig1_quantization", text)
+    print("\n" + text)

@@ -1,0 +1,98 @@
+"""Table I — comparison among AD models.
+
+Regenerates both halves of the paper's Table I: per-tier parameter count,
+accuracy, F1-score and execution time, for the autoencoder family (univariate
+power data) and the LSTM-seq2seq family (multivariate MHEALTH-like data).
+The benchmarked quantity is the inference (detection) pass of each model; the
+table itself is printed and written to ``benchmarks/results/``.
+
+Expected shape versus the paper (absolute values differ because the substrate
+is a NumPy simulator on synthetic data):
+
+* parameters and accuracy/F1 increase from IoT to cloud;
+* execution time (on the calibrated device profiles) decreases from IoT to cloud.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.tables import PAPER_TABLE1, format_table
+
+from .conftest import write_result
+
+
+def _rows_with_reference(result, dataset: str):
+    rows = []
+    for row in result.table1_rows:
+        reference = PAPER_TABLE1[(dataset, row.tier)]
+        entry = row.as_dict()
+        entry["paper_accuracy_percent"] = reference["accuracy_percent"]
+        entry["paper_f1"] = reference["f1"]
+        entry["paper_parameters"] = reference["parameters"]
+        entry["paper_exec_ms"] = reference["execution_time_ms"]
+        rows.append(entry)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-univariate")
+@pytest.mark.parametrize("tier", ["iot", "edge", "cloud"])
+def test_table1_univariate_model_inference(benchmark, univariate_result, tier):
+    """Benchmark one autoencoder's detection pass and emit its Table I column."""
+    detector = univariate_result.detectors[tier]
+    windows = univariate_result.test_windows
+
+    benchmark(lambda: detector.predict(windows))
+
+    rows = _rows_with_reference(univariate_result, "univariate")
+    text = format_table(
+        rows,
+        columns=[
+            "tier", "model", "parameters", "paper_parameters",
+            "accuracy_percent", "paper_accuracy_percent",
+            "f1", "paper_f1", "execution_time_ms", "paper_exec_ms",
+        ],
+        title="Table I (univariate / autoencoder): measured vs paper",
+    )
+    write_result("table1_univariate", text)
+    if tier == "cloud":
+        print("\n" + text)
+
+
+@pytest.mark.benchmark(group="table1-multivariate")
+@pytest.mark.parametrize("tier", ["iot", "edge", "cloud"])
+def test_table1_multivariate_model_inference(benchmark, multivariate_result, tier):
+    """Benchmark one seq2seq model's detection pass and emit its Table I column."""
+    detector = multivariate_result.detectors[tier]
+    windows = multivariate_result.test_windows[:32]
+
+    benchmark(lambda: detector.predict(windows))
+
+    rows = _rows_with_reference(multivariate_result, "multivariate")
+    text = format_table(
+        rows,
+        columns=[
+            "tier", "model", "parameters", "paper_parameters",
+            "accuracy_percent", "paper_accuracy_percent",
+            "f1", "paper_f1", "execution_time_ms", "paper_exec_ms",
+        ],
+        title="Table I (multivariate / LSTM-seq2seq): measured vs paper",
+    )
+    write_result("table1_multivariate", text)
+    if tier == "cloud":
+        print("\n" + text)
+
+
+@pytest.mark.benchmark(group="table1-trends")
+def test_table1_trends_hold(benchmark, univariate_result, multivariate_result):
+    """Assert the qualitative Table I trends (the paper's 'shape') on both datasets."""
+
+    def check():
+        for result in (univariate_result, multivariate_result):
+            params = [row.parameter_count for row in result.table1_rows]
+            exec_times = [row.execution_time_ms for row in result.table1_rows]
+            assert params[0] < params[1] < params[2]
+            assert exec_times[0] > exec_times[1] > exec_times[2]
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,127 @@
+"""Table II — comparison among AD model-selection schemes.
+
+Regenerates the paper's Table II for both datasets: F1, accuracy, mean
+end-to-end detection delay and cumulative reward for the five schemes
+(IoT Device, Edge, Cloud, Successive, Our Method/Adaptive).
+
+Expected shape versus the paper:
+
+* IoT Device: lowest delay, worst accuracy/F1;
+* Cloud: best accuracy/F1, highest delay;
+* Successive: delay between IoT and Cloud;
+* Adaptive ("Our Method"): accuracy/F1 close to Cloud at substantially lower
+  delay, and the best reward.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bandit.reward import RewardFunction
+from repro.evaluation.experiment import evaluate_scheme
+from repro.evaluation.tables import PAPER_TABLE2, format_table
+from repro.schemes.adaptive import AdaptiveScheme
+from repro.schemes.fixed import FixedLayerScheme
+from repro.schemes.successive import SuccessiveScheme
+
+from .conftest import write_result
+
+SCHEME_ORDER = ["IoT Device", "Edge", "Cloud", "Successive", "Our Method"]
+
+
+def _table_rows(result, dataset: str):
+    rows = []
+    for name in SCHEME_ORDER:
+        evaluation = result.evaluations[name]
+        reference = PAPER_TABLE2[(dataset, name)]
+        rows.append(
+            {
+                "scheme": name,
+                "f1": evaluation.f1,
+                "paper_f1": reference["f1"],
+                "accuracy_percent": 100.0 * evaluation.accuracy,
+                "paper_accuracy": reference["accuracy_percent"],
+                "delay_ms": evaluation.mean_delay_ms,
+                "paper_delay_ms": reference["delay_ms"],
+                "reward": evaluation.total_reward,
+                "paper_reward": reference["reward"],
+            }
+        )
+    return rows
+
+
+def _scheme_for(result, name: str):
+    system = result.system
+    if name == "Successive":
+        return SuccessiveScheme(system)
+    if name == "Our Method":
+        return AdaptiveScheme(system, result.policy, result.context_extractor)
+    layer = {"IoT Device": 0, "Edge": 1, "Cloud": 2}[name]
+    return FixedLayerScheme(system, layer)
+
+
+@pytest.mark.benchmark(group="table2-univariate")
+@pytest.mark.parametrize("scheme_name", SCHEME_ORDER)
+def test_table2_univariate_scheme(benchmark, univariate_result, scheme_name):
+    """Benchmark one scheme's full test-set evaluation on the univariate dataset."""
+    result = univariate_result
+    reward_fn: RewardFunction = result.reward_fn
+    windows, labels = result.test_windows, result.test_labels
+
+    benchmark(
+        lambda: evaluate_scheme(_scheme_for(result, scheme_name), windows, labels, reward_fn)
+    )
+
+    text = format_table(
+        _table_rows(result, "univariate"),
+        title="Table II (univariate): measured vs paper",
+    )
+    write_result("table2_univariate", text)
+    if scheme_name == SCHEME_ORDER[-1]:
+        print("\n" + text)
+
+
+@pytest.mark.benchmark(group="table2-multivariate")
+@pytest.mark.parametrize("scheme_name", SCHEME_ORDER)
+def test_table2_multivariate_scheme(benchmark, multivariate_result, scheme_name):
+    """Benchmark one scheme's full test-set evaluation on the multivariate dataset."""
+    result = multivariate_result
+    reward_fn: RewardFunction = result.reward_fn
+    windows, labels = result.test_windows, result.test_labels
+
+    benchmark(
+        lambda: evaluate_scheme(_scheme_for(result, scheme_name), windows, labels, reward_fn)
+    )
+
+    text = format_table(
+        _table_rows(result, "multivariate"),
+        title="Table II (multivariate): measured vs paper",
+    )
+    write_result("table2_multivariate", text)
+    if scheme_name == SCHEME_ORDER[-1]:
+        print("\n" + text)
+
+
+@pytest.mark.benchmark(group="table2-trends")
+@pytest.mark.parametrize("dataset", ["univariate", "multivariate"])
+def test_table2_trends_hold(benchmark, univariate_result, multivariate_result, dataset):
+    """Assert the qualitative Table II trends the paper reports."""
+    result = univariate_result if dataset == "univariate" else multivariate_result
+
+    def check():
+        evaluations = result.evaluations
+        assert (
+            evaluations["IoT Device"].mean_delay_ms
+            < evaluations["Edge"].mean_delay_ms
+            < evaluations["Cloud"].mean_delay_ms
+        )
+        assert (
+            evaluations["IoT Device"].mean_delay_ms
+            <= evaluations["Successive"].mean_delay_ms
+            <= evaluations["Cloud"].mean_delay_ms
+        )
+        assert evaluations["Our Method"].mean_delay_ms < evaluations["Cloud"].mean_delay_ms
+        assert evaluations["Our Method"].accuracy >= evaluations["Cloud"].accuracy - 0.05
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The heavy
+artefacts (trained pipelines) are session-scoped: they are built once with the
+fast configuration and reused by every benchmark in the session.  Result
+tables are also written to ``benchmarks/results/`` so they can be inspected
+after the run and copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make src/ importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data.power import PowerDatasetConfig  # noqa: E402
+from repro.pipelines import (  # noqa: E402
+    MultivariatePipelineConfig,
+    UnivariatePipelineConfig,
+    run_multivariate_pipeline,
+    run_univariate_pipeline,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a benchmark's textual output under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def univariate_result():
+    """A fast end-to-end run of the univariate (power / autoencoder) pipeline."""
+    config = UnivariatePipelineConfig(
+        data=PowerDatasetConfig(weeks=40, samples_per_day=24, anomalous_day_fraction=0.06, seed=7),
+        policy_episodes=40,
+    )
+    return run_univariate_pipeline(config)
+
+
+@pytest.fixture(scope="session")
+def multivariate_result():
+    """A fast end-to-end run of the multivariate (MHEALTH / seq2seq) pipeline."""
+    return run_multivariate_pipeline(MultivariatePipelineConfig())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical configuration lives in ``pyproject.toml``.  This file exists so
+the package can be installed in fully offline environments whose setuptools
+predates PEP 660 editable-install support (``pip install -e .`` there needs a
+``setup.py``; use ``pip install -e . --no-build-isolation`` offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Contextual-bandit model selection.
+
+This subpackage implements the paper's core contribution: selecting, per input
+window, which HEC layer (equivalently, which detection model) should handle
+the detection, by solving a contextual bandit with a policy-gradient method.
+
+* :mod:`repro.bandit.context` — contextual feature extraction (per-day
+  statistics for univariate windows; LSTM-encoder states for multivariate
+  windows);
+* :mod:`repro.bandit.policy_network` — the single-hidden-layer softmax policy
+  network (100 hidden units, K outputs);
+* :mod:`repro.bandit.reward` — the delay-aware reward
+  ``R(a, z) = accuracy(x) - C(a, x)`` with
+  ``C = alpha * t / (1 + alpha * t)``;
+* :mod:`repro.bandit.reinforce` — the REINFORCE trainer with a
+  reinforcement-comparison baseline (single-step MDP);
+* :mod:`repro.bandit.baselines` — non-learning selection baselines
+  (epsilon-greedy, UCB, random) used in ablation benchmarks.
+"""
+
+from repro.bandit.context import (
+    UnivariateContextExtractor,
+    EncoderContextExtractor,
+    ContextExtractor,
+)
+from repro.bandit.policy_network import PolicyNetwork
+from repro.bandit.reward import DelayCost, RewardFunction
+from repro.bandit.reinforce import ReinforceTrainer, ReinforcementComparisonBaseline, BanditEpisodeLog
+from repro.bandit.baselines import EpsilonGreedySelector, UCBSelector, RandomSelector
+
+__all__ = [
+    "ContextExtractor",
+    "UnivariateContextExtractor",
+    "EncoderContextExtractor",
+    "PolicyNetwork",
+    "DelayCost",
+    "RewardFunction",
+    "ReinforceTrainer",
+    "ReinforcementComparisonBaseline",
+    "BanditEpisodeLog",
+    "EpsilonGreedySelector",
+    "UCBSelector",
+    "RandomSelector",
+]

@@ -1,0 +1,98 @@
+"""Non-learning and classical bandit baselines for ablation studies.
+
+The paper compares its policy-network scheme against fixed-layer and
+successive-offloading schemes; these additional selectors provide classical
+bandit baselines (epsilon-greedy, UCB1, uniform random) that the ablation
+benchmarks use to quantify the value of *contextual* selection: none of them
+look at the context, so any advantage of the policy network over them is
+attributable to exploiting per-window contextual information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+class ActionSelector:
+    """Base class: select an action per step and learn from scalar rewards."""
+
+    def __init__(self, n_actions: int, rng: RngLike = 0) -> None:
+        if n_actions < 2:
+            raise ConfigurationError(f"n_actions must be at least 2, got {n_actions}")
+        self.n_actions = int(n_actions)
+        self._rng = ensure_rng(rng)
+        self.counts = np.zeros(self.n_actions, dtype=int)
+        self.value_estimates = np.zeros(self.n_actions, dtype=float)
+        self.total_steps = 0
+
+    def select_action(self, context: Optional[np.ndarray] = None) -> int:
+        """Choose an action (context is accepted for API parity but ignored)."""
+        raise NotImplementedError
+
+    def update(self, action: int, reward: float) -> None:
+        """Incremental sample-average update of the chosen action's value estimate."""
+        if not 0 <= action < self.n_actions:
+            raise ConfigurationError(f"action must lie in [0, {self.n_actions}), got {action}")
+        self.counts[action] += 1
+        self.total_steps += 1
+        step_size = 1.0 / self.counts[action]
+        self.value_estimates[action] += step_size * (float(reward) - self.value_estimates[action])
+
+    def run(self, action_rewards: np.ndarray) -> np.ndarray:
+        """Play one pass over a reward table; returns the chosen action per row."""
+        action_rewards = np.asarray(action_rewards, dtype=float)
+        actions = np.zeros(action_rewards.shape[0], dtype=int)
+        for index in range(action_rewards.shape[0]):
+            action = self.select_action()
+            self.update(action, action_rewards[index, action])
+            actions[index] = action
+        return actions
+
+
+class RandomSelector(ActionSelector):
+    """Uniformly random action selection (a lower bound for any sensible scheme)."""
+
+    def select_action(self, context: Optional[np.ndarray] = None) -> int:
+        del context
+        return int(self._rng.integers(0, self.n_actions))
+
+
+class EpsilonGreedySelector(ActionSelector):
+    """Epsilon-greedy over running mean rewards (context-free)."""
+
+    def __init__(self, n_actions: int, epsilon: float = 0.1, rng: RngLike = 0) -> None:
+        super().__init__(n_actions, rng)
+        self.epsilon = check_probability(epsilon, "epsilon")
+
+    def select_action(self, context: Optional[np.ndarray] = None) -> int:
+        del context
+        if self._rng.random() < self.epsilon or self.total_steps == 0:
+            return int(self._rng.integers(0, self.n_actions))
+        return int(np.argmax(self.value_estimates))
+
+
+class UCBSelector(ActionSelector):
+    """UCB1: optimism in the face of uncertainty over running mean rewards."""
+
+    def __init__(self, n_actions: int, exploration: float = 2.0, rng: RngLike = 0) -> None:
+        super().__init__(n_actions, rng)
+        if exploration < 0:
+            raise ConfigurationError(f"exploration must be non-negative, got {exploration}")
+        self.exploration = float(exploration)
+
+    def select_action(self, context: Optional[np.ndarray] = None) -> int:
+        del context
+        # Play every arm once before applying the UCB rule.
+        unplayed = np.flatnonzero(self.counts == 0)
+        if unplayed.size:
+            return int(unplayed[0])
+        bonuses = np.sqrt(
+            self.exploration * np.log(max(self.total_steps, 1)) / self.counts
+        )
+        return int(np.argmax(self.value_estimates + bonuses))

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Exposes the two experiment pipelines and the report writer as a small CLI so
+the tables can be regenerated without writing any Python::
+
+    python -m repro.cli univariate --weeks 40 --output-dir reports/
+    python -m repro.cli multivariate --subjects 3 --output-dir reports/
+    python -m repro.cli both --output-dir reports/
+
+Each invocation trains the detectors and the policy network with the fast
+configuration (or the paper-scale one with ``--paper-scale``), prints the
+Table I / Table II summaries and, when ``--output-dir`` is given, writes the
+JSON + Markdown reproduction reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.data.mhealth import MHealthConfig
+from repro.data.power import PowerDatasetConfig
+from repro.evaluation.reporting import write_report
+from repro.evaluation.tables import format_table
+from repro.pipelines import (
+    MultivariatePipelineConfig,
+    UnivariatePipelineConfig,
+    run_multivariate_pipeline,
+    run_univariate_pipeline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the contextual-bandit HEC anomaly-detection experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--seed", type=int, default=0, help="master random seed")
+        sub.add_argument("--paper-scale", action="store_true",
+                         help="use the paper-scale configuration (slow)")
+        sub.add_argument("--output-dir", type=str, default=None,
+                         help="directory for the JSON/Markdown reproduction reports")
+        sub.add_argument("--quiet", action="store_true", help="suppress table output")
+
+    univariate = subparsers.add_parser(
+        "univariate", help="run the univariate (power / autoencoder) experiment"
+    )
+    add_common(univariate)
+    univariate.add_argument("--weeks", type=int, default=40,
+                            help="number of synthetic weeks (fast configuration only)")
+    univariate.add_argument("--policy-episodes", type=int, default=40)
+
+    multivariate = subparsers.add_parser(
+        "multivariate", help="run the multivariate (MHEALTH / LSTM-seq2seq) experiment"
+    )
+    add_common(multivariate)
+    multivariate.add_argument("--subjects", type=int, default=3,
+                              help="number of simulated subjects (fast configuration only)")
+    multivariate.add_argument("--policy-episodes", type=int, default=30)
+
+    both = subparsers.add_parser("both", help="run both experiments back to back")
+    add_common(both)
+
+    return parser
+
+
+def _univariate_config(args: argparse.Namespace) -> UnivariatePipelineConfig:
+    if args.paper_scale:
+        return UnivariatePipelineConfig.paper_scale()
+    config = UnivariatePipelineConfig(
+        data=PowerDatasetConfig(
+            weeks=getattr(args, "weeks", 40), samples_per_day=24,
+            anomalous_day_fraction=0.06, seed=args.seed + 7,
+        ),
+        policy_episodes=getattr(args, "policy_episodes", 40),
+        seed=args.seed,
+    )
+    return config
+
+
+def _multivariate_config(args: argparse.Namespace) -> MultivariatePipelineConfig:
+    if args.paper_scale:
+        return MultivariatePipelineConfig.paper_scale()
+    base = MultivariatePipelineConfig(seed=args.seed)
+    return replace(
+        base,
+        data=MHealthConfig(
+            n_subjects=getattr(args, "subjects", 3),
+            seconds_per_activity=base.data.seconds_per_activity,
+            sampling_rate_hz=base.data.sampling_rate_hz,
+            seed=args.seed + 11,
+        ),
+        policy_episodes=getattr(args, "policy_episodes", 30),
+    )
+
+
+def _report(result, args: argparse.Namespace) -> None:
+    if not args.quiet:
+        print(format_table([row.as_dict() for row in result.table1_rows],
+                           title=f"Table I ({result.dataset_name})"))
+        print()
+        print(format_table([row.as_dict() for row in result.table2_rows],
+                           title=f"Table II ({result.dataset_name})"))
+        print()
+    if args.output_dir:
+        paths = write_report(result, args.output_dir)
+        if not args.quiet:
+            print(f"Wrote {paths['json']} and {paths['markdown']}")
+
+
+def run_command(args: argparse.Namespace) -> int:
+    """Execute one parsed CLI command; returns a process exit code."""
+    if args.command in ("univariate", "both"):
+        result = run_univariate_pipeline(_univariate_config(args))
+        _report(result, args)
+    if args.command in ("multivariate", "both"):
+        result = run_multivariate_pipeline(_multivariate_config(args))
+        _report(result, args)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run_command(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

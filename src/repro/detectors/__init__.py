@@ -1,0 +1,47 @@
+"""Anomaly-detection models and scoring.
+
+This subpackage implements the paper's detection side:
+
+* :mod:`repro.detectors.base` — the common :class:`AnomalyDetector` API
+  (fit on normal windows, score windows, predict binary labels, report
+  confidence);
+* :mod:`repro.detectors.autoencoder` — the univariate autoencoder family
+  (``AE-IoT`` / ``AE-Edge`` / ``AE-Cloud``);
+* :mod:`repro.detectors.lstm_seq2seq` — the multivariate LSTM-seq2seq family
+  (``LSTM-seq2seq-IoT`` / ``LSTM-seq2seq-Edge`` / ``BiLSTM-seq2seq-Cloud``);
+* :mod:`repro.detectors.scoring` — the Gaussian log-probability-density
+  anomaly score and its minimum-logPD threshold;
+* :mod:`repro.detectors.confidence` — the paper's two confident-detection
+  rules;
+* :mod:`repro.detectors.registry` — a registry that associates one detector
+  with each HEC layer.
+"""
+
+from repro.detectors.base import AnomalyDetector, DetectionResult
+from repro.detectors.scoring import GaussianLogPDScorer
+from repro.detectors.confidence import ConfidencePolicy
+from repro.detectors.autoencoder import (
+    AutoencoderDetector,
+    build_autoencoder_detector,
+    UNIVARIATE_TIER_ARCHITECTURES,
+)
+from repro.detectors.lstm_seq2seq import (
+    Seq2SeqDetector,
+    build_seq2seq_detector,
+    MULTIVARIATE_TIER_ARCHITECTURES,
+)
+from repro.detectors.registry import DetectorRegistry
+
+__all__ = [
+    "AnomalyDetector",
+    "DetectionResult",
+    "GaussianLogPDScorer",
+    "ConfidencePolicy",
+    "AutoencoderDetector",
+    "build_autoencoder_detector",
+    "UNIVARIATE_TIER_ARCHITECTURES",
+    "Seq2SeqDetector",
+    "build_seq2seq_detector",
+    "MULTIVARIATE_TIER_ARCHITECTURES",
+    "DetectorRegistry",
+]

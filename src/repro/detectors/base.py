@@ -1,0 +1,95 @@
+"""Common anomaly-detector interface.
+
+A detector wraps a reconstruction model plus the Gaussian logPD scorer and the
+confidence rules.  The interface is deliberately small: ``fit`` on normal
+windows, ``detect`` a batch of windows (returning a
+:class:`DetectionResult` per window), and a few introspection helpers
+(parameter count, name) used by the HEC deployment and evaluation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of running one detector on one window.
+
+    Attributes
+    ----------
+    is_anomaly:
+        The binary prediction (True = anomalous window).
+    confident:
+        Whether the detection satisfies one of the paper's confidence rules
+        (used by the Successive scheme to decide whether to stop escalating).
+    anomaly_score:
+        The window-level anomaly score (the minimum per-timestep logPD; lower
+        means more anomalous).
+    point_scores:
+        Per-timestep logPD scores within the window.
+    anomalous_point_fraction:
+        Fraction of timesteps whose logPD falls below the detection threshold.
+    """
+
+    is_anomaly: bool
+    confident: bool
+    anomaly_score: float
+    point_scores: np.ndarray
+    anomalous_point_fraction: float
+
+
+class AnomalyDetector:
+    """Base class for the AE and seq2seq detectors."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fitted = False
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, normal_windows: np.ndarray, **kwargs) -> "AnomalyDetector":
+        """Train the reconstruction model and the scorer on normal windows."""
+        raise NotImplementedError
+
+    # -- inference -------------------------------------------------------------
+
+    def reconstruct(self, windows: np.ndarray) -> np.ndarray:
+        """Reconstruct windows with the underlying model."""
+        raise NotImplementedError
+
+    def detect(self, windows: np.ndarray) -> List[DetectionResult]:
+        """Run detection on a batch of windows (one result per window)."""
+        raise NotImplementedError
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Binary predictions (1 = anomaly) for a batch of windows."""
+        return np.asarray([int(result.is_anomaly) for result in self.detect(windows)], dtype=int)
+
+    def context_features(self, windows: np.ndarray) -> Optional[np.ndarray]:
+        """Optional contextual features this detector can provide for the bandit.
+
+        The multivariate detectors expose the LSTM-encoder state here; the
+        univariate detectors return ``None`` (their context comes from simple
+        statistics computed in :mod:`repro.bandit.context`).
+        """
+        del windows
+        return None
+
+    # -- introspection -----------------------------------------------------------
+
+    def parameter_count(self) -> int:
+        """Number of trainable parameters of the underlying model."""
+        raise NotImplementedError
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise NotFittedError(f"detector {self.name!r} has not been fitted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, fitted={self.fitted})"

@@ -1,0 +1,97 @@
+"""Demo result-panel series (Fig. 3b of the paper).
+
+The paper's GUI continuously plots, for the selected dataset and scheme:
+
+* the raw sensory signals,
+* the anomaly-detection outcome (0/1) versus the ground truth,
+* the detection delay versus the action (layer) chosen by the policy network,
+* the cumulative accuracy and F1-score.
+
+:func:`build_demo_panel_series` produces exactly those series from a list of
+scheme outcomes, so examples and benchmarks can print/plot the same content
+without a GUI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.evaluation.metrics import cumulative_accuracy, cumulative_f1
+from repro.schemes.base import SchemeOutcome
+
+
+@dataclass
+class DemoPanelSeries:
+    """The time series shown in the demo's result panel."""
+
+    window_indices: np.ndarray
+    predictions: np.ndarray
+    ground_truth: np.ndarray
+    delays_ms: np.ndarray
+    actions: np.ndarray
+    cumulative_accuracy: np.ndarray
+    cumulative_f1: np.ndarray
+    raw_signal_preview: Optional[np.ndarray] = None
+    scheme_name: str = ""
+
+    def summary_lines(self, max_rows: int = 10) -> List[str]:
+        """A compact textual rendering of the panel (first ``max_rows`` windows)."""
+        lines = [
+            f"Demo panel — scheme: {self.scheme_name}",
+            "idx  pred  truth  layer  delay_ms  cum_acc  cum_f1",
+        ]
+        for i in range(min(max_rows, len(self.window_indices))):
+            lines.append(
+                f"{int(self.window_indices[i]):3d}  "
+                f"{int(self.predictions[i]):4d}  "
+                f"{int(self.ground_truth[i]):5d}  "
+                f"{int(self.actions[i]):5d}  "
+                f"{self.delays_ms[i]:8.1f}  "
+                f"{self.cumulative_accuracy[i]:7.3f}  "
+                f"{self.cumulative_f1[i]:6.3f}"
+            )
+        if len(self.window_indices) > max_rows:
+            lines.append(f"... ({len(self.window_indices) - max_rows} more windows)")
+        return lines
+
+
+def build_demo_panel_series(
+    outcomes: List[SchemeOutcome],
+    labels: np.ndarray,
+    windows: Optional[np.ndarray] = None,
+    scheme_name: str = "",
+) -> DemoPanelSeries:
+    """Assemble the demo-panel series from scheme outcomes and ground truth.
+
+    ``windows`` is optional; when provided, the mean over channels of each
+    window is kept as a light-weight raw-signal preview (what the GUI's top
+    plot shows, decimated).
+    """
+    labels = np.asarray(labels, dtype=int)
+    predictions = np.asarray([outcome.prediction for outcome in outcomes], dtype=int)
+    delays = np.asarray([outcome.delay_ms for outcome in outcomes], dtype=float)
+    actions = np.asarray([outcome.layer for outcome in outcomes], dtype=int)
+    indices = np.asarray([outcome.window_index for outcome in outcomes], dtype=int)
+
+    preview = None
+    if windows is not None:
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 3:
+            preview = windows.mean(axis=2)
+        else:
+            preview = windows
+
+    return DemoPanelSeries(
+        window_indices=indices,
+        predictions=predictions,
+        ground_truth=labels,
+        delays_ms=delays,
+        actions=actions,
+        cumulative_accuracy=cumulative_accuracy(predictions, labels),
+        cumulative_f1=cumulative_f1(predictions, labels),
+        raw_signal_preview=preview,
+        scheme_name=scheme_name,
+    )

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the package.
+
+All exceptions raised on purpose by ``repro`` derive from :class:`ReproError`
+so callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model or scorer was used before being fitted/trained."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument had an unexpected shape."""
+
+
+class DeploymentError(ReproError, RuntimeError):
+    """A model could not be deployed on (or found at) an HEC layer."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A request could not be scheduled or routed inside the HEC system."""
+
+
+class DataGenerationError(ReproError, ValueError):
+    """A synthetic dataset generator received inconsistent parameters."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A model or experiment artefact could not be saved or loaded."""

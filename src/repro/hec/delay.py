@@ -1,0 +1,82 @@
+"""End-to-end delay accounting.
+
+The end-to-end detection delay of a window handled at layer ``k`` is
+
+``t_e2e = sum over hops 0..k-1 of (uplink transfer) + execution at layer k +
+sum over hops of (downlink result transfer)``
+
+where each transfer pays the link's one-way latency plus serialisation of the
+payload (the window on the way up, a small verdict message on the way down).
+Connection setup is paid only on the first request per link thanks to the
+keep-alive sockets of the paper's implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.hec.network import TransferSpec
+from repro.hec.topology import HECTopology
+
+#: Size of the verdict/result message sent back down the hierarchy.
+RESULT_PAYLOAD_BYTES = 64.0
+
+
+@dataclass
+class DelayBreakdown:
+    """Composition of one end-to-end detection delay (all values in milliseconds)."""
+
+    layer: int
+    uplink_ms: float = 0.0
+    execution_ms: float = 0.0
+    downlink_ms: float = 0.0
+    #: Execution time spent at lower layers before escalating (Successive scheme only).
+    escalation_ms: float = 0.0
+    hops: List[str] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        """Total end-to-end delay."""
+        return self.uplink_ms + self.execution_ms + self.downlink_ms + self.escalation_ms
+
+    def merge_escalation(self, previous: "DelayBreakdown") -> "DelayBreakdown":
+        """Fold a previous (non-confident) attempt into this breakdown's escalation time."""
+        self.escalation_ms += previous.total_ms
+        return self
+
+
+def window_payload_bytes(window_shape: tuple, bytes_per_value: int = 4) -> float:
+    """Approximate serialised size of a detection window (FP32 values by default)."""
+    size = 1
+    for dim in window_shape:
+        size *= int(dim)
+    return float(size * bytes_per_value)
+
+
+def end_to_end_delay(
+    topology: HECTopology,
+    layer: int,
+    execution_ms: float,
+    payload_bytes: float,
+    include_downlink: bool = True,
+) -> DelayBreakdown:
+    """Delay of one detection handled at ``layer`` for a window of ``payload_bytes``.
+
+    ``include_downlink`` covers returning the verdict to the IoT device; the
+    paper's end-to-end delay is measured at the device, so it is on by default.
+    """
+    if execution_ms < 0:
+        raise ConfigurationError(f"execution_ms must be non-negative, got {execution_ms}")
+    breakdown = DelayBreakdown(layer=layer, execution_ms=float(execution_ms))
+    for link in topology.links_to(layer):
+        breakdown.uplink_ms += link.transfer_delay_ms(TransferSpec(payload_bytes, "up"))
+        breakdown.hops.append(f"{link.name}:up")
+    if include_downlink:
+        for link in reversed(topology.links_to(layer)):
+            breakdown.downlink_ms += link.transfer_delay_ms(
+                TransferSpec(RESULT_PAYLOAD_BYTES, "down")
+            )
+            breakdown.hops.append(f"{link.name}:down")
+    return breakdown

@@ -1,0 +1,132 @@
+"""Model deployment onto HEC layers.
+
+The paper trains all models on the cloud and then deploys one model per layer,
+compressing (freezing + FP16-quantising) the ones destined for the Raspberry
+Pi and Jetson TX2.  :func:`deploy_registry` reproduces that step against the
+simulated topology: it quantises where required, checks memory budgets, and
+returns :class:`ModelDeployment` records that the HEC system uses to answer
+"which detector runs at layer k, and how long does it take there?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.exceptions import DeploymentError
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.registry import DetectorRegistry
+from repro.hec.topology import HECTopology
+from repro.nn.quantization import QuantizationReport, quantize_model
+
+
+@dataclass
+class ModelDeployment:
+    """A detector placed on an HEC layer.
+
+    Attributes
+    ----------
+    layer:
+        Layer index (0 = IoT device).
+    detector:
+        The deployed anomaly detector.
+    device_name:
+        Name of the hosting device.
+    workload:
+        Workload family used to look up calibrated execution times
+        (``"univariate"`` or ``"multivariate"``).
+    quantized:
+        Whether the model was FP16-quantised before deployment.
+    quantization:
+        The quantisation report (``None`` when not quantised).
+    execution_time_ms:
+        Resolved execution time of one detection at this layer.
+    """
+
+    layer: int
+    detector: AnomalyDetector
+    device_name: str
+    workload: str
+    quantized: bool
+    quantization: Optional[QuantizationReport]
+    execution_time_ms: float
+
+    @property
+    def model_bytes(self) -> int:
+        """Approximate in-memory model size after (optional) quantisation."""
+        bytes_per_parameter = 2 if self.quantized else 4
+        return self.detector.parameter_count() * bytes_per_parameter
+
+
+def deploy_registry(
+    registry: DetectorRegistry,
+    topology: HECTopology,
+    workload: str,
+    quantize_below_layer: Optional[int] = None,
+    execution_time_overrides: Optional[Dict[int, float]] = None,
+) -> List[ModelDeployment]:
+    """Deploy every registered detector onto its layer of ``topology``.
+
+    Parameters
+    ----------
+    registry:
+        Detectors keyed by layer (must cover layers ``0..K-1``).
+    topology:
+        The target hierarchy.
+    workload:
+        Workload family for calibrated execution-time lookup
+        (``"univariate"`` or ``"multivariate"``).
+    quantize_below_layer:
+        Layers strictly below this index get FP16-quantised before deployment
+        (the paper quantises the IoT and edge models, i.e. layers 0 and 1, so
+        the default is ``K-1``).  Pass 0 to disable quantisation entirely.
+    execution_time_overrides:
+        Optional per-layer execution times (milliseconds) that take precedence
+        over both the calibration table and the generic model — used by tests
+        and by experiments that measure actual NumPy inference time.
+    """
+    registry.require_complete(topology.n_layers)
+    if quantize_below_layer is None:
+        quantize_below_layer = topology.n_layers - 1
+    overrides = execution_time_overrides or {}
+
+    deployments: List[ModelDeployment] = []
+    for layer, detector in registry:
+        if layer >= topology.n_layers:
+            raise DeploymentError(
+                f"registry contains layer {layer} but the topology only has "
+                f"{topology.n_layers} layers"
+            )
+        device = topology.device_at(layer)
+        should_quantize = layer < quantize_below_layer
+        report: Optional[QuantizationReport] = None
+        if should_quantize:
+            report = quantize_model(detector.model)
+
+        bytes_per_parameter = 2 if should_quantize else 4
+        model_bytes = detector.parameter_count() * bytes_per_parameter
+        if not device.can_host(model_bytes, quantized=should_quantize):
+            raise DeploymentError(
+                f"model {detector.name!r} ({model_bytes / 1e6:.1f} MB, "
+                f"quantized={should_quantize}) does not fit on device {device.name!r}"
+            )
+
+        if layer in overrides:
+            execution_ms = float(overrides[layer])
+        else:
+            execution_ms = device.execution_time_ms(
+                workload, parameter_count=detector.parameter_count()
+            )
+
+        deployments.append(
+            ModelDeployment(
+                layer=layer,
+                detector=detector,
+                device_name=device.name,
+                workload=workload,
+                quantized=should_quantize,
+                quantization=report,
+                execution_time_ms=execution_ms,
+            )
+        )
+    return deployments

@@ -1,0 +1,190 @@
+"""The HEC system facade used by the model-selection schemes.
+
+:class:`HECSystem` ties the pieces together: a topology, the per-layer model
+deployments and the delay model.  A scheme submits one window at a time with
+``detect_at(layer, window)`` and receives a :class:`DetectionRecord` holding
+the prediction, the detector's confidence and the full delay breakdown.  The
+system keeps an event log (one record per handled request) that the demo panel
+and the benchmarks consume, and aggregate per-layer counters used to verify
+offloading behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DeploymentError, SchedulingError
+from repro.detectors.base import DetectionResult
+from repro.hec.delay import DelayBreakdown, end_to_end_delay, window_payload_bytes
+from repro.hec.deployment import ModelDeployment
+from repro.hec.topology import HECTopology
+from repro.utils.timer import SimulatedClock
+
+
+@dataclass
+class DetectionRecord:
+    """Everything known about one detection request handled by the HEC system."""
+
+    window_index: int
+    layer: int
+    prediction: int
+    confident: bool
+    anomaly_score: float
+    delay: DelayBreakdown
+    ground_truth: Optional[int] = None
+
+    @property
+    def delay_ms(self) -> float:
+        """Total end-to-end delay of the request."""
+        return self.delay.total_ms
+
+    @property
+    def correct(self) -> Optional[bool]:
+        """Whether the prediction matches the ground truth (``None`` if unknown)."""
+        if self.ground_truth is None:
+            return None
+        return bool(self.prediction == self.ground_truth)
+
+
+@dataclass
+class LayerCounters:
+    """Aggregate per-layer usage statistics."""
+
+    requests: int = 0
+    total_execution_ms: float = 0.0
+    total_delay_ms: float = 0.0
+    anomalies_reported: int = 0
+
+
+class HECSystem:
+    """A deployed hierarchical edge computing system handling detection requests."""
+
+    def __init__(
+        self,
+        topology: HECTopology,
+        deployments: Sequence[ModelDeployment],
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.topology = topology
+        self.clock = clock or SimulatedClock()
+        self._deployments: Dict[int, ModelDeployment] = {}
+        for deployment in deployments:
+            if deployment.layer in self._deployments:
+                raise DeploymentError(f"layer {deployment.layer} has two deployments")
+            self._deployments[deployment.layer] = deployment
+        missing = [
+            layer for layer in range(topology.n_layers) if layer not in self._deployments
+        ]
+        if missing:
+            raise DeploymentError(f"no deployment for layers {missing}")
+        self.records: List[DetectionRecord] = []
+        self.layer_counters: Dict[int, LayerCounters] = {
+            layer: LayerCounters() for layer in range(topology.n_layers)
+        }
+        self._request_counter = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def n_layers(self) -> int:
+        """Number of layers in the underlying topology."""
+        return self.topology.n_layers
+
+    def deployment_at(self, layer: int) -> ModelDeployment:
+        """The model deployment at ``layer``."""
+        try:
+            return self._deployments[layer]
+        except KeyError as exc:
+            raise SchedulingError(f"no model deployed at layer {layer}") from exc
+
+    def execution_time_ms(self, layer: int) -> float:
+        """Execution time of one detection at ``layer``."""
+        return self.deployment_at(layer).execution_time_ms
+
+    def expected_delay_ms(self, layer: int, window_shape: tuple) -> float:
+        """Analytic end-to-end delay of handling one window at ``layer``.
+
+        This does not mutate link state; it uses pure propagation latency plus
+        serialisation, and is what the reward function and the bandit use to
+        reason about candidate actions without actually sending data.
+        """
+        payload = window_payload_bytes(window_shape)
+        delay = self.execution_time_ms(layer)
+        for link in self.topology.links_to(layer):
+            delay += 2.0 * link.one_way_latency_ms
+            delay += link.serialization_delay_ms(payload)
+            delay += link.serialization_delay_ms(64.0)
+        return float(delay)
+
+    # -- request handling --------------------------------------------------------------
+
+    def detect_at(
+        self,
+        layer: int,
+        window: np.ndarray,
+        ground_truth: Optional[int] = None,
+        escalated_from: Optional[DelayBreakdown] = None,
+    ) -> DetectionRecord:
+        """Handle one detection request at ``layer`` and log the outcome.
+
+        ``escalated_from`` carries the delay already spent at lower layers when
+        the Successive scheme escalates a non-confident request upward.
+        """
+        deployment = self.deployment_at(layer)
+        window = np.asarray(window, dtype=float)
+        batch = window[None, ...]
+        results: List[DetectionResult] = deployment.detector.detect(batch)
+        result = results[0]
+
+        payload = window_payload_bytes(window.shape)
+        breakdown = end_to_end_delay(
+            self.topology,
+            layer,
+            execution_ms=deployment.execution_time_ms,
+            payload_bytes=payload,
+        )
+        if escalated_from is not None:
+            breakdown.merge_escalation(escalated_from)
+        self.clock.advance(breakdown.total_ms)
+
+        record = DetectionRecord(
+            window_index=self._request_counter,
+            layer=layer,
+            prediction=int(result.is_anomaly),
+            confident=result.confident,
+            anomaly_score=result.anomaly_score,
+            delay=breakdown,
+            ground_truth=ground_truth,
+        )
+        self._request_counter += 1
+        self.records.append(record)
+
+        counters = self.layer_counters[layer]
+        counters.requests += 1
+        counters.total_execution_ms += deployment.execution_time_ms
+        counters.total_delay_ms += breakdown.total_ms
+        counters.anomalies_reported += record.prediction
+        return record
+
+    # -- bookkeeping -----------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear the event log, counters, clock and link state."""
+        self.records.clear()
+        self.layer_counters = {layer: LayerCounters() for layer in range(self.n_layers)}
+        self.clock.reset()
+        self.topology.reset_links()
+        self._request_counter = 0
+
+    def layer_usage(self) -> Dict[int, int]:
+        """Number of requests handled per layer."""
+        return {layer: counters.requests for layer, counters in self.layer_counters.items()}
+
+    def mean_delay_ms(self) -> float:
+        """Mean end-to-end delay over all handled requests."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([record.delay_ms for record in self.records]))

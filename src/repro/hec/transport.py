@@ -1,0 +1,121 @@
+"""Simulated keep-alive transport channels.
+
+The paper's demo keeps TCP sockets alive between the HEC layers "to reduce
+the overhead of connection establishment".  The :class:`KeepAliveChannel`
+class models such a channel between two adjacent layers: the first message
+pays the connection-setup cost, subsequent messages only pay latency and
+serialisation, and an idle timeout can force a re-handshake.  The channel also
+keeps simple traffic statistics, which the benchmarks and tests use to verify
+that the Adaptive scheme really does transmit less data than always offloading
+to the cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.hec.network import NetworkLink, TransferSpec
+from repro.utils.timer import SimulatedClock
+
+
+@dataclass
+class Message:
+    """One message carried over a channel."""
+
+    payload_bytes: float
+    direction: str = "up"
+    kind: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigurationError(
+                f"payload_bytes must be non-negative, got {self.payload_bytes}"
+            )
+        if self.direction not in ("up", "down"):
+            raise ConfigurationError(f"direction must be 'up' or 'down', got {self.direction!r}")
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel traffic counters."""
+
+    messages_sent: int = 0
+    bytes_sent: float = 0.0
+    handshakes: int = 0
+    total_delay_ms: float = 0.0
+    per_message_delay_ms: List[float] = field(default_factory=list)
+
+    @property
+    def mean_delay_ms(self) -> float:
+        """Mean per-message delay (0 when no message was sent)."""
+        if not self.per_message_delay_ms:
+            return 0.0
+        return float(sum(self.per_message_delay_ms) / len(self.per_message_delay_ms))
+
+
+class KeepAliveChannel:
+    """A keep-alive channel over one network link, driven by a simulated clock."""
+
+    def __init__(
+        self,
+        link: NetworkLink,
+        clock: Optional[SimulatedClock] = None,
+        idle_timeout_ms: Optional[float] = None,
+    ) -> None:
+        self.link = link
+        self.clock = clock or SimulatedClock()
+        if idle_timeout_ms is not None and idle_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"idle_timeout_ms must be positive or None, got {idle_timeout_ms}"
+            )
+        self.idle_timeout_ms = idle_timeout_ms
+        self.stats = ChannelStats()
+        self._connected = False
+        self._last_activity_ms: Optional[float] = None
+
+    # -- connection management --------------------------------------------------
+
+    def _connection_expired(self) -> bool:
+        if self.idle_timeout_ms is None or self._last_activity_ms is None:
+            return False
+        return (self.clock.now_ms - self._last_activity_ms) > self.idle_timeout_ms
+
+    def ensure_connected(self) -> float:
+        """Establish the connection if needed; returns the handshake delay paid."""
+        if self._connected and not self._connection_expired():
+            return 0.0
+        handshake_ms = self.link.connection_setup_ms + self.link.round_trip_latency_ms
+        self.clock.advance(handshake_ms)
+        self._connected = True
+        self._last_activity_ms = self.clock.now_ms
+        self.stats.handshakes += 1
+        return handshake_ms
+
+    def close(self) -> None:
+        """Tear the connection down (the next send pays a new handshake)."""
+        self._connected = False
+
+    # -- messaging -----------------------------------------------------------------
+
+    def send(self, message: Message) -> float:
+        """Send one message; returns its delay and advances the simulated clock."""
+        handshake_ms = self.ensure_connected()
+        transfer_ms = self.link.transfer_delay_ms(
+            TransferSpec(message.payload_bytes, message.direction)
+        )
+        self.clock.advance(transfer_ms)
+        self._last_activity_ms = self.clock.now_ms
+        total = handshake_ms + transfer_ms
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.payload_bytes
+        self.stats.total_delay_ms += total
+        self.stats.per_message_delay_ms.append(total)
+        return total
+
+    def request_response(self, request: Message, response: Message) -> float:
+        """A request up the hierarchy followed by a response back down."""
+        if request.direction == response.direction:
+            raise SchedulingError("request and response must travel in opposite directions")
+        return self.send(request) + self.send(response)

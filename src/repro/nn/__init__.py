@@ -1,0 +1,56 @@
+"""A small, self-contained NumPy neural-network library.
+
+The paper implements its anomaly-detection models and policy network with
+TensorFlow/Keras; this subpackage provides the subset of functionality those
+models need, implemented from scratch on NumPy:
+
+* parameter initialisers (:mod:`repro.nn.initializers`),
+* activations with derivatives (:mod:`repro.nn.activations`),
+* layers: ``Dense``, ``Dropout``, ``LSTM``, ``Bidirectional``,
+  ``TimeDistributed`` (:mod:`repro.nn.layers`),
+* losses and kernel regularisers,
+* optimisers: ``SGD``, ``RMSProp``, ``Adam``,
+* a ``Sequential`` feed-forward model and a ``Seq2SeqAutoencoder``
+  encoder–decoder model,
+* a training loop with mini-batching, shuffling, validation and early
+  stopping,
+* FP16 weight quantisation mirroring the paper's model-compression step, and
+* finite-difference gradient checking used by the test suite.
+"""
+
+from repro.nn import activations, initializers
+from repro.nn.losses import MeanSquaredError, MeanAbsoluteError, get_loss
+from repro.nn.regularizers import L1Regularizer, L2Regularizer, ZeroRegularizer, get_regularizer
+from repro.nn.optimizers import SGD, RMSProp, Adam, get_optimizer
+from repro.nn.layers import Dense, Dropout, LSTM, Bidirectional, TimeDistributed
+from repro.nn.models.sequential import Sequential
+from repro.nn.models.seq2seq import Seq2SeqAutoencoder
+from repro.nn.training import TrainingHistory, EarlyStopping
+from repro.nn.quantization import quantize_model, quantization_report
+
+__all__ = [
+    "activations",
+    "initializers",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "get_loss",
+    "L1Regularizer",
+    "L2Regularizer",
+    "ZeroRegularizer",
+    "get_regularizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "get_optimizer",
+    "Dense",
+    "Dropout",
+    "LSTM",
+    "Bidirectional",
+    "TimeDistributed",
+    "Sequential",
+    "Seq2SeqAutoencoder",
+    "TrainingHistory",
+    "EarlyStopping",
+    "quantize_model",
+    "quantization_report",
+]

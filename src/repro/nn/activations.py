@@ -1,0 +1,120 @@
+"""Activation functions and their derivatives.
+
+Each activation is represented by an :class:`Activation` object exposing
+``forward`` and ``backward``.  ``backward`` receives the *output* of the
+forward pass (which is sufficient for all activations used here) together
+with the upstream gradient, and returns the gradient with respect to the
+pre-activation input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A named activation with its forward map and output-based derivative."""
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    backward: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+def _linear_forward(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _linear_backward(output: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    del output
+    return grad
+
+
+def _relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_backward(output: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    return grad * (output > 0.0)
+
+
+def _sigmoid_forward(x: np.ndarray) -> np.ndarray:
+    # Numerically stable piecewise sigmoid.
+    out = np.empty_like(x, dtype=float)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def _sigmoid_backward(output: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    return grad * output * (1.0 - output)
+
+
+def _tanh_forward(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_backward(output: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    return grad * (1.0 - output * output)
+
+
+def _softmax_forward(x: np.ndarray) -> np.ndarray:
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def _softmax_backward(output: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    # Full Jacobian-vector product of softmax along the last axis.
+    dot = np.sum(grad * output, axis=-1, keepdims=True)
+    return output * (grad - dot)
+
+
+def _softplus_forward(x: np.ndarray) -> np.ndarray:
+    return np.logaddexp(0.0, x)
+
+
+def _softplus_backward(output: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    # sigmoid(x) expressed via the softplus output: sigma = 1 - exp(-softplus(x)).
+    return grad * (1.0 - np.exp(-output))
+
+
+linear = Activation("linear", _linear_forward, _linear_backward)
+relu = Activation("relu", _relu_forward, _relu_backward)
+sigmoid = Activation("sigmoid", _sigmoid_forward, _sigmoid_backward)
+tanh = Activation("tanh", _tanh_forward, _tanh_backward)
+softmax = Activation("softmax", _softmax_forward, _softmax_backward)
+softplus = Activation("softplus", _softplus_forward, _softplus_backward)
+
+_REGISTRY: dict[str, Activation] = {
+    act.name: act for act in (linear, relu, sigmoid, tanh, softmax, softplus)
+}
+
+
+def get_activation(name_or_activation: Union[str, Activation, None]) -> Activation:
+    """Resolve an activation by name; ``None`` resolves to ``linear``."""
+    if name_or_activation is None:
+        return linear
+    if isinstance(name_or_activation, Activation):
+        return name_or_activation
+    try:
+        return _REGISTRY[str(name_or_activation)]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown activation {name_or_activation!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def available_activations() -> list[str]:
+    """Names of all registered activations."""
+    return sorted(_REGISTRY)

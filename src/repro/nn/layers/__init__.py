@@ -1,0 +1,10 @@
+"""Neural-network layers: Dense, Dropout, TimeDistributed, LSTM, Bidirectional."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.time_distributed import TimeDistributed
+from repro.nn.layers.lstm import LSTM
+from repro.nn.layers.bidirectional import Bidirectional
+
+__all__ = ["Layer", "Dense", "Dropout", "TimeDistributed", "LSTM", "Bidirectional"]

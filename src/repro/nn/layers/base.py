@@ -1,0 +1,121 @@
+"""Layer base class.
+
+A layer owns its parameters (as named float arrays), caches whatever it needs
+from the forward pass, and implements ``backward`` to propagate gradients and
+accumulate parameter gradients.  Layers are deliberately stateful in the same
+way Keras layers are: ``build`` is called lazily on the first forward pass
+once the input dimensionality is known.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses must implement :meth:`build`, :meth:`forward` and
+    :meth:`backward`, and may override :meth:`regularization_penalty` when
+    they carry kernel regularisers.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or type(self).__name__.lower()
+        self.built = False
+        self.trainable = True
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self._rng = ensure_rng(None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def build(self, input_dim: int) -> None:
+        """Create parameters given the size of the last input axis."""
+        raise NotImplementedError
+
+    def ensure_built(self, input_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        """Build the layer on first use; subsequent calls are no-ops."""
+        if not self.built:
+            if rng is not None:
+                self._rng = rng
+            self.build(int(input_dim))
+            self.built = True
+
+    def set_rng(self, seed: RngLike) -> None:
+        """Set the RNG used for parameter initialisation and stochastic ops."""
+        self._rng = ensure_rng(seed)
+
+    # -- computation -------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer on ``inputs`` and cache intermediates for backward."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and return the gradient w.r.t. the input.
+
+        Parameter gradients are *accumulated* into ``self.grads``; call
+        :meth:`zero_grads` before starting a new batch.
+        """
+        raise NotImplementedError
+
+    # -- parameters --------------------------------------------------------
+
+    def zero_grads(self) -> None:
+        """Reset all accumulated parameter gradients to zero."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def parameters_and_gradients(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Pairs of (parameter, accumulated gradient) for the optimiser."""
+        if not self.built:
+            raise NotFittedError(f"layer {self.name!r} has not been built yet")
+        pairs = []
+        for key in sorted(self.params):
+            grad = self.grads.get(key)
+            if grad is None:
+                grad = np.zeros_like(self.params[key])
+                self.grads[key] = grad
+            pairs.append((self.params[key], grad))
+        return pairs
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters in the layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        """Copies of all parameter arrays keyed by name."""
+        return {key: value.copy() for key, value in self.params.items()}
+
+    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        """Load parameter values (shapes must match the built layer)."""
+        if not self.built:
+            raise NotFittedError(f"layer {self.name!r} must be built before loading weights")
+        for key, value in weights.items():
+            if key not in self.params:
+                raise KeyError(f"layer {self.name!r} has no parameter {key!r}")
+            value = np.asarray(value, dtype=float)
+            if value.shape != self.params[key].shape:
+                raise ValueError(
+                    f"parameter {key!r} expects shape {self.params[key].shape}, got {value.shape}"
+                )
+            self.params[key][...] = value
+
+    # -- misc ---------------------------------------------------------------
+
+    def regularization_penalty(self) -> float:
+        """Scalar regularisation penalty contributed by this layer (default 0)."""
+        return 0.0
+
+    def get_config(self) -> dict:
+        """JSON-serialisable configuration (architecture only, no weights)."""
+        return {"type": type(self).__name__, "name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, built={self.built})"

@@ -1,0 +1,55 @@
+"""Inverted dropout layer.
+
+The paper applies dropout with rate 0.3 to the LSTM-decoder output before the
+final fully connected projection; this layer reproduces that behaviour.  At
+inference time (``training=False``) dropout is the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.layers.base import Layer
+from repro.utils.validation import check_probability
+
+
+class Dropout(Layer):
+    """Inverted dropout: zero each activation with probability ``rate`` during training."""
+
+    def __init__(self, rate: float = 0.3, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.rate = check_probability(rate, "rate")
+        self._mask: Optional[np.ndarray] = None
+
+    def build(self, input_dim: int) -> None:
+        # Dropout has no parameters; build only records that the layer is usable.
+        del input_dim
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        self.ensure_built(inputs.shape[-1] if inputs.ndim > 0 else 1)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep_probability = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep_probability) / keep_probability
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=float)
+        if self._mask is None:
+            return grad_output
+        if self._mask.shape != grad_output.shape:
+            raise ShapeError(
+                f"dropout mask shape {self._mask.shape} does not match gradient shape "
+                f"{grad_output.shape}"
+            )
+        return grad_output * self._mask
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config["rate"] = self.rate
+        return config

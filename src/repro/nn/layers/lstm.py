@@ -1,0 +1,277 @@
+"""Long short-term memory (LSTM) layer with full backpropagation through time.
+
+The implementation follows the standard LSTM formulation used by Keras:
+
+.. math::
+
+    z_t &= x_t W + h_{t-1} U + b \\
+    i_t, f_t, g_t, o_t &= \sigma(z^i_t), \sigma(z^f_t), \tanh(z^g_t), \sigma(z^o_t) \\
+    c_t &= f_t \odot c_{t-1} + i_t \odot g_t \\
+    h_t &= o_t \odot \tanh(c_t)
+
+Gate ordering inside the fused matrices is ``(i, f, g, o)``.
+
+Two details exist specifically to mirror the paper's implementation:
+
+* ``double_bias=True`` adds a second (redundant) bias vector, matching the
+  parameter count of CuDNN-backed LSTMs, which the paper uses for the edge
+  and cloud models (Table I's parameter counts only line up with CuDNN's
+  double-bias convention).
+* ``forward`` accepts an ``initial_state`` and ``backward`` accepts/exposes
+  state gradients, which is what allows the sequence-to-sequence
+  encoder–decoder in :mod:`repro.nn.models.seq2seq` to train end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.activations import sigmoid as _sigmoid
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer
+from repro.nn.regularizers import Regularizer, get_regularizer
+from repro.utils.validation import check_positive
+
+State = Tuple[np.ndarray, np.ndarray]
+
+
+@dataclass
+class _StepCache:
+    """Per-timestep values cached during the forward pass for BPTT."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    g: np.ndarray
+    o: np.ndarray
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class LSTM(Layer):
+    """A single LSTM layer over 3-D inputs ``(batch, time, features)``."""
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        kernel_initializer: str = "glorot_uniform",
+        recurrent_initializer: str = "orthogonal",
+        bias_initializer: str = "zeros",
+        kernel_regularizer: Union[Regularizer, str, float, None] = None,
+        unit_forget_bias: bool = True,
+        double_bias: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.units = int(check_positive(units, "units"))
+        self.return_sequences = bool(return_sequences)
+        self.kernel_initializer = kernel_initializer
+        self.recurrent_initializer = recurrent_initializer
+        self.bias_initializer = bias_initializer
+        self.kernel_regularizer = get_regularizer(kernel_regularizer)
+        self.unit_forget_bias = bool(unit_forget_bias)
+        self.double_bias = bool(double_bias)
+        self.input_dim: Optional[int] = None
+
+        # Populated by forward/backward.
+        self.last_state: Optional[State] = None
+        self.grad_initial_state: Optional[State] = None
+        self._caches: List[_StepCache] = []
+        self._input_shape: Optional[Tuple[int, int, int]] = None
+        self._used_initial_state = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def build(self, input_dim: int) -> None:
+        self.input_dim = int(input_dim)
+        kernel_init = get_initializer(self.kernel_initializer)
+        recurrent_init = get_initializer(self.recurrent_initializer)
+        bias_init = get_initializer(self.bias_initializer)
+        units = self.units
+        self.params["kernel"] = kernel_init((self.input_dim, 4 * units), self._rng)
+        self.params["recurrent_kernel"] = recurrent_init((units, 4 * units), self._rng)
+        bias = bias_init((4 * units,), self._rng)
+        if self.unit_forget_bias:
+            bias[units: 2 * units] = 1.0
+        self.params["bias"] = bias
+        if self.double_bias:
+            self.params["recurrent_bias"] = bias_init((4 * units,), self._rng)
+        self.zero_grads()
+
+    # -- forward -----------------------------------------------------------
+
+    def forward(
+        self,
+        inputs: np.ndarray,
+        training: bool = False,
+        initial_state: Optional[State] = None,
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 3:
+            raise ShapeError(
+                f"LSTM expects a 3-D input (batch, time, features), got shape {inputs.shape}"
+            )
+        batch, timesteps, features = inputs.shape
+        if timesteps == 0:
+            raise ShapeError("LSTM received an input with zero timesteps")
+        self.ensure_built(features)
+        if features != self.input_dim:
+            raise ShapeError(
+                f"LSTM {self.name!r} was built with input_dim={self.input_dim}, "
+                f"got input with {features} features"
+            )
+        units = self.units
+        if initial_state is not None:
+            h, c = initial_state
+            h = np.asarray(h, dtype=float)
+            c = np.asarray(c, dtype=float)
+            if h.shape != (batch, units) or c.shape != (batch, units):
+                raise ShapeError(
+                    f"initial_state must be two arrays of shape {(batch, units)}, "
+                    f"got {h.shape} and {c.shape}"
+                )
+            self._used_initial_state = True
+        else:
+            h = np.zeros((batch, units))
+            c = np.zeros((batch, units))
+            self._used_initial_state = False
+
+        kernel = self.params["kernel"]
+        recurrent = self.params["recurrent_kernel"]
+        bias = self.params["bias"]
+        if self.double_bias:
+            bias = bias + self.params["recurrent_bias"]
+
+        self._caches = []
+        self._input_shape = (batch, timesteps, features)
+        outputs = np.zeros((batch, timesteps, units))
+
+        # Pre-compute the input contribution for all timesteps in one matmul.
+        input_projection = inputs.reshape(batch * timesteps, features) @ kernel
+        input_projection = input_projection.reshape(batch, timesteps, 4 * units)
+
+        for t in range(timesteps):
+            x_t = inputs[:, t, :]
+            z = input_projection[:, t, :] + h @ recurrent + bias
+            i = _sigmoid.forward(z[:, :units])
+            f = _sigmoid.forward(z[:, units: 2 * units])
+            g = np.tanh(z[:, 2 * units: 3 * units])
+            o = _sigmoid.forward(z[:, 3 * units:])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            self._caches.append(
+                _StepCache(x=x_t, h_prev=h, c_prev=c, i=i, f=f, g=g, o=o, c=c_new, tanh_c=tanh_c)
+            )
+            h, c = h_new, c_new
+            outputs[:, t, :] = h
+
+        self.last_state = (h, c)
+        if self.return_sequences:
+            return outputs
+        return h
+
+    # -- backward ----------------------------------------------------------
+
+    def backward(
+        self,
+        grad_output: np.ndarray,
+        grad_state: Optional[State] = None,
+    ) -> np.ndarray:
+        if self._input_shape is None or not self._caches:
+            raise ShapeError("backward called before forward on LSTM layer")
+        batch, timesteps, features = self._input_shape
+        units = self.units
+        grad_output = np.asarray(grad_output, dtype=float)
+
+        if self.return_sequences:
+            if grad_output.shape != (batch, timesteps, units):
+                raise ShapeError(
+                    f"grad_output must have shape {(batch, timesteps, units)}, got {grad_output.shape}"
+                )
+            grad_h_seq = grad_output
+        else:
+            if grad_output.shape != (batch, units):
+                raise ShapeError(
+                    f"grad_output must have shape {(batch, units)}, got {grad_output.shape}"
+                )
+            grad_h_seq = np.zeros((batch, timesteps, units))
+            grad_h_seq[:, -1, :] = grad_output
+
+        kernel = self.params["kernel"]
+        recurrent = self.params["recurrent_kernel"]
+
+        grad_kernel = np.zeros_like(kernel)
+        grad_recurrent = np.zeros_like(recurrent)
+        grad_bias = np.zeros(4 * units)
+        grad_inputs = np.zeros((batch, timesteps, features))
+
+        dh_next = np.zeros((batch, units))
+        dc_next = np.zeros((batch, units))
+        if grad_state is not None:
+            dh_extra, dc_extra = grad_state
+            dh_next = dh_next + np.asarray(dh_extra, dtype=float)
+            dc_next = dc_next + np.asarray(dc_extra, dtype=float)
+
+        for t in range(timesteps - 1, -1, -1):
+            cache = self._caches[t]
+            dh = grad_h_seq[:, t, :] + dh_next
+            do = dh * cache.tanh_c
+            dc = dc_next + dh * cache.o * (1.0 - cache.tanh_c**2)
+            di = dc * cache.g
+            df = dc * cache.c_prev
+            dg = dc * cache.i
+
+            dz_i = di * cache.i * (1.0 - cache.i)
+            dz_f = df * cache.f * (1.0 - cache.f)
+            dz_g = dg * (1.0 - cache.g**2)
+            dz_o = do * cache.o * (1.0 - cache.o)
+            dz = np.concatenate([dz_i, dz_f, dz_g, dz_o], axis=1)
+
+            grad_kernel += cache.x.T @ dz
+            grad_recurrent += cache.h_prev.T @ dz
+            grad_bias += dz.sum(axis=0)
+            grad_inputs[:, t, :] = dz @ kernel.T
+            dh_next = dz @ recurrent.T
+            dc_next = dc * cache.f
+
+        grad_kernel += self.kernel_regularizer.gradient(kernel)
+
+        self.grads["kernel"] = self.grads.get("kernel", 0) + grad_kernel
+        self.grads["recurrent_kernel"] = self.grads.get("recurrent_kernel", 0) + grad_recurrent
+        self.grads["bias"] = self.grads.get("bias", 0) + grad_bias
+        if self.double_bias:
+            self.grads["recurrent_bias"] = self.grads.get("recurrent_bias", 0) + grad_bias
+
+        self.grad_initial_state = (dh_next, dc_next)
+        return grad_inputs
+
+    # -- misc ----------------------------------------------------------------
+
+    def regularization_penalty(self) -> float:
+        if not self.built:
+            return 0.0
+        return self.kernel_regularizer.penalty(self.params["kernel"])
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(
+            {
+                "units": self.units,
+                "return_sequences": self.return_sequences,
+                "kernel_initializer": self.kernel_initializer,
+                "recurrent_initializer": self.recurrent_initializer,
+                "bias_initializer": self.bias_initializer,
+                "kernel_regularizer": self.kernel_regularizer.get_config(),
+                "unit_forget_bias": self.unit_forget_bias,
+                "double_bias": self.double_bias,
+            }
+        )
+        return config

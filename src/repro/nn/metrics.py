@@ -1,0 +1,70 @@
+"""Training-time metrics for the NN substrate.
+
+These are low-level regression/classification metrics used by the training
+loop and the tests.  Detection-quality metrics (accuracy/F1 on anomaly labels)
+live in :mod:`repro.evaluation.metrics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def _check_pair(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"prediction shape {prediction.shape} does not match target shape {target.shape}"
+        )
+    return prediction, target
+
+
+def mean_squared_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over all elements."""
+    prediction, target = _check_pair(prediction, target)
+    return float(np.mean(np.square(prediction - target)))
+
+
+def root_mean_squared_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error over all elements."""
+    return float(np.sqrt(mean_squared_error(prediction, target)))
+
+
+def mean_absolute_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error over all elements."""
+    prediction, target = _check_pair(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def r2_score(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination (1 - SS_res / SS_tot), flattened."""
+    prediction, target = _check_pair(prediction, target)
+    target_flat = target.ravel()
+    prediction_flat = prediction.ravel()
+    ss_res = float(np.sum(np.square(target_flat - prediction_flat)))
+    ss_tot = float(np.sum(np.square(target_flat - np.mean(target_flat))))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def categorical_accuracy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows where the arg-max of ``probabilities`` equals ``labels``.
+
+    ``labels`` may be integer class indices or one-hot rows.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels)
+    if probabilities.ndim != 2:
+        raise ShapeError(f"probabilities must be 2-D, got shape {probabilities.shape}")
+    predicted = np.argmax(probabilities, axis=1)
+    if labels.ndim == 2:
+        labels = np.argmax(labels, axis=1)
+    if labels.shape[0] != probabilities.shape[0]:
+        raise ShapeError(
+            f"labels length {labels.shape[0]} does not match batch size {probabilities.shape[0]}"
+        )
+    return float(np.mean(predicted == labels))

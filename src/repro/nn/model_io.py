@@ -1,0 +1,72 @@
+"""Saving and loading model weights to disk.
+
+Weights are stored as a flat ``.npz`` archive whose keys encode the nested
+weight-dictionary path (``"encoder/kernel"`` etc.), next to a JSON file with
+the model's architecture configuration.  Loading restores weights into an
+already-constructed model of the same architecture — this mirrors how the
+paper's deployment step ships trained, frozen weights to each HEC layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
+
+PathLike = Union[str, Path]
+_SEPARATOR = "/"
+
+
+def _flatten_weights(tree: dict, prefix: str = "") -> Dict[str, np.ndarray]:
+    flat: Dict[str, np.ndarray] = {}
+    for key, value in tree.items():
+        path = f"{prefix}{_SEPARATOR}{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(_flatten_weights(value, path))
+        else:
+            flat[path] = np.asarray(value, dtype=float)
+    return flat
+
+
+def _unflatten_weights(flat: Dict[str, np.ndarray]) -> dict:
+    tree: dict = {}
+    for path, value in flat.items():
+        parts = path.split(_SEPARATOR)
+        node = tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return tree
+
+
+def save_model(model, directory: PathLike, name: str = "model") -> Path:
+    """Save ``model`` (anything with ``get_weights``/``get_config``) under ``directory``.
+
+    Returns the directory path.  Two files are written: ``<name>.json`` with
+    the architecture configuration and ``<name>.weights.npz`` with the weights.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    config = model.get_config() if hasattr(model, "get_config") else {}
+    save_json(directory / f"{name}.json", config)
+    save_arrays(directory / f"{name}.weights.npz", _flatten_weights(model.get_weights()))
+    return directory
+
+
+def load_weights_into(model, directory: PathLike, name: str = "model") -> None:
+    """Load weights saved by :func:`save_model` into an already-built ``model``."""
+    directory = Path(directory)
+    weights_path = directory / f"{name}.weights.npz"
+    if not weights_path.exists():
+        raise SerializationError(f"no saved weights found at {weights_path}")
+    flat = load_arrays(weights_path)
+    model.set_weights(_unflatten_weights(flat))
+
+
+def load_config(directory: PathLike, name: str = "model") -> dict:
+    """Load the architecture configuration saved by :func:`save_model`."""
+    return load_json(Path(directory) / f"{name}.json")

@@ -1,0 +1,6 @@
+"""Model containers: the feed-forward ``Sequential`` model and the ``Seq2SeqAutoencoder``."""
+
+from repro.nn.models.sequential import Sequential
+from repro.nn.models.seq2seq import Seq2SeqAutoencoder
+
+__all__ = ["Sequential", "Seq2SeqAutoencoder"]

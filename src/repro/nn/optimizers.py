@@ -1,0 +1,201 @@
+"""Gradient-descent optimisers: SGD (with momentum), RMSProp and Adam.
+
+The paper trains its seq2seq models with RMSProp and the policy network with
+plain policy-gradient ascent; all three optimisers here share the same
+interface so models can swap them freely.
+
+Each optimiser keeps per-parameter state keyed by the ``id`` of the parameter
+array.  Parameters are updated *in place* so layers keep referencing the same
+arrays across steps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive
+
+ParamGrad = Tuple[np.ndarray, np.ndarray]
+
+
+class Optimizer:
+    """Base optimiser interface.
+
+    Subclasses implement :meth:`_update_one`, which computes the update for a
+    single parameter given its gradient and its optimiser state dictionary.
+    """
+
+    def __init__(self, learning_rate: float = 0.001, clip_norm: float | None = None) -> None:
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        if clip_norm is not None:
+            clip_norm = check_positive(clip_norm, "clip_norm")
+        self.clip_norm = clip_norm
+        self._state: Dict[int, Dict[str, np.ndarray]] = {}
+        self.iterations = 0
+
+    # -- public API --------------------------------------------------------
+
+    def step(self, params_and_grads: Iterable[ParamGrad]) -> None:
+        """Apply one update step to every (parameter, gradient) pair."""
+        pairs: List[ParamGrad] = list(params_and_grads)
+        if self.clip_norm is not None:
+            pairs = self._clip_global_norm(pairs, self.clip_norm)
+        self.iterations += 1
+        for param, grad in pairs:
+            if param.shape != grad.shape:
+                raise ConfigurationError(
+                    f"parameter shape {param.shape} does not match gradient shape {grad.shape}"
+                )
+            state = self._state.setdefault(id(param), {})
+            update = self._update_one(param, grad, state)
+            param -= update
+
+    def reset(self) -> None:
+        """Forget all optimiser state (momenta, moving averages, step count)."""
+        self._state.clear()
+        self.iterations = 0
+
+    def get_config(self) -> dict:
+        """JSON-serialisable optimiser configuration."""
+        return {
+            "type": type(self).__name__,
+            "learning_rate": self.learning_rate,
+            "clip_norm": self.clip_norm,
+        }
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _clip_global_norm(pairs: List[ParamGrad], max_norm: float) -> List[ParamGrad]:
+        total = float(np.sqrt(sum(float(np.sum(np.square(g))) for _, g in pairs)))
+        if total <= max_norm or total == 0.0:
+            return pairs
+        scale = max_norm / total
+        return [(p, g * scale) for p, g in pairs]
+
+    def _update_one(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        self.momentum = check_non_negative(momentum, "momentum")
+        if self.momentum >= 1.0:
+            raise ConfigurationError(f"momentum must be < 1, got {momentum}")
+
+    def _update_one(self, param, grad, state):
+        if self.momentum == 0.0:
+            return self.learning_rate * grad
+        velocity = state.setdefault("velocity", np.zeros_like(param))
+        velocity *= self.momentum
+        velocity += self.learning_rate * grad
+        return velocity.copy()
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config["momentum"] = self.momentum
+        return config
+
+
+class RMSProp(Optimizer):
+    """RMSProp: scale the step by a moving RMS of recent gradients."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        rho: float = 0.9,
+        epsilon: float = 1e-7,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        if not 0.0 < rho < 1.0:
+            raise ConfigurationError(f"rho must lie in (0, 1), got {rho}")
+        self.rho = float(rho)
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def _update_one(self, param, grad, state):
+        mean_square = state.setdefault("mean_square", np.zeros_like(param))
+        mean_square *= self.rho
+        mean_square += (1.0 - self.rho) * np.square(grad)
+        return self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update({"rho": self.rho, "epsilon": self.epsilon})
+        return config
+
+
+class Adam(Optimizer):
+    """Adam optimiser with bias-corrected first and second moments."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        if not 0.0 <= beta_1 < 1.0:
+            raise ConfigurationError(f"beta_1 must lie in [0, 1), got {beta_1}")
+        if not 0.0 <= beta_2 < 1.0:
+            raise ConfigurationError(f"beta_2 must lie in [0, 1), got {beta_2}")
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def _update_one(self, param, grad, state):
+        m = state.setdefault("m", np.zeros_like(param))
+        v = state.setdefault("v", np.zeros_like(param))
+        t = state.setdefault("t", np.zeros(1))
+        t += 1
+        m *= self.beta_1
+        m += (1.0 - self.beta_1) * grad
+        v *= self.beta_2
+        v += (1.0 - self.beta_2) * np.square(grad)
+        m_hat = m / (1.0 - self.beta_1 ** float(t[0]))
+        v_hat = v / (1.0 - self.beta_2 ** float(t[0]))
+        return self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(
+            {"beta_1": self.beta_1, "beta_2": self.beta_2, "epsilon": self.epsilon}
+        )
+        return config
+
+
+_REGISTRY = {
+    "sgd": SGD,
+    "rmsprop": RMSProp,
+    "adam": Adam,
+}
+
+
+def get_optimizer(spec: Union[str, Optimizer, None], **kwargs) -> Optimizer:
+    """Resolve an optimiser by name (with keyword overrides) or pass through."""
+    if spec is None:
+        return RMSProp(**kwargs)
+    if isinstance(spec, Optimizer):
+        return spec
+    try:
+        cls = _REGISTRY[str(spec).lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown optimizer {spec!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+    return cls(**kwargs)

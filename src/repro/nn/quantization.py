@@ -1,0 +1,103 @@
+"""Model compression by FP16 weight quantisation.
+
+Before deploying the LSTM-seq2seq models on the Raspberry Pi and Jetson TX2,
+the paper (i) freezes the graph and (ii) quantises the parameters from FP32 to
+FP16, observing no loss of detection performance.  In this NumPy reproduction
+the analogue is rounding every weight through ``float16`` and reporting the
+memory saving; the "frozen" aspect corresponds to marking the model as
+non-trainable inside the HEC deployment record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Protocol
+
+import numpy as np
+
+
+class _HasWeights(Protocol):
+    """Anything exposing Keras-style ``get_weights``/``set_weights`` dictionaries."""
+
+    def get_weights(self) -> dict: ...
+
+    def set_weights(self, weights: dict) -> None: ...
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Summary of a quantisation pass."""
+
+    parameter_count: int
+    original_bytes: int
+    quantized_bytes: int
+    max_absolute_error: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original size divided by quantised size (2.0 for FP32→FP16)."""
+        if self.quantized_bytes == 0:
+            return 1.0
+        return self.original_bytes / self.quantized_bytes
+
+
+def _quantize_tree(weights, dtype) -> tuple:
+    """Recursively quantise a (possibly nested) dict of arrays.
+
+    Returns ``(quantized_tree, parameter_count, original_bytes, quantized_bytes,
+    max_abs_error)``.
+    """
+    if isinstance(weights, dict):
+        quantized: Dict = {}
+        count = orig = quant = 0
+        max_err = 0.0
+        for key, value in weights.items():
+            sub, sub_count, sub_orig, sub_quant, sub_err = _quantize_tree(value, dtype)
+            quantized[key] = sub
+            count += sub_count
+            orig += sub_orig
+            quant += sub_quant
+            max_err = max(max_err, sub_err)
+        return quantized, count, orig, quant, max_err
+    array = np.asarray(weights, dtype=float)
+    quantized_array = array.astype(dtype).astype(float)
+    error = float(np.max(np.abs(quantized_array - array))) if array.size else 0.0
+    return (
+        quantized_array,
+        int(array.size),
+        int(array.size * 4),
+        int(array.size * np.dtype(dtype).itemsize),
+        error,
+    )
+
+
+def quantize_model(model: _HasWeights, dtype: str = "float16") -> QuantizationReport:
+    """Quantise ``model``'s weights in place through ``dtype`` and report the effect.
+
+    The weights are stored back as float64 arrays whose *values* have been
+    rounded to the target precision, so all downstream NumPy code keeps
+    working while the numerical effect of FP16 storage is faithfully applied.
+    """
+    np_dtype = np.dtype(dtype)
+    weights = model.get_weights()
+    quantized, count, orig, quant, max_err = _quantize_tree(weights, np_dtype)
+    model.set_weights(quantized)
+    return QuantizationReport(
+        parameter_count=count,
+        original_bytes=orig,
+        quantized_bytes=quant,
+        max_absolute_error=max_err,
+    )
+
+
+def quantization_report(model: _HasWeights, dtype: str = "float16") -> QuantizationReport:
+    """Like :func:`quantize_model` but without modifying the model."""
+    np_dtype = np.dtype(dtype)
+    weights = model.get_weights()
+    _, count, orig, quant, max_err = _quantize_tree(weights, np_dtype)
+    return QuantizationReport(
+        parameter_count=count,
+        original_bytes=orig,
+        quantized_bytes=quant,
+        max_absolute_error=max_err,
+    )

@@ -1,0 +1,28 @@
+"""End-to-end pipelines reproducing the paper's two experiment tracks.
+
+* :mod:`repro.pipelines.univariate` — the power-consumption (autoencoder)
+  track;
+* :mod:`repro.pipelines.multivariate` — the MHEALTH-like (LSTM-seq2seq) track;
+* :mod:`repro.pipelines.common` — shared plumbing (HEC construction, reward
+  tables, scheme evaluation).
+
+Each pipeline exposes a configuration dataclass with a fast default (small
+models, small synthetic datasets) and a ``paper_scale()`` constructor with the
+paper's dimensions, plus a ``run()`` method returning a
+:class:`~repro.pipelines.common.PipelineResult` holding the trained models,
+the HEC system, the policy network and the Table I / Table II rows.
+"""
+
+from repro.pipelines.common import PipelineResult, build_hec_system, compute_reward_table
+from repro.pipelines.univariate import UnivariatePipelineConfig, run_univariate_pipeline
+from repro.pipelines.multivariate import MultivariatePipelineConfig, run_multivariate_pipeline
+
+__all__ = [
+    "PipelineResult",
+    "build_hec_system",
+    "compute_reward_table",
+    "UnivariatePipelineConfig",
+    "run_univariate_pipeline",
+    "MultivariatePipelineConfig",
+    "run_multivariate_pipeline",
+]

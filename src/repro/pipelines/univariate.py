@@ -1,0 +1,215 @@
+"""End-to-end pipeline for the univariate (power-consumption) track.
+
+The pipeline follows Sections II–III of the paper:
+
+1. generate the power series, cut it into weekly windows and standardise;
+2. split: 70 % of normal windows train the autoencoders, the remaining normal
+   windows plus the anomalous windows form the test set;
+3. train the AE-IoT / AE-Edge / AE-Cloud detectors on normal windows;
+4. deploy them on the three-layer HEC topology;
+5. extract per-day statistics as the policy context, build the reward table
+   (``alpha = 0.0005``) and train the policy network with REINFORCE;
+6. evaluate the five selection schemes and assemble Table I / Table II rows.
+
+The default configuration is deliberately small (short series, small hidden
+layers, few epochs) so the full pipeline runs in seconds inside tests and
+benchmarks; :meth:`UnivariatePipelineConfig.paper_scale` switches to the
+paper's dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.bandit.context import UnivariateContextExtractor
+from repro.bandit.reward import DelayCost, RewardFunction, PAPER_ALPHA_UNIVARIATE
+from repro.data.power import DAYS_PER_WEEK, PowerDatasetConfig, generate_power_dataset, weekly_windows
+from repro.data.preprocessing import StandardScaler
+from repro.data.datasets import LabeledWindows
+from repro.data.splits import anomaly_detection_split, policy_training_split
+from repro.detectors.autoencoder import build_autoencoder_detector
+from repro.evaluation.tables import ModelComparisonRow, model_comparison_row
+from repro.pipelines.common import (
+    PipelineResult,
+    TIERS,
+    build_hec_system,
+    evaluate_all_schemes,
+    train_policy,
+)
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class UnivariatePipelineConfig:
+    """Configuration of the univariate pipeline (fast defaults)."""
+
+    data: PowerDatasetConfig = field(
+        default_factory=lambda: PowerDatasetConfig(
+            weeks=40, samples_per_day=24, anomalous_day_fraction=0.06, seed=7
+        )
+    )
+    #: Hidden-layer sizes per tier (kept small by default; the paper-scale
+    #: architecture is in ``UNIVARIATE_TIER_ARCHITECTURES``).
+    hidden_sizes: Dict[str, Tuple[int, ...]] = field(
+        default_factory=lambda: {
+            "iot": (12,),
+            "edge": (48, 24, 48),
+            "cloud": (64, 32, 16, 32, 64),
+        }
+    )
+    epochs: Dict[str, int] = field(
+        default_factory=lambda: {"iot": 30, "edge": 40, "cloud": 80}
+    )
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    alpha: float = PAPER_ALPHA_UNIVARIATE
+    policy_hidden_units: int = 100
+    policy_episodes: int = 40
+    policy_learning_rate: float = 5e-3
+    normal_train_fraction: float = 0.7
+    policy_normal_fraction: float = 0.3
+    use_calibrated_execution_times: bool = True
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "UnivariatePipelineConfig":
+        """The paper's dimensions: 52 weeks of 15-minute data, full-size autoencoders."""
+        return cls(
+            data=PowerDatasetConfig(weeks=52, samples_per_day=96, anomalous_day_fraction=0.05, seed=7),
+            hidden_sizes={
+                "iot": (201,),
+                "edge": (512, 256, 512),
+                "cloud": (512, 256, 128, 256, 512),
+            },
+            epochs={"iot": 60, "edge": 80, "cloud": 100},
+            batch_size=8,
+            policy_episodes=100,
+        )
+
+    def with_seed(self, seed: int) -> "UnivariatePipelineConfig":
+        """A copy of this configuration with a different master seed."""
+        return replace(self, seed=seed, data=replace(self.data, seed=seed + 7))
+
+
+def _prepare_windows(config: UnivariatePipelineConfig) -> LabeledWindows:
+    dataset = generate_power_dataset(config.data)
+    windows, labels = weekly_windows(dataset, config.data.samples_per_day)
+    return LabeledWindows(windows=windows, labels=labels)
+
+
+def run_univariate_pipeline(config: Optional[UnivariatePipelineConfig] = None,
+                            verbose: bool = False) -> PipelineResult:
+    """Run the full univariate experiment and return its :class:`PipelineResult`."""
+    config = config or UnivariatePipelineConfig()
+    rng = ensure_rng(config.seed)
+
+    # 1. Data: weekly windows, standardised with statistics from the AD training set.
+    all_windows = _prepare_windows(config)
+    ad_split = anomaly_detection_split(
+        all_windows,
+        normal_train_fraction=config.normal_train_fraction,
+        anomaly_test_fraction=1.0,
+        rng=rng,
+    )
+    scaler = StandardScaler().fit(ad_split.train.windows)
+    train_windows = scaler.transform(ad_split.train.windows)
+    test_windows = scaler.transform(ad_split.test.windows)
+    test_labels = ad_split.test.labels
+
+    # 2. Detectors: one autoencoder per tier, trained only on normal windows.
+    window_size = all_windows.window_size
+    detectors = {}
+    for tier in TIERS:
+        detector = build_autoencoder_detector(
+            tier,
+            window_size=window_size,
+            hidden_sizes=config.hidden_sizes[tier],
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        detector.fit(
+            train_windows,
+            epochs=config.epochs[tier],
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            verbose=verbose,
+        )
+        detectors[tier] = detector
+
+    # 3. HEC deployment with the paper's calibrated execution times.
+    overrides = None if config.use_calibrated_execution_times else {}
+    system, deployments = build_hec_system(
+        detectors, workload="univariate", execution_time_overrides=overrides
+    )
+
+    # 4. Policy training on the paper's policy split (contexts = per-day statistics).
+    standardized_all = LabeledWindows(
+        windows=scaler.transform(all_windows.windows),
+        labels=all_windows.labels,
+    )
+    policy_train, _policy_test = policy_training_split(
+        standardized_all,
+        normal_fraction=config.policy_normal_fraction,
+        anomaly_fraction=1.0,
+        rng=rng,
+    )
+    context_extractor = UnivariateContextExtractor(segments=DAYS_PER_WEEK)
+    context_extractor.fit(policy_train.windows)
+    reward_fn = RewardFunction(cost=DelayCost(alpha=config.alpha))
+    detectors_by_layer = [detectors[tier] for tier in TIERS]
+    policy, bandit_log, _reward_table = train_policy(
+        system,
+        detectors_by_layer,
+        context_extractor,
+        policy_train.windows,
+        policy_train.labels,
+        reward_fn,
+        hidden_units=config.policy_hidden_units,
+        episodes=config.policy_episodes,
+        learning_rate=config.policy_learning_rate,
+        seed=config.seed,
+    )
+
+    # 5. Table I rows (per-model evaluation on the AD test set).
+    table1_rows: list[ModelComparisonRow] = []
+    for layer, tier in enumerate(TIERS):
+        table1_rows.append(
+            model_comparison_row(
+                dataset="univariate",
+                tier=tier,
+                detector=detectors[tier],
+                test_windows=test_windows,
+                test_labels=test_labels,
+                execution_time_ms=deployments[layer].execution_time_ms,
+            )
+        )
+
+    # 6. Table II rows: all five schemes on the AD test set.
+    evaluations, table2_rows, demo_panel = evaluate_all_schemes(
+        "univariate",
+        system,
+        policy,
+        context_extractor,
+        test_windows,
+        test_labels,
+        reward_fn,
+    )
+
+    return PipelineResult(
+        dataset_name="univariate",
+        detectors=detectors,
+        system=system,
+        deployments=deployments,
+        policy=policy,
+        context_extractor=context_extractor,
+        reward_fn=reward_fn,
+        bandit_log=bandit_log,
+        table1_rows=table1_rows,
+        table2_rows=table2_rows,
+        evaluations=evaluations,
+        demo_panel=demo_panel,
+        test_windows=test_windows,
+        test_labels=test_labels,
+    )

@@ -1,0 +1,75 @@
+"""The Adaptive scheme: contextual-bandit model selection.
+
+For each window the scheme extracts the contextual features on the IoT device,
+runs the (small) policy network, and sends the window directly to the selected
+layer.  The policy network is trained beforehand by
+:class:`~repro.bandit.reinforce.ReinforceTrainer`; at evaluation time the
+scheme uses the greedy (arg-max) action, as the paper does once training has
+converged.
+
+The scheme also accounts for the on-device overhead of context extraction and
+the policy forward pass, which is small but not zero; it is folded into the
+reported delay as ``policy_overhead_ms`` (0 by default to match the paper's
+delay accounting, which ignores it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bandit.context import ContextExtractor
+from repro.bandit.policy_network import PolicyNetwork
+from repro.exceptions import ConfigurationError
+from repro.hec.simulation import HECSystem
+from repro.schemes.base import SchemeOutcome, SelectionScheme
+from repro.utils.validation import check_non_negative
+
+
+class AdaptiveScheme(SelectionScheme):
+    """Select the HEC layer per window with a trained policy network."""
+
+    name = "Our Method"
+
+    def __init__(
+        self,
+        system: HECSystem,
+        policy: PolicyNetwork,
+        context_extractor: ContextExtractor,
+        greedy: bool = True,
+        policy_overhead_ms: float = 0.0,
+    ) -> None:
+        super().__init__(system)
+        if policy.n_actions != system.n_layers:
+            raise ConfigurationError(
+                f"policy has {policy.n_actions} actions but the HEC system has "
+                f"{system.n_layers} layers"
+            )
+        self.policy = policy
+        self.context_extractor = context_extractor
+        self.greedy = bool(greedy)
+        self.policy_overhead_ms = check_non_negative(policy_overhead_ms, "policy_overhead_ms")
+        #: Actions chosen so far (useful for the demo panel's action plot).
+        self.chosen_actions: list[int] = []
+
+    def handle_window(
+        self,
+        window: np.ndarray,
+        window_index: int,
+        ground_truth: Optional[int] = None,
+    ) -> SchemeOutcome:
+        context = self.context_extractor.extract(np.asarray(window, dtype=float)[None, ...])
+        action, _probabilities = self.policy.select_action(context[0], greedy=self.greedy)
+        self.chosen_actions.append(int(action))
+        record = self.system.detect_at(action, window, ground_truth=ground_truth)
+        if self.policy_overhead_ms > 0:
+            record.delay.execution_ms += self.policy_overhead_ms
+        return SchemeOutcome(window_index=window_index, final=record, records=[record])
+
+    def action_distribution(self) -> np.ndarray:
+        """Normalised frequencies of the actions chosen so far."""
+        if not self.chosen_actions:
+            return np.zeros(self.policy.n_actions)
+        counts = np.bincount(self.chosen_actions, minlength=self.policy.n_actions).astype(float)
+        return counts / counts.sum()

@@ -1,0 +1,75 @@
+"""Common interface of model-selection schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hec.simulation import DetectionRecord, HECSystem
+
+
+@dataclass
+class SchemeOutcome:
+    """The outcome of a scheme handling one window.
+
+    ``records`` holds every detection the scheme triggered for the window (the
+    Successive scheme can trigger several); ``final`` is the record whose
+    prediction the scheme reports, and ``delay_ms`` the total end-to-end delay
+    experienced by the window (including escalations).
+    """
+
+    window_index: int
+    final: DetectionRecord
+    records: List[DetectionRecord] = field(default_factory=list)
+
+    @property
+    def prediction(self) -> int:
+        """The scheme's binary prediction for the window."""
+        return self.final.prediction
+
+    @property
+    def layer(self) -> int:
+        """The layer that produced the final prediction."""
+        return self.final.layer
+
+    @property
+    def delay_ms(self) -> float:
+        """Total end-to-end delay of handling the window."""
+        return self.final.delay_ms
+
+    @property
+    def ground_truth(self) -> Optional[int]:
+        """Ground-truth label of the window, when known."""
+        return self.final.ground_truth
+
+
+class SelectionScheme:
+    """Base class: decide which layer(s) handle each window."""
+
+    name: str = "scheme"
+
+    def __init__(self, system: HECSystem) -> None:
+        self.system = system
+
+    def handle_window(
+        self,
+        window: np.ndarray,
+        window_index: int,
+        ground_truth: Optional[int] = None,
+    ) -> SchemeOutcome:
+        """Process one window and return the scheme's outcome."""
+        raise NotImplementedError
+
+    def run(self, windows: np.ndarray, labels: Optional[np.ndarray] = None) -> List[SchemeOutcome]:
+        """Process a batch of windows in order; returns one outcome per window."""
+        windows = np.asarray(windows, dtype=float)
+        outcomes: List[SchemeOutcome] = []
+        for index in range(windows.shape[0]):
+            truth = int(labels[index]) if labels is not None else None
+            outcomes.append(self.handle_window(windows[index], index, ground_truth=truth))
+        return outcomes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,40 @@
+"""Fixed-layer schemes: always detect at one chosen HEC layer.
+
+``FixedLayerScheme(system, layer=0)`` is the paper's "IoT Device" scheme,
+``layer=1`` is "Edge" and ``layer=K-1`` is "Cloud".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hec.simulation import HECSystem
+from repro.schemes.base import SchemeOutcome, SelectionScheme
+
+#: Human-readable names matching the paper's Table II rows.
+_FIXED_SCHEME_NAMES = {0: "IoT Device", 1: "Edge", 2: "Cloud"}
+
+
+class FixedLayerScheme(SelectionScheme):
+    """Always offload every window to the same layer."""
+
+    def __init__(self, system: HECSystem, layer: int) -> None:
+        super().__init__(system)
+        if not 0 <= layer < system.n_layers:
+            raise ConfigurationError(
+                f"layer must lie in [0, {system.n_layers}), got {layer}"
+            )
+        self.layer = int(layer)
+        self.name = _FIXED_SCHEME_NAMES.get(self.layer, f"Layer-{self.layer}")
+
+    def handle_window(
+        self,
+        window: np.ndarray,
+        window_index: int,
+        ground_truth: Optional[int] = None,
+    ) -> SchemeOutcome:
+        record = self.system.detect_at(self.layer, window, ground_truth=ground_truth)
+        return SchemeOutcome(window_index=window_index, final=record, records=[record])

@@ -1,0 +1,65 @@
+"""Successive offloading scheme.
+
+The window is first handled at the IoT device; whenever the local detection is
+*not* confident (per the paper's confidence rules), the window is offloaded to
+the next layer up, and so on until a confident output is obtained or the cloud
+is reached.  The delay of the final verdict accumulates the time already spent
+at the lower layers, which is why the Successive scheme sits between the IoT
+and Cloud schemes on delay but cannot beat the Adaptive scheme that goes to
+the right layer directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hec.simulation import DetectionRecord, HECSystem
+from repro.schemes.base import SchemeOutcome, SelectionScheme
+
+
+class SuccessiveScheme(SelectionScheme):
+    """Escalate layer by layer until the detection is confident (or the top is reached)."""
+
+    name = "Successive"
+
+    def __init__(self, system: HECSystem, start_layer: int = 0) -> None:
+        super().__init__(system)
+        if not 0 <= start_layer < system.n_layers:
+            raise ConfigurationError(
+                f"start_layer must lie in [0, {system.n_layers}), got {start_layer}"
+            )
+        self.start_layer = int(start_layer)
+
+    def handle_window(
+        self,
+        window: np.ndarray,
+        window_index: int,
+        ground_truth: Optional[int] = None,
+    ) -> SchemeOutcome:
+        records: List[DetectionRecord] = []
+        accumulated_delay = None
+        record: Optional[DetectionRecord] = None
+        for layer in range(self.start_layer, self.system.n_layers):
+            record = self.system.detect_at(
+                layer,
+                window,
+                ground_truth=ground_truth,
+                escalated_from=accumulated_delay,
+            )
+            records.append(record)
+            if record.confident or layer == self.system.n_layers - 1:
+                break
+            # The next attempt inherits everything spent so far.
+            accumulated_delay = record.delay
+        assert record is not None  # the loop always executes at least once
+        return SchemeOutcome(window_index=window_index, final=record, records=records)
+
+    def escalation_rate(self, outcomes: List[SchemeOutcome]) -> float:
+        """Fraction of windows that needed more than one layer."""
+        if not outcomes:
+            return 0.0
+        escalated = sum(1 for outcome in outcomes if len(outcome.records) > 1)
+        return escalated / len(outcomes)

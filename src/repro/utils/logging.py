@@ -1,0 +1,44 @@
+"""Logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace so applications embedding it keep full control over
+handlers and verbosity.  :func:`get_logger` is a thin convenience wrapper
+that returns an appropriately named child logger.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the package logger or one of its children.
+
+    Parameters
+    ----------
+    name:
+        Optional child name (e.g. ``"hec.simulation"``).  ``None`` returns the
+        package root logger.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_basic_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stream handler to the package logger (idempotent).
+
+    Intended for examples and benchmarks; applications should configure
+    logging themselves.
+    """
+    logger = get_logger()
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,71 @@
+"""Serialization helpers for experiment artefacts and model weights.
+
+Models are stored as a pair of files: a JSON document describing the
+architecture/configuration and an ``.npz`` archive holding the weight arrays.
+Keeping the two separate makes the stored artefacts human-inspectable and
+avoids pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays into plain Python objects."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+def save_json(path: PathLike, payload: Mapping[str, Any]) -> Path:
+    """Write ``payload`` as pretty-printed JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(_to_jsonable(dict(payload)), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Load a JSON document written by :func:`save_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such file: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Save a mapping of named arrays to a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{str(k): np.asarray(v) for k, v in arrays.items()})
+    # np.savez appends .npz if missing; normalise the returned path.
+    if not str(path).endswith(".npz"):
+        path = Path(str(path) + ".npz")
+    return path
+
+
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` archive written by :func:`save_arrays` into a dict."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key].copy() for key in archive.files}

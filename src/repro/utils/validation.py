@@ -1,0 +1,100 @@
+"""Lightweight argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise :class:`ConfigurationError` unless ``value`` is strictly positive."""
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Raise :class:`ConfigurationError` unless ``value`` is >= 0 and finite."""
+    if not np.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise :class:`ConfigurationError` unless ``value`` lies in [0, 1]."""
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in(value: Any, allowed: Iterable[Any], name: str) -> Any:
+    """Raise :class:`ConfigurationError` unless ``value`` is one of ``allowed``."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_array(
+    array: Any,
+    name: str,
+    ndim: Optional[int] = None,
+    shape: Optional[Sequence[Optional[int]]] = None,
+    allow_empty: bool = True,
+    dtype: Any = float,
+) -> np.ndarray:
+    """Convert ``array`` to an ndarray and validate its dimensionality/shape.
+
+    Parameters
+    ----------
+    array:
+        Array-like input.
+    name:
+        Argument name used in error messages.
+    ndim:
+        Required number of dimensions, or ``None`` to skip the check.
+    shape:
+        Required shape; entries that are ``None`` match any size.
+    allow_empty:
+        Whether a zero-size array is acceptable.
+    dtype:
+        dtype to convert to (default ``float``); pass ``None`` to keep as-is.
+    """
+    arr = np.asarray(array, dtype=dtype) if dtype is not None else np.asarray(array)
+    if ndim is not None and arr.ndim != ndim:
+        raise ShapeError(f"{name} must have ndim={ndim}, got ndim={arr.ndim} (shape {arr.shape})")
+    if shape is not None:
+        if arr.ndim != len(shape):
+            raise ShapeError(
+                f"{name} must have shape {tuple(shape)}, got {arr.shape}"
+            )
+        for axis, expected in enumerate(shape):
+            if expected is not None and arr.shape[axis] != expected:
+                raise ShapeError(
+                    f"{name} must have shape {tuple(shape)}, got {arr.shape}"
+                )
+    if not allow_empty and arr.size == 0:
+        raise ShapeError(f"{name} must not be empty")
+    return arr
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Raise :class:`ShapeError` unless the two sequences have the same length."""
+    if len(a) != len(b):
+        raise ShapeError(
+            f"{name_a} and {name_b} must have the same length, got {len(a)} and {len(b)}"
+        )
+
+
+def check_binary_labels(labels: Any, name: str = "labels") -> np.ndarray:
+    """Validate that ``labels`` contains only 0/1 values and return an int array."""
+    arr = np.asarray(labels)
+    if arr.size == 0:
+        return arr.astype(int)
+    unique = np.unique(arr)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ShapeError(f"{name} must be binary (0/1), got values {unique!r}")
+    return arr.astype(int)

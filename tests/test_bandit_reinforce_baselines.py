@@ -1,0 +1,195 @@
+"""Tests for the REINFORCE trainer, the reinforcement-comparison baseline and bandit baselines."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.baselines import EpsilonGreedySelector, RandomSelector, UCBSelector
+from repro.bandit.policy_network import PolicyNetwork
+from repro.bandit.reinforce import (
+    BanditEpisodeLog,
+    ReinforcementComparisonBaseline,
+    ReinforceTrainer,
+    build_reward_table,
+)
+from repro.bandit.reward import DelayCost, RewardFunction
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class TestBaselineTracker:
+    def test_first_update_initialises(self):
+        baseline = ReinforcementComparisonBaseline(decay=0.9)
+        assert baseline.value() == 0.0
+        baseline.update(2.0)
+        assert baseline.value() == pytest.approx(2.0)
+
+    def test_exponential_averaging(self):
+        baseline = ReinforcementComparisonBaseline(decay=0.5)
+        baseline.update(1.0)
+        baseline.update(0.0)
+        assert baseline.value() == pytest.approx(0.5)
+
+    def test_per_action_tracking(self):
+        baseline = ReinforcementComparisonBaseline(decay=0.5, per_action=True, n_actions=3)
+        baseline.update(1.0, action=0)
+        baseline.update(0.0, action=2)
+        assert baseline.value(0) == pytest.approx(1.0)
+        assert baseline.value(2) == pytest.approx(0.0)
+        assert baseline.value(1) == pytest.approx(0.0)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ConfigurationError):
+            ReinforcementComparisonBaseline(decay=1.0)
+
+
+class TestEpisodeLog:
+    def test_record_and_distribution(self):
+        log = BanditEpisodeLog()
+        log.record(10.0, 0.5, np.array([3, 1, 0]), 0.4)
+        assert log.episodes == 1
+        np.testing.assert_allclose(log.final_action_distribution(), [0.75, 0.25, 0.0])
+
+    def test_empty_distribution(self):
+        assert BanditEpisodeLog().final_action_distribution().size == 0
+
+
+def _contextual_problem(n=120, seed=0):
+    """A 2-context bandit where context determines the best of 3 actions."""
+    rng = np.random.default_rng(seed)
+    contexts = np.zeros((n, 2))
+    rewards = np.zeros((n, 3))
+    for i in range(n):
+        if rng.random() < 0.5:
+            contexts[i] = [1.0, 0.0]
+            rewards[i] = [1.0, 0.2, 0.0]
+        else:
+            contexts[i] = [0.0, 1.0]
+            rewards[i] = [0.0, 0.2, 1.0]
+    return contexts, rewards
+
+
+class TestReinforceTrainer:
+    def test_training_improves_mean_reward(self):
+        contexts, rewards = _contextual_problem()
+        policy = PolicyNetwork(context_dim=2, n_actions=3, hidden_units=16,
+                               learning_rate=0.05, seed=0)
+        trainer = ReinforceTrainer(policy, entropy_weight=0.0, rng=0)
+        log = trainer.train(contexts, rewards, episodes=15)
+        assert log.episode_mean_rewards[-1] > log.episode_mean_rewards[0]
+
+    def test_greedy_policy_learns_contextual_mapping(self):
+        contexts, rewards = _contextual_problem()
+        policy = PolicyNetwork(context_dim=2, n_actions=3, hidden_units=16,
+                               learning_rate=0.05, seed=0)
+        trainer = ReinforceTrainer(policy, rng=0)
+        trainer.train(contexts, rewards, episodes=20)
+        evaluation = trainer.evaluate(contexts, rewards)
+        assert evaluation["mean_reward"] > 0.9
+        assert evaluation["mean_regret"] < 0.1
+
+    def test_callback_invoked_per_episode(self):
+        contexts, rewards = _contextual_problem(n=20)
+        policy = PolicyNetwork(context_dim=2, n_actions=3, hidden_units=8, seed=0)
+        trainer = ReinforceTrainer(policy, rng=0)
+        calls = []
+        trainer.train(contexts, rewards, episodes=3, callback=lambda e, log: calls.append(e))
+        assert calls == [0, 1, 2]
+
+    def test_log_counts_sum_to_n(self):
+        contexts, rewards = _contextual_problem(n=30)
+        policy = PolicyNetwork(context_dim=2, n_actions=3, hidden_units=8, seed=0)
+        trainer = ReinforceTrainer(policy, rng=0)
+        log = trainer.train(contexts, rewards, episodes=2)
+        assert log.action_counts[0].sum() == 30
+
+    def test_shape_validation(self):
+        policy = PolicyNetwork(context_dim=2, n_actions=3, hidden_units=8, seed=0)
+        trainer = ReinforceTrainer(policy, rng=0)
+        with pytest.raises(ShapeError):
+            trainer.train(np.zeros((5, 2)), np.zeros((5, 2)), episodes=1)
+        with pytest.raises(ShapeError):
+            trainer.train(np.zeros(5), np.zeros((5, 3)), episodes=1)
+        with pytest.raises(ConfigurationError):
+            trainer.train(np.zeros((5, 2)), np.zeros((5, 3)), episodes=0)
+
+    def test_negative_entropy_rejected(self):
+        policy = PolicyNetwork(context_dim=2, n_actions=3, seed=0)
+        with pytest.raises(ConfigurationError):
+            ReinforceTrainer(policy, entropy_weight=-0.1)
+
+    def test_evaluate_action_distribution_sums_to_one(self):
+        contexts, rewards = _contextual_problem(n=40)
+        policy = PolicyNetwork(context_dim=2, n_actions=3, hidden_units=8, seed=0)
+        trainer = ReinforceTrainer(policy, rng=0)
+        evaluation = trainer.evaluate(contexts, rewards)
+        assert sum(evaluation["action_distribution"]) == pytest.approx(1.0)
+
+
+class TestBuildRewardTable:
+    def test_shape_and_values(self):
+        reward_fn = RewardFunction(cost=DelayCost(alpha=0.001))
+        correctness = [np.array([1, 0]), np.array([1, 1]), np.array([1, 1])]
+        delays = [10.0, 100.0, 1000.0]
+        table = build_reward_table(correctness, delays, reward_fn)
+        assert table.shape == (2, 3)
+        # Window 0: everything correct -> cheapest action best.
+        assert np.argmax(table[0]) == 0
+        # Window 1: IoT wrong -> edge best.
+        assert np.argmax(table[1]) == 1
+
+    def test_mismatched_delays_rejected(self):
+        reward_fn = RewardFunction()
+        with pytest.raises(ShapeError):
+            build_reward_table([np.array([1.0])], [1.0, 2.0], reward_fn)
+
+
+class TestClassicalBaselines:
+    def _stationary_rewards(self, n=300, best=2):
+        rng = np.random.default_rng(0)
+        means = np.array([0.2, 0.5, 0.8]) if best == 2 else np.array([0.8, 0.5, 0.2])
+        return np.clip(rng.normal(means, 0.05, size=(n, 3)), 0, 1)
+
+    def test_epsilon_greedy_finds_best_arm(self):
+        rewards = self._stationary_rewards()
+        selector = EpsilonGreedySelector(n_actions=3, epsilon=0.1, rng=0)
+        actions = selector.run(rewards)
+        assert np.argmax(np.bincount(actions[-100:], minlength=3)) == 2
+
+    def test_ucb_finds_best_arm(self):
+        rewards = self._stationary_rewards()
+        selector = UCBSelector(n_actions=3, rng=0)
+        actions = selector.run(rewards)
+        assert np.argmax(np.bincount(actions[-100:], minlength=3)) == 2
+
+    def test_ucb_plays_every_arm_first(self):
+        selector = UCBSelector(n_actions=3, rng=0)
+        first_actions = []
+        for _ in range(3):
+            action = selector.select_action()
+            selector.update(action, 0.5)
+            first_actions.append(action)
+        assert sorted(first_actions) == [0, 1, 2]
+
+    def test_random_selector_spreads_actions(self):
+        selector = RandomSelector(n_actions=3, rng=0)
+        actions = selector.run(np.zeros((300, 3)))
+        counts = np.bincount(actions, minlength=3)
+        assert np.all(counts > 50)
+
+    def test_value_estimates_converge_to_means(self):
+        rewards = self._stationary_rewards(n=600)
+        selector = EpsilonGreedySelector(n_actions=3, epsilon=0.3, rng=0)
+        selector.run(rewards)
+        assert selector.value_estimates[2] > selector.value_estimates[0]
+
+    def test_update_validates_action(self):
+        selector = RandomSelector(n_actions=3, rng=0)
+        with pytest.raises(ConfigurationError):
+            selector.update(5, 1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            RandomSelector(n_actions=1)
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedySelector(n_actions=3, epsilon=1.5)
+        with pytest.raises(ConfigurationError):
+            UCBSelector(n_actions=3, exploration=-1.0)

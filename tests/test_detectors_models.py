@@ -1,0 +1,254 @@
+"""Tests for the autoencoder and seq2seq detectors and the detector registry."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.autoencoder import (
+    UNIVARIATE_TIER_ARCHITECTURES,
+    AutoencoderDetector,
+    build_autoencoder_detector,
+)
+from repro.detectors.base import DetectionResult
+from repro.detectors.lstm_seq2seq import (
+    MULTIVARIATE_TIER_ARCHITECTURES,
+    Seq2SeqDetector,
+    build_seq2seq_detector,
+)
+from repro.detectors.registry import DetectorRegistry
+from repro.exceptions import ConfigurationError, DeploymentError, NotFittedError, ShapeError
+
+
+class TestAutoencoderDetector:
+    def test_detect_before_fit_raises(self):
+        detector = AutoencoderDetector(window_size=8, hidden_sizes=(4,), seed=0)
+        with pytest.raises(NotFittedError):
+            detector.detect(np.zeros((2, 8)))
+
+    def test_fit_and_detect_shapes(self, trained_autoencoder, power_scaled):
+        _train, test_windows, _labels = power_scaled
+        results = trained_autoencoder.detect(test_windows[:5])
+        assert len(results) == 5
+        assert all(isinstance(result, DetectionResult) for result in results)
+
+    def test_predictions_are_binary(self, trained_autoencoder, power_scaled):
+        _train, test_windows, _labels = power_scaled
+        predictions = trained_autoencoder.predict(test_windows)
+        assert set(np.unique(predictions)).issubset({0, 1})
+
+    def test_detects_obvious_anomaly(self, trained_autoencoder, power_scaled):
+        train_windows, _test, _labels = power_scaled
+        corrupted = train_windows[:1].copy()
+        corrupted[0, : corrupted.shape[1] // 2] += 8.0
+        assert trained_autoencoder.predict(corrupted)[0] == 1
+
+    def test_normal_training_windows_mostly_clean(self, trained_autoencoder, power_scaled):
+        train_windows, _test, _labels = power_scaled
+        predictions = trained_autoencoder.predict(train_windows)
+        # The threshold is the training minimum, so training windows are never flagged.
+        assert predictions.sum() == 0
+
+    def test_separates_real_test_set(self, trained_autoencoder, power_scaled):
+        _train, test_windows, test_labels = power_scaled
+        predictions = trained_autoencoder.predict(test_windows)
+        anomaly_rate_on_anomalies = predictions[test_labels == 1].mean()
+        anomaly_rate_on_normals = predictions[test_labels == 0].mean()
+        assert anomaly_rate_on_anomalies > anomaly_rate_on_normals
+
+    def test_reconstruction_shape(self, trained_autoencoder, power_scaled):
+        _train, test_windows, _labels = power_scaled
+        recon = trained_autoencoder.reconstruct(test_windows[:3])
+        assert recon.shape == test_windows[:3].shape
+
+    def test_window_size_validated(self, trained_autoencoder):
+        with pytest.raises(ShapeError):
+            trained_autoencoder.detect(np.zeros((2, 5)))
+
+    def test_1d_window_accepted(self, trained_autoencoder, power_scaled):
+        _train, test_windows, _labels = power_scaled
+        assert len(trained_autoencoder.detect(test_windows[0])) == 1
+
+    def test_context_features_none_for_autoencoder(self, trained_autoencoder, power_scaled):
+        _train, test_windows, _labels = power_scaled
+        assert trained_autoencoder.context_features(test_windows[:2]) is None
+
+    def test_parameter_count(self):
+        detector = AutoencoderDetector(window_size=10, hidden_sizes=(4,), seed=0)
+        assert detector.parameter_count() == (10 * 4 + 4) + (4 * 10 + 10)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            AutoencoderDetector(window_size=0, hidden_sizes=(4,))
+        with pytest.raises(ConfigurationError):
+            AutoencoderDetector(window_size=8, hidden_sizes=())
+
+    def test_builder_tiers(self):
+        for tier in ("iot", "edge", "cloud"):
+            detector = build_autoencoder_detector(tier, window_size=14, hidden_sizes=(4,), seed=0)
+            assert tier in detector.name.lower() or detector.name.startswith("AE")
+
+    def test_builder_unknown_tier(self):
+        with pytest.raises(ConfigurationError):
+            build_autoencoder_detector("fog", window_size=14)
+
+    def test_paper_scale_iot_parameter_count(self):
+        """At the paper's 672-sample window the AE-IoT parameter count matches Table I exactly."""
+        detector = build_autoencoder_detector("iot", window_size=672, seed=0)
+        assert detector.parameter_count() == 271_017
+
+    def test_paper_architectures_increase_in_size(self):
+        counts = []
+        for tier in ("iot", "edge", "cloud"):
+            detector = build_autoencoder_detector(tier, window_size=672, seed=0)
+            counts.append(detector.parameter_count())
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_architecture_table_keys(self):
+        assert set(UNIVARIATE_TIER_ARCHITECTURES) == {"iot", "edge", "cloud"}
+
+
+class TestSeq2SeqDetector:
+    def test_fit_and_detect(self, trained_seq2seq, mhealth_windows):
+        windows = mhealth_windows.windows[:4]
+        results = trained_seq2seq.detect(windows)
+        assert len(results) == 4
+
+    def test_point_scores_length_matches_window(self, trained_seq2seq, mhealth_windows):
+        window = mhealth_windows.windows[:1]
+        result = trained_seq2seq.detect(window)[0]
+        assert result.point_scores.shape == (mhealth_windows.window_size,)
+
+    def test_context_features_shape(self, trained_seq2seq, mhealth_windows):
+        features = trained_seq2seq.context_features(mhealth_windows.windows[:6])
+        assert features.shape == (6, trained_seq2seq.units)
+
+    def test_channel_mismatch_rejected(self, trained_seq2seq):
+        with pytest.raises(ShapeError):
+            trained_seq2seq.detect(np.zeros((2, 10, 3)))
+
+    def test_2d_single_window_accepted(self, trained_seq2seq, mhealth_windows):
+        window = mhealth_windows.windows[0]
+        assert len(trained_seq2seq.detect(window)) == 1
+
+    def test_detect_before_fit_raises(self):
+        detector = Seq2SeqDetector(n_channels=3, units=4, seed=0)
+        with pytest.raises(NotFittedError):
+            detector.detect(np.zeros((1, 5, 3)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Seq2SeqDetector(n_channels=0, units=4)
+        with pytest.raises(ConfigurationError):
+            Seq2SeqDetector(n_channels=3, units=0)
+        with pytest.raises(ConfigurationError):
+            Seq2SeqDetector(n_channels=3, units=4, inference_mode="psychic")
+
+    def test_builder_cloud_is_bidirectional(self):
+        detector = build_seq2seq_detector("cloud", n_channels=4, units=3, seed=0)
+        assert detector.bidirectional
+        assert detector.name == "BiLSTM-seq2seq-Cloud"
+
+    def test_builder_unknown_tier(self):
+        with pytest.raises(ConfigurationError):
+            build_seq2seq_detector("fog", n_channels=4)
+
+    def test_paper_scale_iot_parameter_count(self):
+        """At 18 channels and 50 units the LSTM-seq2seq-IoT parameter count matches Table I."""
+        detector = build_seq2seq_detector("iot", n_channels=18, seed=0)
+        detector.model.build(timesteps=4, features=18)
+        assert detector.parameter_count() == 28_518
+
+    def test_paper_scale_edge_parameter_count(self):
+        """The edge model (CuDNN double-bias convention) matches Table I exactly."""
+        detector = build_seq2seq_detector("edge", n_channels=18, seed=0)
+        detector.model.build(timesteps=4, features=18)
+        assert detector.parameter_count() == 97_818
+
+    def test_paper_scale_cloud_parameter_count_close(self):
+        """The cloud BiLSTM model is within 1 % of the paper's 1,028,018 parameters."""
+        detector = build_seq2seq_detector("cloud", n_channels=18, seed=0)
+        detector.model.build(timesteps=4, features=18)
+        count = detector.parameter_count()
+        assert abs(count - 1_028_018) / 1_028_018 < 0.01
+
+    def test_architecture_table_ordering(self):
+        assert (
+            MULTIVARIATE_TIER_ARCHITECTURES["iot"].units
+            < MULTIVARIATE_TIER_ARCHITECTURES["edge"].units
+            <= MULTIVARIATE_TIER_ARCHITECTURES["cloud"].units
+        )
+
+    def test_detects_anomalous_activity(self, trained_seq2seq, mhealth_windows):
+        from repro.data.preprocessing import StandardScaler
+        from repro.data.splits import anomaly_detection_split
+
+        split = anomaly_detection_split(mhealth_windows, rng=0, anomaly_test_fraction=0.2)
+        scaler = StandardScaler().fit(split.train.windows)
+        test = scaler.transform(split.test.windows)
+        predictions = trained_seq2seq.predict(test)
+        labels = split.test.labels
+        anomaly_rate_on_anomalies = predictions[labels == 1].mean() if np.any(labels == 1) else 0
+        anomaly_rate_on_normals = predictions[labels == 0].mean() if np.any(labels == 0) else 0
+        assert anomaly_rate_on_anomalies >= anomaly_rate_on_normals
+
+
+class TestDetectorRegistry:
+    def _detector(self, name="d"):
+        return AutoencoderDetector(window_size=6, hidden_sizes=(3,), name=name, seed=0)
+
+    def test_register_by_index_and_name(self):
+        registry = DetectorRegistry()
+        registry.register(0, self._detector("a"))
+        registry.register("edge", self._detector("b"))
+        assert registry.get(0).name == "a"
+        assert registry.get("edge").name == "b"
+        assert registry.get(1).name == "b"
+
+    def test_missing_layer_raises(self):
+        registry = DetectorRegistry()
+        with pytest.raises(DeploymentError):
+            registry.get(0)
+
+    def test_unknown_tier_name(self):
+        registry = DetectorRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.register("fog", self._detector())
+
+    def test_layer_out_of_range(self):
+        registry = DetectorRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.register(5, self._detector())
+
+    def test_require_complete(self):
+        registry = DetectorRegistry()
+        registry.register(0, self._detector())
+        with pytest.raises(DeploymentError):
+            registry.require_complete(3)
+        registry.register(1, self._detector())
+        registry.register(2, self._detector())
+        registry.require_complete(3)
+
+    def test_iteration_order_bottom_up(self):
+        registry = DetectorRegistry()
+        registry.register(2, self._detector("cloud"))
+        registry.register(0, self._detector("iot"))
+        registry.register(1, self._detector("edge"))
+        names = [detector.name for _, detector in registry]
+        assert names == ["iot", "edge", "cloud"]
+
+    def test_contains_and_len(self):
+        registry = DetectorRegistry()
+        registry.register("iot", self._detector())
+        assert 0 in registry
+        assert "iot" in registry
+        assert 1 not in registry
+        assert "unknown" not in registry
+        assert len(registry) == 1
+
+    def test_duplicate_tier_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DetectorRegistry(tier_names=("a", "a", "b"))
+
+    def test_summary_mentions_models(self):
+        registry = DetectorRegistry()
+        registry.register(0, self._detector("ae-iot"))
+        assert "ae-iot" in registry.summary()

@@ -1,0 +1,230 @@
+"""Tests for detection metrics, scheme evaluation, tables and the demo-panel figures."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.reward import DelayCost, RewardFunction
+from repro.evaluation.experiment import evaluate_outcomes, evaluate_scheme
+from repro.evaluation.figures import build_demo_panel_series
+from repro.evaluation.metrics import (
+    accuracy_score,
+    confusion_counts,
+    cumulative_accuracy,
+    cumulative_f1,
+    detection_report,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.evaluation.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    format_table,
+    model_comparison_row,
+    scheme_comparison_row,
+)
+from repro.exceptions import ShapeError
+from repro.schemes.fixed import FixedLayerScheme
+from repro.schemes.successive import SuccessiveScheme
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        counts = confusion_counts([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert counts.true_positives == 2
+        assert counts.false_positives == 1
+        assert counts.true_negatives == 1
+        assert counts.false_negatives == 1
+        assert counts.total == 5
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 0]) == pytest.approx(2 / 3)
+        assert accuracy_score([], []) == 0.0
+
+    def test_precision_recall_f1(self):
+        predictions = [1, 1, 0, 0]
+        labels = [1, 0, 1, 0]
+        assert precision_score(predictions, labels) == pytest.approx(0.5)
+        assert recall_score(predictions, labels) == pytest.approx(0.5)
+        assert f1_score(predictions, labels) == pytest.approx(0.5)
+
+    def test_perfect_prediction(self):
+        labels = [0, 1, 1, 0]
+        assert f1_score(labels, labels) == 1.0
+        assert accuracy_score(labels, labels) == 1.0
+
+    def test_degenerate_cases(self):
+        assert precision_score([0, 0], [1, 1]) == 0.0
+        assert recall_score([1, 1], [0, 0]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            accuracy_score([1, 0], [1])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ShapeError):
+            f1_score([2, 0], [1, 0])
+
+    def test_detection_report_keys(self):
+        report = detection_report([1, 0], [1, 1])
+        assert set(report) >= {"accuracy", "precision", "recall", "f1", "n_windows"}
+        assert report["n_windows"] == 2
+
+    def test_cumulative_accuracy(self):
+        result = cumulative_accuracy([1, 0, 1], [1, 1, 1])
+        np.testing.assert_allclose(result, [1.0, 0.5, 2 / 3])
+
+    def test_cumulative_f1_monotone_on_perfect_stream(self):
+        predictions = [1, 0, 1, 1]
+        result = cumulative_f1(predictions, predictions)
+        np.testing.assert_allclose(result, [1.0, 1.0, 1.0, 1.0])
+
+    def test_cumulative_empty(self):
+        assert cumulative_accuracy([], []).size == 0
+
+
+class TestSchemeEvaluation:
+    def test_evaluate_scheme_aggregates(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        reward_fn = RewardFunction(cost=DelayCost(alpha=0.0005))
+        evaluation = evaluate_scheme(FixedLayerScheme(system, 0), windows, labels, reward_fn)
+        assert evaluation.n_windows == len(labels)
+        assert 0.0 <= evaluation.accuracy <= 1.0
+        assert 0.0 <= evaluation.f1 <= 1.0
+        assert evaluation.mean_delay_ms > 0
+        assert np.isfinite(evaluation.total_reward)
+        assert evaluation.layer_usage == {0: len(labels)}
+
+    def test_reward_consistency_with_accuracy_and_delay(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        reward_fn = RewardFunction(cost=DelayCost(alpha=0.0005))
+        evaluation = evaluate_scheme(FixedLayerScheme(system, 0), windows, labels, reward_fn)
+        expected = reward_fn.batch(
+            (evaluation.predictions == evaluation.labels).astype(float), evaluation.delays_ms
+        ).sum()
+        assert evaluation.total_reward == pytest.approx(expected)
+
+    def test_without_reward_function(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        evaluation = evaluate_scheme(FixedLayerScheme(system, 2), windows, labels)
+        assert np.isnan(evaluation.total_reward)
+
+    def test_reset_isolates_runs(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        evaluate_scheme(FixedLayerScheme(system, 0), windows, labels)
+        evaluation = evaluate_scheme(FixedLayerScheme(system, 2), windows, labels)
+        # Only the second scheme's requests should remain in the system log.
+        assert system.layer_usage()[0] == 0
+        assert system.layer_usage()[2] == len(labels)
+        assert evaluation.layer_usage == {2: len(labels)}
+
+    def test_outcome_label_count_mismatch(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        scheme = FixedLayerScheme(system, 0)
+        outcomes = scheme.run(windows[:3], labels[:3])
+        with pytest.raises(ValueError):
+            evaluate_outcomes("x", outcomes, labels[:4])
+
+    def test_as_dict_round_trip(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        evaluation = evaluate_scheme(FixedLayerScheme(system, 1), windows, labels)
+        summary = evaluation.as_dict()
+        assert summary["scheme"] == "Edge"
+        assert summary["accuracy_percent"] == pytest.approx(100.0 * evaluation.accuracy)
+
+
+class TestTables:
+    def test_model_comparison_row(self, univariate_hec):
+        _system, deployments, detectors, windows, labels = univariate_hec
+        row = model_comparison_row(
+            "univariate", "iot", detectors["iot"], windows, labels,
+            execution_time_ms=deployments[0].execution_time_ms,
+        )
+        assert row.parameter_count == detectors["iot"].parameter_count()
+        assert 0.0 <= row.accuracy <= 1.0
+        assert row.execution_time_ms == pytest.approx(12.4)
+        assert row.as_dict()["dataset"] == "univariate"
+
+    def test_scheme_comparison_row(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        reward_fn = RewardFunction(cost=DelayCost(alpha=0.0005))
+        evaluation = evaluate_scheme(SuccessiveScheme(system), windows, labels, reward_fn)
+        row = scheme_comparison_row("univariate", evaluation)
+        assert row.scheme == "Successive"
+        assert row.delay_ms == pytest.approx(evaluation.mean_delay_ms)
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 20, "b": 0.25}]
+        text = format_table(rows, title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([], title="Nothing") == "Nothing"
+
+    def test_paper_reference_tables_complete(self):
+        assert len(PAPER_TABLE1) == 6
+        assert len(PAPER_TABLE2) == 10
+        # The paper's headline claim: adaptive cuts delay by 71.4 % vs cloud (univariate).
+        cloud = PAPER_TABLE2[("univariate", "Cloud")]["delay_ms"]
+        ours = PAPER_TABLE2[("univariate", "Our Method")]["delay_ms"]
+        assert (1 - ours / cloud) * 100 == pytest.approx(71.4, abs=0.5)
+
+    def test_paper_table1_monotone_trends(self):
+        for dataset in ("univariate", "multivariate"):
+            accuracy = [PAPER_TABLE1[(dataset, tier)]["accuracy_percent"] for tier in ("iot", "edge", "cloud")]
+            exec_time = [PAPER_TABLE1[(dataset, tier)]["execution_time_ms"] for tier in ("iot", "edge", "cloud")]
+            assert accuracy == sorted(accuracy)
+            assert exec_time == sorted(exec_time, reverse=True)
+
+
+class TestDemoPanel:
+    def test_series_lengths(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        system.reset()
+        outcomes = SuccessiveScheme(system).run(windows, labels)
+        panel = build_demo_panel_series(outcomes, labels, windows=windows, scheme_name="Successive")
+        n = len(labels)
+        assert len(panel.predictions) == n
+        assert len(panel.delays_ms) == n
+        assert len(panel.cumulative_accuracy) == n
+        assert len(panel.cumulative_f1) == n
+        assert panel.raw_signal_preview.shape[0] == n
+
+    def test_cumulative_accuracy_final_matches_overall(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        system.reset()
+        outcomes = FixedLayerScheme(system, 2).run(windows, labels)
+        panel = build_demo_panel_series(outcomes, labels)
+        assert panel.cumulative_accuracy[-1] == pytest.approx(
+            accuracy_score(panel.predictions, labels)
+        )
+
+    def test_summary_lines_truncate(self, univariate_hec):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        system.reset()
+        outcomes = FixedLayerScheme(system, 0).run(windows, labels)
+        panel = build_demo_panel_series(outcomes, labels, scheme_name="IoT Device")
+        lines = panel.summary_lines(max_rows=3)
+        assert "IoT Device" in lines[0]
+        assert any("more windows" in line for line in lines)
+
+    def test_multivariate_preview_averages_channels(self):
+        from repro.hec.simulation import DetectionRecord
+        from repro.hec.delay import DelayBreakdown
+        from repro.schemes.base import SchemeOutcome
+
+        records = [
+            DetectionRecord(
+                window_index=i, layer=0, prediction=0, confident=True, anomaly_score=-1.0,
+                delay=DelayBreakdown(layer=0, execution_ms=1.0), ground_truth=0,
+            )
+            for i in range(2)
+        ]
+        outcomes = [SchemeOutcome(window_index=i, final=r, records=[r]) for i, r in enumerate(records)]
+        windows = np.ones((2, 5, 3))
+        panel = build_demo_panel_series(outcomes, np.zeros(2, dtype=int), windows=windows)
+        assert panel.raw_signal_preview.shape == (2, 5)

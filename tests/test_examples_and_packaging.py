@@ -1,0 +1,130 @@
+"""Smoke tests for the example scripts and the package surface.
+
+The examples train real (small) models, so running them end to end belongs in
+manual/benchmark territory; here we verify that every example compiles, has a
+main entry point and documents itself, and that the package exposes the public
+API the README advertises.
+"""
+
+import ast
+import importlib
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        source = path.read_text(encoding="utf-8")
+        compile(source, str(path), "exec")
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path.name} is missing a module docstring"
+        function_names = {
+            node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in function_names, f"{path.name} must define main()"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_only_imports_available_packages(self, path):
+        """Examples must not depend on anything outside the offline environment."""
+        allowed_roots = {
+            "__future__", "repro", "numpy", "scipy", "argparse", "sys", "pathlib",
+            "dataclasses", "typing", "json", "time", "math",
+        }
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                roots = {alias.name.split(".")[0] for alias in node.names}
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                roots = {node.module.split(".")[0]}
+            else:
+                continue
+            assert roots <= allowed_roots, f"{path.name} imports {roots - allowed_roots}"
+
+    def test_quickstart_present(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.nn",
+            "repro.data",
+            "repro.detectors",
+            "repro.bandit",
+            "repro.hec",
+            "repro.schemes",
+            "repro.evaluation",
+            "repro.pipelines",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} must have a module docstring"
+
+    def test_exceptions_exported_at_top_level(self):
+        import repro
+
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.NotFittedError, repro.ReproError)
+
+    @pytest.mark.parametrize(
+        "module_name,symbols",
+        [
+            ("repro.nn", ["Dense", "LSTM", "Bidirectional", "Sequential", "Seq2SeqAutoencoder"]),
+            ("repro.data", ["generate_power_dataset", "generate_mhealth_dataset", "StandardScaler"]),
+            ("repro.detectors", ["build_autoencoder_detector", "build_seq2seq_detector"]),
+            ("repro.bandit", ["PolicyNetwork", "ReinforceTrainer", "RewardFunction"]),
+            ("repro.hec", ["HECSystem", "build_three_layer_topology", "deploy_registry"]),
+            ("repro.schemes", ["FixedLayerScheme", "SuccessiveScheme", "AdaptiveScheme"]),
+            ("repro.pipelines", ["run_univariate_pipeline", "run_multivariate_pipeline"]),
+        ],
+    )
+    def test_public_api_symbols(self, module_name, symbols):
+        module = importlib.import_module(module_name)
+        for symbol in symbols:
+            assert hasattr(module, symbol), f"{module_name} must export {symbol}"
+
+    def test_all_lists_are_accurate(self):
+        import repro.nn as nn_module
+        import repro.schemes as schemes_module
+
+        for module in (nn_module, schemes_module):
+            for name in module.__all__:
+                assert hasattr(module, name)
+
+
+class TestDocumentationFiles:
+    @pytest.mark.parametrize("filename", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    def test_documentation_exists_and_is_substantial(self, filename):
+        path = Path(__file__).resolve().parent.parent / filename
+        assert path.exists(), f"{filename} is missing"
+        assert len(path.read_text(encoding="utf-8")) > 1000
+
+    def test_design_lists_experiment_index(self):
+        design = (Path(__file__).resolve().parent.parent / "DESIGN.md").read_text(encoding="utf-8")
+        assert "Table I" in design and "Table II" in design
+
+    def test_experiments_covers_every_table_and_figure(self):
+        experiments = (Path(__file__).resolve().parent.parent / "EXPERIMENTS.md").read_text(
+            encoding="utf-8"
+        )
+        for marker in ("Table I", "Table II", "Fig. 1", "Fig. 2", "Fig. 3"):
+            assert marker in experiments

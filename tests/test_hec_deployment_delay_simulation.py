@@ -1,0 +1,293 @@
+"""Tests for deployment, delay accounting, transport channels and the HEC system."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.autoencoder import AutoencoderDetector
+from repro.detectors.registry import DetectorRegistry
+from repro.exceptions import ConfigurationError, DeploymentError, SchedulingError
+from repro.hec.delay import RESULT_PAYLOAD_BYTES, end_to_end_delay, window_payload_bytes
+from repro.hec.deployment import deploy_registry
+from repro.hec.device import DeviceProfile
+from repro.hec.network import NetworkLink
+from repro.hec.simulation import HECSystem
+from repro.hec.topology import HECTopology, build_three_layer_topology
+from repro.hec.transport import ChannelStats, KeepAliveChannel, Message
+from repro.utils.timer import SimulatedClock
+
+
+def _tiny_registry(window_size=10, fitted=True, rng_seed=0):
+    """Three tiny fitted autoencoders registered on the three tiers."""
+    rng = np.random.default_rng(rng_seed)
+    train = rng.normal(size=(20, window_size))
+    registry = DetectorRegistry()
+    for layer, hidden in enumerate(((3,), (6,), (8,))):
+        detector = AutoencoderDetector(window_size=window_size, hidden_sizes=hidden, seed=layer)
+        if fitted:
+            detector.fit(train, epochs=5, batch_size=8)
+        registry.register(layer, detector)
+    return registry
+
+
+class TestDeployment:
+    def test_deploys_every_layer(self, topology):
+        deployments = deploy_registry(_tiny_registry(), topology, workload="univariate")
+        assert [d.layer for d in deployments] == [0, 1, 2]
+
+    def test_quantizes_below_cloud_by_default(self, topology):
+        deployments = deploy_registry(_tiny_registry(), topology, workload="univariate")
+        assert deployments[0].quantized and deployments[1].quantized
+        assert not deployments[2].quantized
+        assert deployments[0].quantization is not None
+        assert deployments[2].quantization is None
+
+    def test_quantization_disabled(self):
+        # Use FP32-friendly devices so nothing requires quantisation.
+        devices = [
+            DeviceProfile(name=f"d{i}", tier=t, throughput_params_per_ms=1e4, memory_mb=1024)
+            for i, t in enumerate(("iot", "edge", "cloud"))
+        ]
+        links = [NetworkLink("a", 1.0), NetworkLink("b", 1.0)]
+        topology = HECTopology(devices=devices, links=links)
+        deployments = deploy_registry(
+            _tiny_registry(), topology, workload="univariate",
+            quantize_below_layer=0,
+            execution_time_overrides={0: 1.0, 1: 1.0, 2: 1.0},
+        )
+        assert not any(d.quantized for d in deployments)
+
+    def test_calibrated_execution_times_resolved(self, topology):
+        deployments = deploy_registry(_tiny_registry(), topology, workload="univariate")
+        assert deployments[0].execution_time_ms == pytest.approx(12.4)
+        assert deployments[1].execution_time_ms == pytest.approx(7.4)
+        assert deployments[2].execution_time_ms == pytest.approx(4.5)
+
+    def test_execution_time_overrides(self, topology):
+        deployments = deploy_registry(
+            _tiny_registry(), topology, workload="univariate",
+            execution_time_overrides={0: 99.0},
+        )
+        assert deployments[0].execution_time_ms == 99.0
+        assert deployments[1].execution_time_ms == pytest.approx(7.4)
+
+    def test_incomplete_registry_rejected(self, topology):
+        registry = DetectorRegistry()
+        registry.register(0, AutoencoderDetector(window_size=5, hidden_sizes=(2,), seed=0))
+        with pytest.raises(DeploymentError):
+            deploy_registry(registry, topology, workload="univariate")
+
+    def test_memory_budget_enforced(self):
+        tiny_device = DeviceProfile(
+            name="tiny", tier="iot", throughput_params_per_ms=1.0, memory_mb=0.0001
+        )
+        devices = [tiny_device,
+                   DeviceProfile(name="e", tier="edge", throughput_params_per_ms=1.0, memory_mb=100),
+                   DeviceProfile(name="c", tier="cloud", throughput_params_per_ms=1.0, memory_mb=100)]
+        links = [NetworkLink("a", 1.0), NetworkLink("b", 1.0)]
+        topology = HECTopology(devices=devices, links=links)
+        with pytest.raises(DeploymentError):
+            deploy_registry(
+                _tiny_registry(), topology, workload="univariate",
+                execution_time_overrides={0: 1.0, 1: 1.0, 2: 1.0},
+            )
+
+    def test_model_bytes_reflect_quantization(self, topology):
+        deployments = deploy_registry(_tiny_registry(), topology, workload="univariate")
+        iot = deployments[0]
+        cloud = deployments[2]
+        assert iot.model_bytes == iot.detector.parameter_count() * 2
+        assert cloud.model_bytes == cloud.detector.parameter_count() * 4
+
+
+class TestDelay:
+    def test_window_payload_bytes(self):
+        assert window_payload_bytes((128, 18)) == 128 * 18 * 4
+        assert window_payload_bytes((672,)) == 672 * 4
+
+    def test_layer0_has_no_network_delay(self, topology):
+        breakdown = end_to_end_delay(topology, layer=0, execution_ms=10.0, payload_bytes=1000.0)
+        assert breakdown.uplink_ms == 0.0
+        assert breakdown.downlink_ms == 0.0
+        assert breakdown.total_ms == pytest.approx(10.0)
+
+    def test_higher_layers_pay_more_network(self, topology):
+        edge = end_to_end_delay(topology, 1, execution_ms=0.0, payload_bytes=0.0)
+        topology.reset_links()
+        cloud = end_to_end_delay(topology, 2, execution_ms=0.0, payload_bytes=0.0)
+        assert cloud.total_ms > edge.total_ms
+        assert edge.uplink_ms >= 125.0
+
+    def test_paper_univariate_edge_delay_shape(self, topology):
+        """Edge total ≈ 250 ms network + 7.4 ms execution (Table II: 257.4 ms)."""
+        # First transfer pays the connection setup; use a second one for steady state.
+        end_to_end_delay(topology, 1, execution_ms=7.4, payload_bytes=672 * 4)
+        steady = end_to_end_delay(topology, 1, execution_ms=7.4, payload_bytes=672 * 4)
+        assert steady.total_ms == pytest.approx(257.43, abs=2.0)
+
+    def test_paper_univariate_cloud_delay_shape(self, topology):
+        end_to_end_delay(topology, 2, execution_ms=4.5, payload_bytes=672 * 4)
+        steady = end_to_end_delay(topology, 2, execution_ms=4.5, payload_bytes=672 * 4)
+        assert steady.total_ms == pytest.approx(504.5, abs=3.0)
+
+    def test_hops_recorded(self, topology):
+        breakdown = end_to_end_delay(topology, 2, execution_ms=1.0, payload_bytes=10.0)
+        assert "iot-edge:up" in breakdown.hops
+        assert "edge-cloud:up" in breakdown.hops
+        assert "iot-edge:down" in breakdown.hops
+
+    def test_escalation_merge(self, topology):
+        first = end_to_end_delay(topology, 0, execution_ms=10.0, payload_bytes=0.0)
+        second = end_to_end_delay(topology, 1, execution_ms=5.0, payload_bytes=0.0)
+        second.merge_escalation(first)
+        assert second.escalation_ms == pytest.approx(10.0)
+        assert second.total_ms >= 10.0 + 5.0
+
+    def test_negative_execution_rejected(self, topology):
+        with pytest.raises(ConfigurationError):
+            end_to_end_delay(topology, 0, execution_ms=-1.0, payload_bytes=0.0)
+
+    def test_downlink_optional(self, topology):
+        with_down = end_to_end_delay(topology, 1, execution_ms=0.0, payload_bytes=0.0)
+        topology.reset_links()
+        without_down = end_to_end_delay(
+            topology, 1, execution_ms=0.0, payload_bytes=0.0, include_downlink=False
+        )
+        assert without_down.total_ms < with_down.total_ms
+
+
+class TestKeepAliveChannel:
+    def _channel(self, idle_timeout_ms=None):
+        link = NetworkLink("l", one_way_latency_ms=10.0, connection_setup_ms=5.0)
+        return KeepAliveChannel(link, clock=SimulatedClock(), idle_timeout_ms=idle_timeout_ms)
+
+    def test_first_message_pays_handshake(self):
+        channel = self._channel()
+        first = channel.send(Message(0.0))
+        second = channel.send(Message(0.0))
+        assert first > second
+        assert channel.stats.handshakes == 1
+
+    def test_idle_timeout_forces_rehandshake(self):
+        channel = self._channel(idle_timeout_ms=50.0)
+        channel.send(Message(0.0))
+        channel.clock.advance(1000.0)
+        channel.send(Message(0.0))
+        assert channel.stats.handshakes == 2
+
+    def test_close_forces_rehandshake(self):
+        channel = self._channel()
+        channel.send(Message(0.0))
+        channel.close()
+        channel.send(Message(0.0))
+        assert channel.stats.handshakes == 2
+
+    def test_request_response_directions_validated(self):
+        channel = self._channel()
+        with pytest.raises(SchedulingError):
+            channel.request_response(Message(1.0, "up"), Message(1.0, "up"))
+
+    def test_request_response_advances_clock(self):
+        channel = self._channel()
+        delay = channel.request_response(Message(10.0, "up"), Message(1.0, "down"))
+        assert channel.clock.now_ms == pytest.approx(delay)
+
+    def test_stats_accumulate(self):
+        channel = self._channel()
+        channel.send(Message(100.0))
+        channel.send(Message(200.0))
+        assert channel.stats.messages_sent == 2
+        assert channel.stats.bytes_sent == 300.0
+        assert channel.stats.mean_delay_ms > 0.0
+
+    def test_empty_stats_mean(self):
+        assert ChannelStats().mean_delay_ms == 0.0
+
+    def test_invalid_message(self):
+        with pytest.raises(ConfigurationError):
+            Message(-1.0)
+        with pytest.raises(ConfigurationError):
+            Message(1.0, direction="diagonal")
+
+    def test_invalid_idle_timeout(self):
+        with pytest.raises(ConfigurationError):
+            self._channel(idle_timeout_ms=0.0)
+
+
+class TestHECSystem:
+    @pytest.fixture()
+    def system(self):
+        topology = build_three_layer_topology()
+        registry = _tiny_registry(window_size=10)
+        deployments = deploy_registry(registry, topology, workload="univariate")
+        return HECSystem(topology, deployments)
+
+    def test_detect_at_returns_record(self, system):
+        window = np.random.default_rng(0).normal(size=10)
+        record = system.detect_at(1, window, ground_truth=0)
+        assert record.layer == 1
+        assert record.prediction in (0, 1)
+        assert record.delay_ms > 0.0
+        assert record.correct in (True, False)
+
+    def test_records_and_counters_accumulate(self, system):
+        window = np.zeros(10)
+        system.detect_at(0, window)
+        system.detect_at(0, window)
+        system.detect_at(2, window)
+        assert len(system.records) == 3
+        assert system.layer_usage() == {0: 2, 1: 0, 2: 1}
+
+    def test_clock_advances(self, system):
+        window = np.zeros(10)
+        system.detect_at(2, window)
+        assert system.clock.now_ms > 0.0
+
+    def test_expected_delay_ordering(self, system):
+        shape = (10,)
+        delays = [system.expected_delay_ms(layer, shape) for layer in range(3)]
+        assert delays[0] < delays[1] < delays[2]
+
+    def test_expected_delay_matches_paper_shape(self, system):
+        shape = (672,)
+        assert system.expected_delay_ms(0, shape) == pytest.approx(12.4, abs=0.1)
+        assert system.expected_delay_ms(1, shape) == pytest.approx(257.4, abs=2.0)
+        assert system.expected_delay_ms(2, shape) == pytest.approx(504.5, abs=3.0)
+
+    def test_expected_delay_does_not_log_records(self, system):
+        system.expected_delay_ms(2, (10,))
+        assert len(system.records) == 0
+
+    def test_unknown_layer_rejected(self, system):
+        with pytest.raises(SchedulingError):
+            system.detect_at(5, np.zeros(10))
+
+    def test_ground_truth_optional(self, system):
+        record = system.detect_at(0, np.zeros(10))
+        assert record.ground_truth is None
+        assert record.correct is None
+
+    def test_reset_clears_state(self, system):
+        system.detect_at(1, np.zeros(10))
+        system.reset()
+        assert len(system.records) == 0
+        assert system.clock.now_ms == 0.0
+        assert system.layer_usage() == {0: 0, 1: 0, 2: 0}
+
+    def test_duplicate_deployment_rejected(self):
+        topology = build_three_layer_topology()
+        deployments = deploy_registry(_tiny_registry(), topology, workload="univariate")
+        with pytest.raises(DeploymentError):
+            HECSystem(topology, deployments + deployments[:1])
+
+    def test_missing_deployment_rejected(self):
+        topology = build_three_layer_topology()
+        deployments = deploy_registry(_tiny_registry(), topology, workload="univariate")
+        with pytest.raises(DeploymentError):
+            HECSystem(topology, deployments[:2])
+
+    def test_escalation_delay_included(self, system):
+        window = np.zeros(10)
+        first = system.detect_at(0, window)
+        second = system.detect_at(1, window, escalated_from=first.delay)
+        assert second.delay_ms >= first.delay_ms
+        assert second.delay.escalation_ms == pytest.approx(first.delay.total_ms)

@@ -1,0 +1,129 @@
+"""Tests for repro.nn.initializers and repro.nn.activations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import activations, initializers
+
+
+class TestInitializers:
+    @pytest.mark.parametrize("name", initializers.available_initializers())
+    def test_shapes_respected(self, name):
+        array = initializers.initialize(name, (6, 8), seed=0)
+        assert array.shape == (6, 8)
+
+    def test_zeros_and_ones(self):
+        assert np.all(initializers.initialize("zeros", (3,), seed=0) == 0.0)
+        assert np.all(initializers.initialize("ones", (3,), seed=0) == 1.0)
+
+    def test_glorot_uniform_bounds(self):
+        array = initializers.initialize("glorot_uniform", (100, 50), seed=0)
+        limit = np.sqrt(6.0 / 150.0)
+        assert np.all(np.abs(array) <= limit + 1e-12)
+
+    def test_glorot_normal_scale(self):
+        array = initializers.initialize("glorot_normal", (400, 400), seed=0)
+        expected_std = np.sqrt(2.0 / 800.0)
+        assert abs(array.std() - expected_std) < 0.2 * expected_std
+
+    def test_he_normal_scale(self):
+        array = initializers.initialize("he_normal", (500, 100), seed=0)
+        expected_std = np.sqrt(2.0 / 500.0)
+        assert abs(array.std() - expected_std) < 0.2 * expected_std
+
+    def test_orthogonal_columns_orthonormal_tall(self):
+        array = initializers.initialize("orthogonal", (10, 4), seed=0)
+        gram = array.T @ array
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_orthogonal_rows_orthonormal_wide(self):
+        array = initializers.initialize("orthogonal", (4, 10), seed=0)
+        gram = array @ array.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_orthogonal_is_contiguous(self):
+        array = initializers.initialize("orthogonal", (4, 16), seed=0)
+        assert array.flags["C_CONTIGUOUS"]
+
+    def test_deterministic_with_seed(self):
+        a = initializers.initialize("glorot_uniform", (5, 5), seed=3)
+        b = initializers.initialize("glorot_uniform", (5, 5), seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            initializers.get_initializer("unknown")
+
+    def test_callable_passthrough(self):
+        custom = lambda shape, rng: np.full(shape, 7.0)  # noqa: E731
+        assert initializers.get_initializer(custom) is custom
+
+    def test_1d_fan(self):
+        array = initializers.initialize("glorot_uniform", (10,), seed=0)
+        assert array.shape == (10,)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(activations.relu(x), [0.0, 0.0, 3.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 101)
+        y = activations.sigmoid(x)
+        assert np.all((y >= 0) & (y <= 1))
+        np.testing.assert_allclose(y + activations.sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        y = activations.sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(y))
+
+    def test_tanh_matches_numpy(self):
+        x = np.linspace(-3, 3, 7)
+        np.testing.assert_allclose(activations.tanh(x), np.tanh(x))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 5)) * 10
+        y = activations.softmax(x)
+        np.testing.assert_allclose(y.sum(axis=1), 1.0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(activations.softmax(x), activations.softmax(x + 100.0))
+
+    def test_softplus_positive(self):
+        x = np.linspace(-10, 10, 21)
+        assert np.all(activations.softplus(x) > 0)
+
+    @pytest.mark.parametrize("name", activations.available_activations())
+    def test_backward_matches_finite_difference(self, name):
+        activation = activations.get_activation(name)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 4))
+        # Keep ReLU away from its kink to avoid spurious finite-difference error.
+        if name == "relu":
+            x = np.where(np.abs(x) < 0.1, 0.5, x)
+        upstream = rng.normal(size=(3, 4))
+        output = activation.forward(x)
+        analytic = activation.backward(output, upstream)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for index in np.ndindex(x.shape):
+            perturbed = x.copy()
+            perturbed[index] += eps
+            plus = np.sum(activation.forward(perturbed) * upstream)
+            perturbed[index] -= 2 * eps
+            minus = np.sum(activation.forward(perturbed) * upstream)
+            numeric[index] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_get_activation_none_is_linear(self):
+        assert activations.get_activation(None).name == "linear"
+
+    def test_get_activation_passthrough(self):
+        assert activations.get_activation(activations.relu) is activations.relu
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ConfigurationError):
+            activations.get_activation("swishish")

@@ -1,0 +1,414 @@
+"""Tests for Dense, Dropout, TimeDistributed, LSTM and Bidirectional layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ShapeError
+from repro.nn.gradient_check import check_gradients
+from repro.nn.layers import LSTM, Bidirectional, Dense, Dropout, TimeDistributed
+from repro.nn.losses import MeanSquaredError
+
+MSE = MeanSquaredError()
+
+
+def _grad_check_layer(layer, inputs, target, tolerance=1e-4, grad_state=None):
+    """Forward/backward once, then finite-difference check every parameter."""
+    layer.forward(inputs, training=True)  # build
+    layer.zero_grads()
+    output = layer.forward(inputs, training=True)
+    grad = MSE.gradient(output, target)
+    if isinstance(layer, (LSTM, Bidirectional)) and grad_state is not None:
+        layer.backward(grad, grad_state=grad_state)
+    else:
+        layer.backward(grad)
+    result = check_gradients(
+        lambda: MSE.value(layer.forward(inputs, training=True), target),
+        layer.parameters_and_gradients(),
+    )
+    assert result.passed(tolerance), f"max relative error {result.max_relative_error}"
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(7)
+        layer.set_rng(0)
+        out = layer.forward(np.zeros((4, 3)))
+        assert out.shape == (4, 7)
+
+    def test_parameter_count(self):
+        layer = Dense(5)
+        layer.set_rng(0)
+        layer.forward(np.zeros((1, 3)))
+        assert layer.parameter_count() == 3 * 5 + 5
+
+    def test_no_bias_option(self):
+        layer = Dense(5, use_bias=False)
+        layer.set_rng(0)
+        layer.forward(np.zeros((1, 3)))
+        assert layer.parameter_count() == 15
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ShapeError):
+            Dense(4).forward(np.zeros((2, 3, 4)))
+
+    def test_rejects_changed_input_dim(self):
+        layer = Dense(4)
+        layer.set_rng(0)
+        layer.forward(np.zeros((2, 3)))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 5)))
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(4)
+        layer.set_rng(0)
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((2, 4)))
+
+    def test_gradient_check_linear(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, activation="linear")
+        layer.set_rng(0)
+        _grad_check_layer(layer, rng.normal(size=(5, 3)), rng.normal(size=(5, 4)))
+
+    def test_gradient_check_tanh_with_regularizer(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, activation="tanh", kernel_regularizer=1e-2)
+        layer.set_rng(0)
+        inputs = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 4))
+        layer.forward(inputs, training=True)
+        layer.zero_grads()
+        output = layer.forward(inputs, training=True)
+        layer.backward(MSE.gradient(output, target))
+
+        def loss():
+            return (
+                MSE.value(layer.forward(inputs, training=True), target)
+                + layer.regularization_penalty()
+            )
+
+        result = check_gradients(loss, layer.parameters_and_gradients())
+        assert result.passed(1e-4)
+
+    def test_gradient_check_softmax(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, activation="softmax")
+        layer.set_rng(0)
+        _grad_check_layer(layer, rng.normal(size=(4, 5)), rng.normal(size=(4, 3)))
+
+    def test_set_weights_round_trip(self):
+        layer = Dense(4)
+        layer.set_rng(0)
+        layer.forward(np.zeros((1, 3)))
+        weights = layer.get_weights()
+        weights["kernel"] = weights["kernel"] + 1.0
+        layer.set_weights(weights)
+        np.testing.assert_allclose(layer.params["kernel"], weights["kernel"])
+
+    def test_set_weights_bad_shape(self):
+        layer = Dense(4)
+        layer.set_rng(0)
+        layer.forward(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            layer.set_weights({"kernel": np.zeros((2, 2))})
+
+    def test_set_weights_unknown_key(self):
+        layer = Dense(4)
+        layer.set_rng(0)
+        layer.forward(np.zeros((1, 3)))
+        with pytest.raises(KeyError):
+            layer.set_weights({"mystery": np.zeros((2, 2))})
+
+    def test_parameters_before_build_raises(self):
+        with pytest.raises(NotFittedError):
+            Dense(4).parameters_and_gradients()
+
+    def test_config_describes_layer(self):
+        config = Dense(4, activation="relu", kernel_regularizer=1e-4).get_config()
+        assert config["units"] == 4
+        assert config["activation"] == "relu"
+        assert config["kernel_regularizer"]["type"] == "l2"
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5)
+        layer.set_rng(0)
+        x = np.random.default_rng(0).normal(size=(10, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_zero_rate_is_identity_in_training(self):
+        layer = Dropout(0.0)
+        layer.set_rng(0)
+        x = np.ones((5, 5))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_training_zeroes_roughly_rate_fraction(self):
+        layer = Dropout(0.3)
+        layer.set_rng(0)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        dropped_fraction = float(np.mean(out == 0.0))
+        assert abs(dropped_fraction - 0.3) < 0.05
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.4)
+        layer.set_rng(0)
+        x = np.ones((300, 300))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5)
+        layer.set_rng(0)
+        x = np.ones((20, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_backward_identity_when_not_training(self):
+        layer = Dropout(0.5)
+        layer.set_rng(0)
+        layer.forward(np.ones((3, 3)), training=False)
+        grad = layer.backward(np.full((3, 3), 2.0))
+        np.testing.assert_array_equal(grad, np.full((3, 3), 2.0))
+
+    def test_invalid_rate(self):
+        with pytest.raises(Exception):
+            Dropout(1.5)
+
+    def test_works_on_3d_tensors(self):
+        layer = Dropout(0.2)
+        layer.set_rng(0)
+        out = layer.forward(np.ones((4, 5, 6)), training=True)
+        assert out.shape == (4, 5, 6)
+
+
+class TestTimeDistributed:
+    def test_output_shape(self):
+        layer = TimeDistributed(Dense(4))
+        layer.set_rng(0)
+        out = layer.forward(np.zeros((2, 5, 3)))
+        assert out.shape == (2, 5, 4)
+
+    def test_shares_weights_across_time(self):
+        layer = TimeDistributed(Dense(2, use_bias=False))
+        layer.set_rng(0)
+        x = np.ones((1, 4, 3))
+        out = layer.forward(x)
+        # Every timestep must produce the same output since inputs are identical.
+        for t in range(1, 4):
+            np.testing.assert_allclose(out[0, t], out[0, 0])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ShapeError):
+            TimeDistributed(Dense(2)).forward(np.zeros((2, 3)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(3)
+        layer = TimeDistributed(Dense(3, activation="tanh"))
+        layer.set_rng(0)
+        _grad_check_layer(layer, rng.normal(size=(2, 4, 5)), rng.normal(size=(2, 4, 3)))
+
+    def test_parameter_count_matches_inner(self):
+        layer = TimeDistributed(Dense(4))
+        layer.set_rng(0)
+        layer.forward(np.zeros((1, 2, 3)))
+        assert layer.parameter_count() == 3 * 4 + 4
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            TimeDistributed(Dense(2)).backward(np.zeros((1, 2, 2)))
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm_seq = LSTM(6, return_sequences=True)
+        lstm_seq.set_rng(0)
+        lstm_last = LSTM(6, return_sequences=False)
+        lstm_last.set_rng(0)
+        x = np.zeros((3, 5, 2))
+        assert lstm_seq.forward(x).shape == (3, 5, 6)
+        assert lstm_last.forward(x).shape == (3, 6)
+
+    def test_last_state_exposed(self):
+        lstm = LSTM(4, return_sequences=True)
+        lstm.set_rng(0)
+        out = lstm.forward(np.random.default_rng(0).normal(size=(2, 6, 3)))
+        h, c = lstm.last_state
+        assert h.shape == (2, 4) and c.shape == (2, 4)
+        np.testing.assert_allclose(out[:, -1, :], h)
+
+    def test_parameter_count_single_bias(self):
+        lstm = LSTM(50)
+        lstm.set_rng(0)
+        lstm.forward(np.zeros((1, 2, 18)))
+        assert lstm.parameter_count() == 4 * (18 * 50 + 50 * 50 + 50)
+
+    def test_parameter_count_double_bias(self):
+        lstm = LSTM(100, double_bias=True)
+        lstm.set_rng(0)
+        lstm.forward(np.zeros((1, 2, 18)))
+        assert lstm.parameter_count() == 4 * (18 * 100 + 100 * 100 + 2 * 100)
+
+    def test_unit_forget_bias_applied(self):
+        lstm = LSTM(3, unit_forget_bias=True)
+        lstm.set_rng(0)
+        lstm.forward(np.zeros((1, 1, 2)))
+        np.testing.assert_array_equal(lstm.params["bias"][3:6], np.ones(3))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ShapeError):
+            LSTM(3).forward(np.zeros((4, 5)))
+
+    def test_rejects_zero_timesteps(self):
+        with pytest.raises(ShapeError):
+            LSTM(3).forward(np.zeros((4, 0, 5)))
+
+    def test_initial_state_changes_output(self):
+        lstm = LSTM(4)
+        lstm.set_rng(0)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 2))
+        baseline = lstm.forward(x)
+        shifted = lstm.forward(
+            x, initial_state=(np.ones((2, 4)), np.ones((2, 4)))
+        )
+        assert not np.allclose(baseline, shifted)
+
+    def test_initial_state_shape_validated(self):
+        lstm = LSTM(4)
+        lstm.set_rng(0)
+        with pytest.raises(ShapeError):
+            lstm.forward(np.zeros((2, 3, 2)), initial_state=(np.zeros((2, 3)), np.zeros((2, 4))))
+
+    def test_gradient_check_return_sequences(self):
+        rng = np.random.default_rng(4)
+        lstm = LSTM(4, return_sequences=True)
+        lstm.set_rng(0)
+        _grad_check_layer(lstm, rng.normal(size=(3, 5, 2)), rng.normal(size=(3, 5, 4)))
+
+    def test_gradient_check_last_output_double_bias(self):
+        rng = np.random.default_rng(5)
+        lstm = LSTM(3, return_sequences=False, double_bias=True)
+        lstm.set_rng(1)
+        _grad_check_layer(lstm, rng.normal(size=(3, 4, 2)), rng.normal(size=(3, 3)))
+
+    def test_input_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(6)
+        lstm = LSTM(3, return_sequences=True)
+        lstm.set_rng(0)
+        x = rng.normal(size=(2, 4, 2))
+        target = rng.normal(size=(2, 4, 3))
+        lstm.forward(x, training=True)
+        lstm.zero_grads()
+        out = lstm.forward(x, training=True)
+        grad_inputs = lstm.backward(MSE.gradient(out, target))
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for index in np.ndindex(x.shape):
+            perturbed = x.copy()
+            perturbed[index] += eps
+            plus = MSE.value(lstm.forward(perturbed, training=True), target)
+            perturbed[index] -= 2 * eps
+            minus = MSE.value(lstm.forward(perturbed, training=True), target)
+            numeric[index] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad_inputs, numeric, rtol=1e-3, atol=1e-7)
+
+    def test_grad_initial_state_populated(self):
+        lstm = LSTM(3)
+        lstm.set_rng(0)
+        x = np.random.default_rng(0).normal(size=(2, 4, 2))
+        out = lstm.forward(x, training=True)
+        lstm.zero_grads()
+        out = lstm.forward(x, training=True)
+        lstm.backward(np.ones_like(out))
+        dh0, dc0 = lstm.grad_initial_state
+        assert dh0.shape == (2, 3) and dc0.shape == (2, 3)
+
+    def test_backward_shape_mismatch_raises(self):
+        lstm = LSTM(3, return_sequences=True)
+        lstm.set_rng(0)
+        lstm.forward(np.zeros((2, 4, 2)), training=True)
+        with pytest.raises(ShapeError):
+            lstm.backward(np.zeros((2, 3)))
+
+
+class TestBidirectional:
+    def test_output_shapes(self):
+        bi_seq = Bidirectional(LSTM(3, return_sequences=True))
+        bi_seq.set_rng(0)
+        bi_last = Bidirectional(LSTM(3, return_sequences=False))
+        bi_last.set_rng(0)
+        x = np.zeros((2, 5, 4))
+        assert bi_seq.forward(x).shape == (2, 5, 6)
+        assert bi_last.forward(x).shape == (2, 6)
+
+    def test_units_doubled(self):
+        assert Bidirectional(LSTM(7)).units == 14
+
+    def test_last_state_concatenated(self):
+        bi = Bidirectional(LSTM(3))
+        bi.set_rng(0)
+        bi.forward(np.random.default_rng(0).normal(size=(2, 4, 2)))
+        h, c = bi.last_state
+        assert h.shape == (2, 6) and c.shape == (2, 6)
+
+    def test_parameter_count_is_twice_single(self):
+        single = LSTM(4)
+        single.set_rng(0)
+        single.forward(np.zeros((1, 2, 3)))
+        bi = Bidirectional(LSTM(4))
+        bi.set_rng(0)
+        bi.forward(np.zeros((1, 2, 3)))
+        assert bi.parameter_count() == 2 * single.parameter_count()
+
+    def test_sequence_alignment(self):
+        """The backward-direction output at time t must depend on the future only."""
+        bi = Bidirectional(LSTM(2, return_sequences=True))
+        bi.set_rng(0)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 6, 3))
+        baseline = bi.forward(x)
+        modified = x.copy()
+        modified[0, 0, :] += 10.0  # perturb the first timestep only
+        perturbed = bi.forward(modified)
+        units = 2
+        # Forward half at the last step must change (it saw the perturbation)...
+        assert not np.allclose(baseline[0, -1, :units], perturbed[0, -1, :units])
+        # ...while the backward half at the last step only sees the last input.
+        np.testing.assert_allclose(baseline[0, -1, units:], perturbed[0, -1, units:])
+
+    def test_gradient_check_sequences(self):
+        rng = np.random.default_rng(7)
+        bi = Bidirectional(LSTM(2, return_sequences=True))
+        bi.set_rng(0)
+        _grad_check_layer(bi, rng.normal(size=(2, 4, 3)), rng.normal(size=(2, 4, 4)))
+
+    def test_gradient_check_final_state(self):
+        rng = np.random.default_rng(8)
+        bi = Bidirectional(LSTM(2, return_sequences=False))
+        bi.set_rng(0)
+        _grad_check_layer(bi, rng.normal(size=(2, 4, 3)), rng.normal(size=(2, 4)))
+
+    def test_mismatched_directions_rejected(self):
+        with pytest.raises(ShapeError):
+            Bidirectional(LSTM(3), LSTM(4))
+        with pytest.raises(ShapeError):
+            Bidirectional(LSTM(3, return_sequences=True), LSTM(3, return_sequences=False))
+
+    def test_external_initial_state_rejected(self):
+        bi = Bidirectional(LSTM(2))
+        bi.set_rng(0)
+        with pytest.raises(ShapeError):
+            bi.forward(np.zeros((1, 3, 2)), initial_state=(np.zeros((1, 2)), np.zeros((1, 2))))
+
+    def test_weights_round_trip(self):
+        bi = Bidirectional(LSTM(2))
+        bi.set_rng(0)
+        bi.forward(np.zeros((1, 3, 2)))
+        weights = bi.get_weights()
+        bi.set_weights(weights)
+        np.testing.assert_allclose(
+            bi.forward(np.ones((1, 3, 2))), bi.forward(np.ones((1, 3, 2)))
+        )

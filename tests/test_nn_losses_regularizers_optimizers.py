@@ -1,0 +1,189 @@
+"""Tests for repro.nn.losses, repro.nn.regularizers and repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.losses import HuberLoss, MeanAbsoluteError, MeanSquaredError, get_loss
+from repro.nn.optimizers import SGD, Adam, RMSProp, get_optimizer
+from repro.nn.regularizers import (
+    L1Regularizer,
+    L2Regularizer,
+    ZeroRegularizer,
+    get_regularizer,
+    regularizer_from_config,
+)
+
+
+class TestLosses:
+    def test_mse_value_and_gradient(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        assert loss.value(pred, target) == pytest.approx(2.5)
+        np.testing.assert_allclose(loss.gradient(pred, target), [[1.0, 2.0]])
+
+    def test_mae_value_and_gradient(self):
+        loss = MeanAbsoluteError()
+        pred = np.array([1.0, -2.0])
+        target = np.array([0.0, 0.0])
+        assert loss.value(pred, target) == pytest.approx(1.5)
+        np.testing.assert_allclose(loss.gradient(pred, target), [0.5, -0.5])
+
+    def test_huber_quadratic_inside_delta(self):
+        loss = HuberLoss(delta=1.0)
+        assert loss.value(np.array([0.5]), np.array([0.0])) == pytest.approx(0.125)
+
+    def test_huber_linear_outside_delta(self):
+        loss = HuberLoss(delta=1.0)
+        assert loss.value(np.array([3.0]), np.array([0.0])) == pytest.approx(0.5 + 2.0)
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            HuberLoss(delta=0.0)
+
+    @pytest.mark.parametrize("loss_cls", [MeanSquaredError, MeanAbsoluteError, HuberLoss])
+    def test_gradient_matches_finite_difference(self, loss_cls):
+        loss = loss_cls()
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        analytic = loss.gradient(pred, target)
+        eps = 1e-6
+        numeric = np.zeros_like(pred)
+        for index in np.ndindex(pred.shape):
+            perturbed = pred.copy()
+            perturbed[index] += eps
+            plus = loss.value(perturbed, target)
+            perturbed[index] -= 2 * eps
+            minus = loss.value(perturbed, target)
+            numeric[index] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            MeanSquaredError().value(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_get_loss_by_name(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(get_loss("mean_absolute_error"), MeanAbsoluteError)
+        assert isinstance(get_loss(None), MeanSquaredError)
+
+    def test_get_loss_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_loss("cross-entropy-of-doom")
+
+
+class TestRegularizers:
+    def test_l2_penalty_and_gradient(self):
+        reg = L2Regularizer(strength=0.1)
+        w = np.array([1.0, -2.0])
+        assert reg.penalty(w) == pytest.approx(0.5)
+        np.testing.assert_allclose(reg.gradient(w), [0.2, -0.4])
+
+    def test_l1_penalty_and_gradient(self):
+        reg = L1Regularizer(strength=0.5)
+        w = np.array([1.0, -2.0])
+        assert reg.penalty(w) == pytest.approx(1.5)
+        np.testing.assert_allclose(reg.gradient(w), [0.5, -0.5])
+
+    def test_zero_regularizer(self):
+        reg = ZeroRegularizer()
+        w = np.ones(3)
+        assert reg.penalty(w) == 0.0
+        np.testing.assert_array_equal(reg.gradient(w), np.zeros(3))
+
+    def test_get_regularizer_resolution(self):
+        assert isinstance(get_regularizer(None), ZeroRegularizer)
+        assert isinstance(get_regularizer(1e-4), L2Regularizer)
+        assert isinstance(get_regularizer("l1"), L1Regularizer)
+        assert isinstance(get_regularizer("none"), ZeroRegularizer)
+        instance = L2Regularizer(0.3)
+        assert get_regularizer(instance) is instance
+
+    def test_get_regularizer_invalid(self):
+        with pytest.raises(ConfigurationError):
+            get_regularizer(object())
+
+    def test_config_round_trip(self):
+        for reg in (ZeroRegularizer(), L1Regularizer(0.2), L2Regularizer(0.3)):
+            rebuilt = regularizer_from_config(reg.get_config())
+            assert type(rebuilt) is type(reg)
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ConfigurationError):
+            L2Regularizer(strength=-1.0)
+
+
+def _quadratic_descent(optimizer, steps=400):
+    """Minimise f(w) = ||w||^2 / 2 starting from ones; returns the final norm."""
+    w = np.ones(5)
+    for _ in range(steps):
+        grad = w.copy()
+        optimizer.step([(w, grad)])
+    return float(np.linalg.norm(w))
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "optimizer",
+        [SGD(learning_rate=0.1), SGD(learning_rate=0.05, momentum=0.9),
+         RMSProp(learning_rate=0.01), Adam(learning_rate=0.1)],
+    )
+    def test_converges_on_quadratic(self, optimizer):
+        assert _quadratic_descent(optimizer) < 0.05
+
+    def test_step_updates_in_place(self):
+        w = np.ones(3)
+        original = w
+        SGD(learning_rate=0.5).step([(w, np.ones(3))])
+        assert original is w
+        np.testing.assert_allclose(w, 0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            SGD().step([(np.ones(3), np.ones(4))])
+
+    def test_clip_norm_limits_update(self):
+        w = np.zeros(4)
+        opt = SGD(learning_rate=1.0, clip_norm=1.0)
+        opt.step([(w, np.full(4, 10.0))])
+        assert np.linalg.norm(w) <= 1.0 + 1e-9
+
+    def test_reset_clears_state(self):
+        opt = Adam(learning_rate=0.1)
+        w = np.ones(2)
+        opt.step([(w, np.ones(2))])
+        assert opt.iterations == 1
+        opt.reset()
+        assert opt.iterations == 0
+
+    def test_get_optimizer_by_name(self):
+        assert isinstance(get_optimizer("sgd"), SGD)
+        assert isinstance(get_optimizer("rmsprop"), RMSProp)
+        assert isinstance(get_optimizer("adam"), Adam)
+        assert isinstance(get_optimizer(None), RMSProp)
+
+    def test_get_optimizer_kwargs_forwarded(self):
+        opt = get_optimizer("sgd", learning_rate=0.25, momentum=0.5)
+        assert opt.learning_rate == 0.25
+        assert opt.momentum == 0.5
+
+    def test_get_optimizer_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_optimizer("adagradzilla")
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            RMSProp(rho=1.5)
+        with pytest.raises(ConfigurationError):
+            Adam(beta_1=1.0)
+        with pytest.raises(ConfigurationError):
+            SGD(learning_rate=0.0)
+
+    def test_config_contains_type(self):
+        assert Adam().get_config()["type"] == "Adam"
+        assert "momentum" in SGD(momentum=0.1).get_config()
+        assert "rho" in RMSProp().get_config()

@@ -1,0 +1,280 @@
+"""Tests for the Sequential and Seq2SeqAutoencoder model containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.nn.gradient_check import check_gradients
+from repro.nn.layers import LSTM, Bidirectional, Dense, Dropout
+from repro.nn.models.seq2seq import Seq2SeqAutoencoder
+from repro.nn.models.sequential import Sequential
+from repro.nn.training import EarlyStopping
+
+
+class TestSequential:
+    def _autoencoder(self, input_dim=6, hidden=3, seed=0):
+        model = Sequential(
+            [Dense(hidden, activation="tanh"), Dense(input_dim, activation="linear")],
+            seed=seed,
+        )
+        model.compile("adam", "mse", learning_rate=0.01)
+        return model
+
+    def test_forward_shape(self):
+        model = self._autoencoder()
+        out = model.forward(np.zeros((4, 6)))
+        assert out.shape == (4, 6)
+
+    def test_predict_batched_matches_full(self):
+        model = self._autoencoder()
+        x = np.random.default_rng(0).normal(size=(10, 6))
+        np.testing.assert_allclose(model.predict(x), model.predict(x, batch_size=3))
+
+    def test_fit_reduces_loss(self):
+        model = self._autoencoder()
+        rng = np.random.default_rng(0)
+        # Data living on a 2-D linear manifold is learnable by a small AE.
+        basis = rng.normal(size=(2, 6))
+        x = rng.normal(size=(64, 2)) @ basis
+        history = model.fit(x, epochs=30, batch_size=8)
+        assert history.metrics["loss"][-1] < history.metrics["loss"][0]
+
+    def test_fit_with_explicit_targets(self):
+        model = Sequential([Dense(4, activation="tanh"), Dense(2)], seed=0)
+        model.compile("adam", "mse", learning_rate=0.01)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(32, 3))
+        y = np.stack([x[:, 0] + x[:, 1], x[:, 2]], axis=1)
+        history = model.fit(x, y, epochs=40, batch_size=8)
+        assert history.metrics["loss"][-1] < history.metrics["loss"][0]
+
+    def test_validation_split_records_val_loss(self):
+        model = self._autoencoder()
+        x = np.random.default_rng(0).normal(size=(40, 6))
+        history = model.fit(x, epochs=3, batch_size=8, validation_split=0.25)
+        assert "val_loss" in history.metrics
+        assert len(history.metrics["val_loss"]) == len(history.metrics["loss"])
+
+    def test_validation_split_with_targets_rejected(self):
+        model = self._autoencoder()
+        x = np.random.default_rng(0).normal(size=(10, 6))
+        with pytest.raises(ConfigurationError):
+            model.fit(x, x, epochs=1, validation_split=0.2)
+
+    def test_early_stopping_stops(self):
+        model = self._autoencoder()
+        x = np.random.default_rng(0).normal(size=(20, 6))
+        stopper = EarlyStopping(monitor="loss", patience=1, min_delta=1e9)
+        history = model.fit(x, epochs=50, batch_size=8, early_stopping=stopper)
+        assert history.epochs < 50
+
+    def test_fit_requires_compile(self):
+        model = Sequential([Dense(3)], seed=0)
+        with pytest.raises(NotFittedError):
+            model.fit(np.zeros((4, 3)), epochs=1)
+
+    def test_forward_without_layers_raises(self):
+        with pytest.raises(ConfigurationError):
+            Sequential([]).forward(np.zeros((2, 2)))
+
+    def test_add_rejects_non_layer(self):
+        with pytest.raises(ConfigurationError):
+            Sequential().add("not-a-layer")
+
+    def test_invalid_epochs(self):
+        model = self._autoencoder()
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((4, 6)), epochs=0)
+
+    def test_1d_input_rejected(self):
+        model = self._autoencoder()
+        with pytest.raises(ShapeError):
+            model.fit(np.zeros(6), epochs=1)
+
+    def test_parameter_count(self):
+        model = self._autoencoder(input_dim=6, hidden=3)
+        model.build(6)
+        assert model.parameter_count() == (6 * 3 + 3) + (3 * 6 + 6)
+
+    def test_weights_round_trip_preserves_predictions(self):
+        model = self._autoencoder()
+        x = np.random.default_rng(0).normal(size=(5, 6))
+        model.fit(x, epochs=2, batch_size=4)
+        reference = model.predict(x)
+        weights = model.get_weights()
+        other = self._autoencoder(seed=99)
+        other.build(6)
+        other.set_weights(weights)
+        np.testing.assert_allclose(other.predict(x), reference)
+
+    def test_summary_and_config(self):
+        model = self._autoencoder()
+        model.build(6)
+        assert "Total parameters" in model.summary()
+        config = model.get_config()
+        assert config["type"] == "Sequential"
+        assert len(config["layers"]) == 2
+
+    def test_gradient_check_full_model(self):
+        rng = np.random.default_rng(2)
+        model = Sequential(
+            [Dense(5, activation="relu"), Dense(4, activation="tanh"), Dense(3)], seed=0
+        )
+        model.compile("sgd", "mse", learning_rate=0.1)
+        x = rng.normal(size=(6, 4)) + 0.5  # keep ReLU inputs away from the kink
+        y = rng.normal(size=(6, 3))
+        model.forward(x, training=True)
+        model.zero_grads()
+        pred = model.forward(x, training=True)
+        model.backward(model.loss.gradient(pred, y))
+        result = check_gradients(
+            lambda: model.loss.value(model.forward(x, training=True), y),
+            model.parameters_and_gradients(),
+        )
+        assert result.passed(1e-3)
+
+
+class TestSeq2SeqAutoencoder:
+    def _model(self, bidirectional=False, units=5, channels=2, dropout=0.0, seed=0):
+        if bidirectional:
+            encoder = Bidirectional(LSTM(units))
+            decoder = LSTM(2 * units, return_sequences=True)
+        else:
+            encoder = LSTM(units)
+            decoder = LSTM(units, return_sequences=True)
+        model = Seq2SeqAutoencoder(
+            encoder, decoder, output_dim=channels, dropout_rate=dropout, seed=seed
+        )
+        model.compile("rmsprop", "mse", learning_rate=0.01)
+        return model
+
+    def test_forward_shape(self):
+        model = self._model()
+        windows = np.zeros((3, 7, 2))
+        assert model.forward(windows).shape == (3, 7, 2)
+
+    def test_decoder_units_must_match_encoder(self):
+        with pytest.raises(ConfigurationError):
+            Seq2SeqAutoencoder(LSTM(4), LSTM(5, return_sequences=True), output_dim=2)
+
+    def test_decoder_must_return_sequences(self):
+        with pytest.raises(ConfigurationError):
+            Seq2SeqAutoencoder(LSTM(4), LSTM(4, return_sequences=False), output_dim=2)
+
+    def test_encoder_must_not_return_sequences(self):
+        with pytest.raises(ConfigurationError):
+            Seq2SeqAutoencoder(
+                LSTM(4, return_sequences=True), LSTM(4, return_sequences=True), output_dim=2
+            )
+
+    def test_fit_reduces_loss(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, 2 * np.pi, 9)
+        windows = np.stack(
+            [
+                np.stack([np.sin(t + phase), np.cos(t + phase)], axis=1)
+                for phase in rng.uniform(0, 2 * np.pi, size=24)
+            ]
+        )
+        history = model.fit(windows, epochs=8, batch_size=8)
+        assert history.metrics["loss"][-1] < history.metrics["loss"][0]
+
+    def test_fit_requires_compile(self):
+        model = Seq2SeqAutoencoder(LSTM(3), LSTM(3, return_sequences=True), output_dim=2)
+        with pytest.raises(NotFittedError):
+            model.fit(np.zeros((4, 5, 2)), epochs=1)
+
+    def test_fit_rejects_2d(self):
+        model = self._model()
+        with pytest.raises(ShapeError):
+            model.fit(np.zeros((4, 5)), epochs=1)
+
+    def test_encode_shape(self):
+        model = self._model(units=6)
+        model.forward(np.zeros((2, 5, 2)))
+        assert model.encode(np.zeros((3, 5, 2))).shape == (3, 6)
+
+    def test_encode_shape_bidirectional(self):
+        model = self._model(bidirectional=True, units=4)
+        model.forward(np.zeros((2, 5, 2)))
+        assert model.encode(np.zeros((3, 5, 2))).shape == (3, 8)
+
+    def test_reconstruct_autoregressive_shape(self):
+        model = self._model()
+        windows = np.random.default_rng(0).normal(size=(3, 6, 2))
+        recon = model.reconstruct(windows, teacher_forcing=False)
+        assert recon.shape == windows.shape
+
+    def test_reconstruct_teacher_forcing_shape(self):
+        model = self._model()
+        windows = np.random.default_rng(0).normal(size=(3, 6, 2))
+        assert model.reconstruct(windows, teacher_forcing=True).shape == windows.shape
+
+    def test_teacher_forcing_start_token_is_zero(self):
+        targets = np.arange(12, dtype=float).reshape(1, 6, 2)
+        decoder_inputs = Seq2SeqAutoencoder._decoder_inputs_from_targets(targets)
+        np.testing.assert_array_equal(decoder_inputs[0, 0], np.zeros(2))
+        np.testing.assert_array_equal(decoder_inputs[0, 1:], targets[0, :-1])
+
+    def test_parameter_count_matches_components(self):
+        model = self._model(units=5, channels=2)
+        model.build(timesteps=4, features=2)
+        expected = (
+            4 * (2 * 5 + 5 * 5 + 5)  # encoder
+            + 4 * (2 * 5 + 5 * 5 + 5)  # decoder
+            + (5 * 2 + 2)  # projection
+        )
+        assert model.parameter_count() == expected
+
+    def test_gradient_check_unidirectional(self):
+        model = self._model(units=3, dropout=0.0)
+        rng = np.random.default_rng(3)
+        windows = rng.normal(size=(2, 4, 2))
+        model.forward(windows, training=True)
+        model.zero_grads()
+        recon = model.forward(windows, training=True)
+        model.backward(model.loss.gradient(recon, windows))
+        result = check_gradients(
+            lambda: model.loss.value(model.forward(windows, training=True), windows)
+            + model.regularization_penalty(),
+            model.parameters_and_gradients(),
+            max_entries_per_param=10,
+        )
+        assert result.passed(1e-3)
+
+    def test_gradient_check_bidirectional(self):
+        model = self._model(bidirectional=True, units=2, dropout=0.0)
+        rng = np.random.default_rng(4)
+        windows = rng.normal(size=(2, 4, 2))
+        model.forward(windows, training=True)
+        model.zero_grads()
+        recon = model.forward(windows, training=True)
+        model.backward(model.loss.gradient(recon, windows))
+        result = check_gradients(
+            lambda: model.loss.value(model.forward(windows, training=True), windows)
+            + model.regularization_penalty(),
+            model.parameters_and_gradients(),
+            max_entries_per_param=10,
+        )
+        assert result.passed(1e-3)
+
+    def test_weights_round_trip_preserves_reconstruction(self):
+        model = self._model(units=4)
+        windows = np.random.default_rng(0).normal(size=(4, 5, 2))
+        model.fit(windows, epochs=2, batch_size=4)
+        reference = model.reconstruct(windows, teacher_forcing=True)
+        clone = self._model(units=4, seed=11)
+        clone.build(timesteps=5, features=2)
+        clone.set_weights(model.get_weights())
+        np.testing.assert_allclose(
+            clone.reconstruct(windows, teacher_forcing=True), reference, atol=1e-10
+        )
+
+    def test_summary_and_config(self):
+        model = self._model()
+        model.build(timesteps=4, features=2)
+        assert "encoder" in model.summary()
+        config = model.get_config()
+        assert config["type"] == "Seq2SeqAutoencoder"
+        assert config["output_dim"] == 2

@@ -1,0 +1,248 @@
+"""Tests for repro.nn.training, repro.nn.metrics, repro.nn.quantization and repro.nn.model_io."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.nn.layers import Dense, LSTM
+from repro.nn.metrics import (
+    categorical_accuracy,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.nn.model_io import load_config, load_weights_into, save_model
+from repro.nn.models.seq2seq import Seq2SeqAutoencoder
+from repro.nn.models.sequential import Sequential
+from repro.nn.quantization import quantization_report, quantize_model
+from repro.nn.training import (
+    EarlyStopping,
+    TrainingHistory,
+    iterate_minibatches,
+    train_validation_split,
+)
+
+
+class TestTrainingHistory:
+    def test_record_and_last(self):
+        history = TrainingHistory()
+        history.record("loss", 1.0)
+        history.record("loss", 0.5)
+        assert history.last("loss") == 0.5
+        assert history.epochs == 2
+
+    def test_best_min_and_max(self):
+        history = TrainingHistory()
+        for value in (3.0, 1.0, 2.0):
+            history.record("loss", value)
+        assert history.best("loss", "min") == 1.0
+        assert history.best("loss", "max") == 3.0
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            TrainingHistory().last("loss")
+
+    def test_as_dict_copies(self):
+        history = TrainingHistory()
+        history.record("loss", 1.0)
+        exported = history.as_dict()
+        exported["loss"].append(99.0)
+        assert history.metrics["loss"] == [1.0]
+
+
+class TestEarlyStopping:
+    def _history_with(self, values):
+        history = TrainingHistory()
+        for value in values:
+            history.record("loss", value)
+        return history
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(monitor="loss", patience=2)
+        history = TrainingHistory()
+        stops = []
+        for epoch, value in enumerate([1.0, 0.9, 0.95, 0.96, 0.97], start=1):
+            history.record("loss", value)
+            stops.append(stopper.update(epoch, history))
+        assert stops == [False, False, False, True, True] or stops[3] is True
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(monitor="loss", patience=2)
+        history = TrainingHistory()
+        for epoch, value in enumerate([1.0, 0.99, 0.5, 0.51, 0.52], start=1):
+            history.record("loss", value)
+            stopped = stopper.update(epoch, history)
+        assert stopped is True
+        assert stopper.best == 0.5
+
+    def test_max_mode(self):
+        stopper = EarlyStopping(monitor="reward", patience=1, mode="max")
+        history = TrainingHistory()
+        history.record("reward", 1.0)
+        assert stopper.update(1, history) is False
+        history.record("reward", 0.5)
+        assert stopper.update(2, history) is True
+
+    def test_missing_metric_is_ignored(self):
+        stopper = EarlyStopping(monitor="val_loss", patience=1)
+        history = self._history_with([1.0])
+        assert stopper.update(1, history) is False
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(patience=-1)
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(mode="sideways")
+
+
+class TestMinibatches:
+    def test_covers_all_samples(self):
+        x = np.arange(10)[:, None].astype(float)
+        seen = []
+        for batch, _ in iterate_minibatches(x, None, batch_size=3, shuffle=False):
+            seen.extend(batch[:, 0].tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_changes_order(self):
+        x = np.arange(20)[:, None].astype(float)
+        ordered = [b[:, 0].tolist() for b, _ in iterate_minibatches(x, None, 5, shuffle=False)]
+        shuffled = [b[:, 0].tolist() for b, _ in iterate_minibatches(x, None, 5, shuffle=True, rng=0)]
+        assert ordered != shuffled
+
+    def test_targets_stay_aligned(self):
+        x = np.arange(8)[:, None].astype(float)
+        y = x * 10
+        for batch_x, batch_y in iterate_minibatches(x, y, 3, shuffle=True, rng=1):
+            np.testing.assert_allclose(batch_y, batch_x * 10)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            list(iterate_minibatches(np.zeros((4, 1)), None, 0))
+
+    def test_mismatched_targets(self):
+        with pytest.raises(ConfigurationError):
+            list(iterate_minibatches(np.zeros((4, 1)), np.zeros((5, 1)), 2))
+
+    def test_train_validation_split_sizes(self):
+        x = np.arange(10)[:, None].astype(float)
+        train, val = train_validation_split(x, 0.3, rng=0)
+        assert train.shape[0] == 7 and val.shape[0] == 3
+
+    def test_train_validation_split_zero_fraction(self):
+        x = np.arange(4)[:, None].astype(float)
+        train, val = train_validation_split(x, 0.0)
+        assert train.shape[0] == 4 and val.shape[0] == 0
+
+    def test_train_validation_split_invalid(self):
+        with pytest.raises(ConfigurationError):
+            train_validation_split(np.zeros((4, 1)), 1.0)
+
+
+class TestNNMetrics:
+    def test_mse_rmse_mae(self):
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 0.0])
+        assert mean_squared_error(pred, target) == pytest.approx(2.5)
+        assert root_mean_squared_error(pred, target) == pytest.approx(np.sqrt(2.5))
+        assert mean_absolute_error(pred, target) == pytest.approx(1.5)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        target = np.array([1.0, 2.0, 3.0])
+        assert r2_score(target, target) == pytest.approx(1.0)
+        assert r2_score(np.full(3, 2.0), target) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score(np.array([1.0, 1.0]), np.array([1.0, 1.0])) == 1.0
+        assert r2_score(np.array([1.0, 2.0]), np.array([1.0, 1.0])) == 0.0
+
+    def test_categorical_accuracy(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert categorical_accuracy(probs, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_categorical_accuracy_one_hot(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        labels = np.array([[1, 0], [0, 1]])
+        assert categorical_accuracy(probs, labels) == 1.0
+
+
+class TestQuantization:
+    def _model(self):
+        model = Sequential([Dense(8, activation="tanh"), Dense(4)], seed=0)
+        model.build(4)
+        return model
+
+    def test_report_without_mutation(self):
+        model = self._model()
+        before = model.get_weights()
+        report = quantization_report(model)
+        after = model.get_weights()
+        np.testing.assert_array_equal(
+            before["0:dense"]["kernel"], after["0:dense"]["kernel"]
+        )
+        assert report.compression_ratio == pytest.approx(2.0)
+
+    def test_quantize_changes_values_within_fp16_error(self):
+        model = self._model()
+        before = model.get_weights()["0:dense"]["kernel"].copy()
+        report = quantize_model(model)
+        after = model.get_weights()["0:dense"]["kernel"]
+        assert report.max_absolute_error < 1e-2
+        np.testing.assert_allclose(after, before, atol=1e-2)
+        # Values must now be exactly representable in float16.
+        np.testing.assert_array_equal(after, after.astype(np.float16).astype(float))
+
+    def test_parameter_count_matches_model(self):
+        model = self._model()
+        report = quantize_model(model)
+        assert report.parameter_count == model.parameter_count()
+
+    def test_quantized_seq2seq_predictions_close(self):
+        model = Seq2SeqAutoencoder(LSTM(4), LSTM(4, return_sequences=True), output_dim=2, seed=0)
+        model.compile("rmsprop", "mse")
+        windows = np.random.default_rng(0).normal(size=(3, 5, 2))
+        model.fit(windows, epochs=2, batch_size=3)
+        before = model.reconstruct(windows, teacher_forcing=True)
+        quantize_model(model)
+        after = model.reconstruct(windows, teacher_forcing=True)
+        np.testing.assert_allclose(after, before, atol=5e-2)
+
+
+class TestModelIO:
+    def test_sequential_round_trip(self, tmp_path):
+        model = Sequential([Dense(5, activation="tanh"), Dense(3)], seed=0)
+        model.compile("adam", "mse")
+        x = np.random.default_rng(0).normal(size=(6, 3))
+        model.fit(x, np.random.default_rng(1).normal(size=(6, 3)), epochs=2, batch_size=3)
+        save_model(model, tmp_path, name="ae")
+        clone = Sequential([Dense(5, activation="tanh"), Dense(3)], seed=9)
+        clone.build(3)
+        load_weights_into(clone, tmp_path, name="ae")
+        np.testing.assert_allclose(clone.predict(x), model.predict(x))
+
+    def test_seq2seq_round_trip(self, tmp_path):
+        model = Seq2SeqAutoencoder(LSTM(3), LSTM(3, return_sequences=True), output_dim=2, seed=0)
+        model.compile("rmsprop", "mse")
+        windows = np.random.default_rng(0).normal(size=(4, 5, 2))
+        model.fit(windows, epochs=1, batch_size=2)
+        save_model(model, tmp_path, name="s2s")
+        clone = Seq2SeqAutoencoder(LSTM(3), LSTM(3, return_sequences=True), output_dim=2, seed=4)
+        clone.build(timesteps=5, features=2)
+        load_weights_into(clone, tmp_path, name="s2s")
+        np.testing.assert_allclose(
+            clone.reconstruct(windows, teacher_forcing=True),
+            model.reconstruct(windows, teacher_forcing=True),
+        )
+
+    def test_config_saved(self, tmp_path):
+        model = Sequential([Dense(2)], seed=0)
+        model.build(3)
+        save_model(model, tmp_path, name="m")
+        config = load_config(tmp_path, name="m")
+        assert config["type"] == "Sequential"
+
+    def test_missing_weights_raises(self, tmp_path):
+        model = Sequential([Dense(2)], seed=0)
+        model.build(3)
+        with pytest.raises(SerializationError):
+            load_weights_into(model, tmp_path, name="missing")

@@ -1,0 +1,202 @@
+"""End-to-end tests of the univariate and multivariate pipelines.
+
+These are the integration tests: they exercise every subsystem together and
+check the qualitative shape the paper reports (Table I/II trends), not its
+absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.power import PowerDatasetConfig
+from repro.pipelines import (
+    MultivariatePipelineConfig,
+    UnivariatePipelineConfig,
+    run_multivariate_pipeline,
+    run_univariate_pipeline,
+)
+from repro.pipelines.common import TIERS
+
+
+@pytest.fixture(scope="session")
+def univariate_result():
+    """One shared fast run of the univariate pipeline."""
+    config = UnivariatePipelineConfig(
+        data=PowerDatasetConfig(weeks=30, samples_per_day=24, anomalous_day_fraction=0.08, seed=7),
+        policy_episodes=30,
+    )
+    return run_univariate_pipeline(config)
+
+
+@pytest.fixture(scope="session")
+def multivariate_result():
+    """One shared fast run of the multivariate pipeline."""
+    return run_multivariate_pipeline(MultivariatePipelineConfig())
+
+
+SCHEME_NAMES = {"IoT Device", "Edge", "Cloud", "Successive", "Our Method"}
+
+
+class TestUnivariatePipeline:
+    def test_all_schemes_evaluated(self, univariate_result):
+        assert set(univariate_result.evaluations) == SCHEME_NAMES
+        assert {row.scheme for row in univariate_result.table2_rows} == SCHEME_NAMES
+
+    def test_table1_has_three_tiers(self, univariate_result):
+        assert [row.tier for row in univariate_result.table1_rows] == list(TIERS)
+
+    def test_execution_time_decreases_up_the_hierarchy(self, univariate_result):
+        times = [row.execution_time_ms for row in univariate_result.table1_rows]
+        assert times[0] > times[1] > times[2]
+
+    def test_parameter_count_increases_up_the_hierarchy(self, univariate_result):
+        params = [row.parameter_count for row in univariate_result.table1_rows]
+        assert params[0] < params[1] < params[2]
+
+    def test_delay_ordering_iot_edge_cloud(self, univariate_result):
+        evaluations = univariate_result.evaluations
+        assert (
+            evaluations["IoT Device"].mean_delay_ms
+            < evaluations["Edge"].mean_delay_ms
+            < evaluations["Cloud"].mean_delay_ms
+        )
+
+    def test_successive_delay_between_iot_and_cloud(self, univariate_result):
+        evaluations = univariate_result.evaluations
+        assert (
+            evaluations["IoT Device"].mean_delay_ms
+            <= evaluations["Successive"].mean_delay_ms
+            <= evaluations["Cloud"].mean_delay_ms
+        )
+
+    def test_adaptive_delay_below_cloud(self, univariate_result):
+        evaluations = univariate_result.evaluations
+        assert evaluations["Our Method"].mean_delay_ms < evaluations["Cloud"].mean_delay_ms
+
+    def test_adaptive_accuracy_close_to_cloud(self, univariate_result):
+        evaluations = univariate_result.evaluations
+        assert evaluations["Our Method"].accuracy >= evaluations["Cloud"].accuracy - 0.05
+
+    def test_adaptive_accuracy_at_least_iot(self, univariate_result):
+        evaluations = univariate_result.evaluations
+        assert evaluations["Our Method"].accuracy >= evaluations["IoT Device"].accuracy - 1e-9
+
+    def test_adaptive_reward_is_best_or_near_best(self, univariate_result):
+        evaluations = univariate_result.evaluations
+        rewards = {
+            name: evaluation.total_reward
+            for name, evaluation in evaluations.items()
+            if name != "Successive"
+        }
+        best = max(rewards.values())
+        assert rewards["Our Method"] >= best - 1e-6 or rewards["Our Method"] == pytest.approx(best, rel=0.02)
+
+    def test_cloud_most_accurate_fixed_scheme(self, univariate_result):
+        evaluations = univariate_result.evaluations
+        assert evaluations["Cloud"].accuracy >= evaluations["IoT Device"].accuracy
+
+    def test_bandit_training_log_populated(self, univariate_result):
+        log = univariate_result.bandit_log
+        assert log.episodes > 0
+        assert len(log.episode_mean_rewards) == log.episodes
+
+    def test_policy_network_size_matches_paper_design(self, univariate_result):
+        policy = univariate_result.policy
+        assert policy.hidden_units == 100
+        assert policy.n_actions == 3
+
+    def test_demo_panel_present(self, univariate_result):
+        panel = univariate_result.demo_panel
+        assert panel is not None
+        assert len(panel.predictions) == len(univariate_result.test_labels)
+
+    def test_deployments_quantized_below_cloud(self, univariate_result):
+        assert univariate_result.deployments[0].quantized
+        assert univariate_result.deployments[1].quantized
+        assert not univariate_result.deployments[2].quantized
+
+    def test_summary_text(self, univariate_result):
+        text = univariate_result.summary()
+        for name in SCHEME_NAMES:
+            assert name in text
+
+    def test_evaluation_accessor(self, univariate_result):
+        assert univariate_result.evaluation("Cloud").scheme_name == "Cloud"
+        with pytest.raises(KeyError):
+            univariate_result.evaluation("Fog")
+
+    def test_reproducible_with_same_seed(self):
+        config = UnivariatePipelineConfig(
+            data=PowerDatasetConfig(weeks=12, samples_per_day=24, anomalous_day_fraction=0.08, seed=3),
+            epochs={"iot": 10, "edge": 10, "cloud": 10},
+            policy_episodes=10,
+        )
+        a = run_univariate_pipeline(config)
+        b = run_univariate_pipeline(config)
+        np.testing.assert_array_equal(
+            a.evaluations["Our Method"].predictions, b.evaluations["Our Method"].predictions
+        )
+        assert a.evaluations["Our Method"].total_reward == pytest.approx(
+            b.evaluations["Our Method"].total_reward
+        )
+
+    def test_paper_scale_config_dimensions(self):
+        config = UnivariatePipelineConfig.paper_scale()
+        assert config.data.samples_per_day == 96
+        assert config.hidden_sizes["iot"] == (201,)
+
+    def test_with_seed_changes_data_seed(self):
+        config = UnivariatePipelineConfig().with_seed(5)
+        assert config.seed == 5
+        assert config.data.seed == 12
+
+
+class TestMultivariatePipeline:
+    def test_all_schemes_evaluated(self, multivariate_result):
+        assert set(multivariate_result.evaluations) == SCHEME_NAMES
+
+    def test_table1_execution_times_match_calibration(self, multivariate_result):
+        times = [row.execution_time_ms for row in multivariate_result.table1_rows]
+        assert times == pytest.approx([591.0, 417.3, 232.3])
+
+    def test_delay_ordering(self, multivariate_result):
+        evaluations = multivariate_result.evaluations
+        assert (
+            evaluations["IoT Device"].mean_delay_ms
+            < evaluations["Edge"].mean_delay_ms
+            < evaluations["Cloud"].mean_delay_ms
+        )
+
+    def test_adaptive_accuracy_close_to_cloud(self, multivariate_result):
+        evaluations = multivariate_result.evaluations
+        assert evaluations["Our Method"].accuracy >= evaluations["Cloud"].accuracy - 0.05
+
+    def test_context_comes_from_iot_encoder(self, multivariate_result):
+        extractor = multivariate_result.context_extractor
+        assert extractor.detector is multivariate_result.detectors["iot"]
+
+    def test_policy_context_dim_matches_encoder(self, multivariate_result):
+        assert multivariate_result.policy.context_dim == multivariate_result.detectors[
+            "iot"
+        ].units
+
+    def test_all_detectors_fitted(self, multivariate_result):
+        assert all(detector.fitted for detector in multivariate_result.detectors.values())
+
+    def test_cloud_detector_is_bidirectional(self, multivariate_result):
+        assert multivariate_result.detectors["cloud"].bidirectional
+
+    def test_demo_panel_actions_within_layers(self, multivariate_result):
+        panel = multivariate_result.demo_panel
+        assert set(np.unique(panel.actions)).issubset({0, 1, 2})
+
+    def test_paper_scale_config_dimensions(self):
+        config = MultivariatePipelineConfig.paper_scale()
+        assert config.window_size == 128
+        assert config.stride == 64
+        assert config.units == {"iot": 50, "edge": 100, "cloud": 200}
+
+    def test_with_seed(self):
+        config = MultivariatePipelineConfig().with_seed(4)
+        assert config.seed == 4
+        assert config.data.seed == 15

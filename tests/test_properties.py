@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bandit.reward import DelayCost, RewardFunction
+from repro.data.preprocessing import StandardScaler
+from repro.data.windowing import sliding_windows, window_labels
+from repro.detectors.confidence import ConfidencePolicy
+from repro.detectors.scoring import GaussianLogPDScorer
+from repro.evaluation.metrics import accuracy_score, f1_score, precision_score, recall_score
+from repro.nn import activations
+from repro.utils.rng import ensure_rng
+
+# Reusable strategies -------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+small_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 10), st.integers(1, 6)),
+    elements=finite_floats,
+)
+
+binary_arrays = st.integers(1, 60).flatmap(
+    lambda n: st.tuples(
+        arrays(np.int64, n, elements=st.integers(0, 1)),
+        arrays(np.int64, n, elements=st.integers(0, 1)),
+    )
+)
+
+
+class TestActivationProperties:
+    @given(small_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_is_probability_distribution(self, x):
+        probabilities = activations.softmax(x)
+        assert np.all(probabilities >= 0)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(small_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_sigmoid_bounded(self, x):
+        y = activations.sigmoid(x)
+        assert np.all((y >= 0.0) & (y <= 1.0))
+
+    @given(small_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent(self, x):
+        once = activations.relu(x)
+        np.testing.assert_array_equal(activations.relu(once), once)
+
+
+class TestRewardProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cost_in_unit_interval(self, delay, alpha):
+        cost = DelayCost(alpha=alpha)(delay)
+        assert 0.0 <= cost < 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cost_monotone_in_delay(self, a, b):
+        cost = DelayCost(alpha=0.0005)
+        low, high = sorted((a, b))
+        assert cost(low) <= cost(high) + 1e-12
+
+    @given(st.booleans(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_reward_bounded(self, correct, delay):
+        reward = RewardFunction()(correct, delay)
+        assert -1.0 < reward <= 1.0
+        if correct:
+            assert reward > -0.0001
+        else:
+            assert reward <= 0.0
+
+
+class TestMetricProperties:
+    @given(binary_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_in_unit_interval(self, arrays_pair):
+        predictions, labels = arrays_pair
+        for metric in (accuracy_score, precision_score, recall_score, f1_score):
+            value = metric(predictions, labels)
+            assert 0.0 <= value <= 1.0
+
+    @given(binary_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_f1_between_precision_and_recall_bounds(self, arrays_pair):
+        predictions, labels = arrays_pair
+        precision = precision_score(predictions, labels)
+        recall = recall_score(predictions, labels)
+        f1 = f1_score(predictions, labels)
+        assert f1 <= max(precision, recall) + 1e-12
+        assert f1 >= 0.0
+
+    @given(arrays(np.int64, st.integers(1, 40), elements=st.integers(0, 1)))
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_predictions_maximise_accuracy(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+
+
+class TestScalerProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(3, 12), st.integers(2, 8)),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_transform_is_identity(self, data):
+        scaler = StandardScaler().fit(data)
+        round_trip = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(round_trip, data, atol=1e-6)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(4, 12), st.integers(2, 8)),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transform_bounded_statistics(self, data):
+        scaler = StandardScaler().fit(data)
+        transformed = scaler.transform(data)
+        # Mean is always (near) zero; std is 1 unless the data was constant.
+        assert abs(transformed.mean()) < 1e-6 or data.std() < 1e-8
+        assert transformed.std() <= 1.0 + 1e-6
+
+
+class TestWindowingProperties:
+    @given(
+        st.integers(10, 60),
+        st.integers(2, 10),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_window_count_formula(self, length, window_size, stride):
+        if window_size > length:
+            return
+        series = ensure_rng(0).normal(size=length)
+        windows, starts = sliding_windows(series, window_size, stride)
+        expected = (length - window_size) // stride + 1
+        assert windows.shape == (expected, window_size)
+        assert np.all(starts + window_size <= length)
+
+    @given(st.integers(8, 40), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_window_labels_zero_when_no_anomaly(self, length, window_size):
+        if window_size > length:
+            return
+        labels = np.zeros(length, dtype=int)
+        _, starts = sliding_windows(np.zeros(length), window_size, window_size)
+        assert window_labels(labels, starts, window_size).sum() == 0
+
+    @given(st.integers(8, 40), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_window_labels_one_when_all_anomalous(self, length, window_size):
+        if window_size > length:
+            return
+        labels = np.ones(length, dtype=int)
+        _, starts = sliding_windows(np.zeros(length), window_size, window_size)
+        assert np.all(window_labels(labels, starts, window_size) == 1)
+
+
+class TestScorerProperties:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_training_data_never_flagged(self, seed):
+        errors = ensure_rng(seed).normal(size=(50, 2))
+        scorer = GaussianLogPDScorer().fit(errors)
+        assert not scorer.is_outlier(errors).any()
+
+    @given(st.integers(0, 1000), st.floats(min_value=5.0, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_distant_point_flagged(self, seed, distance):
+        errors = ensure_rng(seed).normal(size=(100, 2))
+        scorer = GaussianLogPDScorer().fit(errors)
+        outlier = scorer.mean_[None, :] + distance * 10
+        assert scorer.is_outlier(outlier)[0]
+
+
+class TestConfidenceProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 50),
+            elements=st.floats(min_value=-100.0, max_value=-0.01, allow_nan=False),
+        ),
+        st.floats(min_value=-50.0, max_value=-1.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_anomaly_iff_any_point_below_threshold(self, scores, threshold):
+        policy = ConfidencePolicy()
+        is_anomaly, _confident, fraction = policy.evaluate(scores, threshold)
+        assert is_anomaly == bool((scores < threshold).any())
+        assert 0.0 <= fraction <= 1.0
