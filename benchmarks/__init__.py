@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a package lets the bench modules' relative imports
+(``from .conftest import write_result``) resolve when pytest collects them by
+path, e.g. ``pytest benchmarks/bench_table2_schemes.py`` or the glob form
+``pytest benchmarks/bench_*.py`` documented in EXPERIMENTS.md.
+"""

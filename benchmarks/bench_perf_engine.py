@@ -1,0 +1,282 @@
+"""Perf benchmark — sequential vs batched execution engine.
+
+Times the two hot paths that the batched execution engine vectorises, on the
+fig-2 univariate workload:
+
+* **policy training** — per-sample REINFORCE (``batch_size=1``, the paper's
+  loop) against the minibatched trainer (one fused forward/backward/optimizer
+  step per minibatch);
+* **scheme evaluation** — one-window-at-a-time ``SelectionScheme.run`` against
+  the vectorised ``run_batch`` drivers (one batched detector call per layer).
+
+The workload is tiled to a few hundred windows so the timings are stable on a
+shared CI runner; every timing is the best of several repeats.  Results are
+written machine-readable to ``benchmarks/results/perf_engine.json`` so future
+PRs have a performance trajectory to regress against.
+
+Equivalence policy: batched scheme evaluation must match sequential exactly
+(greedy policy, deterministic links); minibatched policy training samples
+actions from the same distribution but with a different RNG stream, so it is
+held to a documented stochastic tolerance on the final greedy reward instead.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bandit.policy_network import PolicyNetwork
+from repro.bandit.reinforce import ReinforceTrainer
+from repro.evaluation.experiment import evaluate_scheme
+from repro.pipelines.common import TIERS, compute_reward_table
+from repro.schemes.adaptive import AdaptiveScheme
+from repro.schemes.fixed import FixedLayerScheme
+from repro.schemes.successive import SuccessiveScheme
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Training episodes per timed run (small: the *ratio* is what matters).
+TRAIN_EPISODES = 6
+#: Minibatch sizes to compare against the sequential (batch_size=1) path.
+TRAIN_BATCH_SIZES = (8, 32, 64)
+#: Tile factors: blow the small fixture workload up to a stable-timing size.
+TRAIN_TILE = 8
+EVAL_TILE = 8
+#: Timings take the best of this many repeats.
+REPEATS = 5
+#: Acceptance thresholds (see ISSUE/acceptance criteria).
+MIN_TRAINING_SPEEDUP = 5.0
+MIN_SCHEME_SPEEDUP = 3.0
+#: Stochastic-equivalence tolerance on the final greedy mean reward between
+#: sequential and minibatched training (sampled actions, different RNG stream).
+TRAINING_REWARD_TOLERANCE = 0.3
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    """(best wall-clock seconds, last result) over ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _fig2_workload(result):
+    """Tiled contexts/reward table of the fig-2 policy-training benchmark."""
+    windows = result.test_windows
+    labels = result.test_labels
+    contexts = result.context_extractor.extract(windows)
+    detectors_by_layer = [result.detectors[tier] for tier in TIERS]
+    rewards = compute_reward_table(
+        result.system, detectors_by_layer, windows, labels, result.reward_fn
+    )
+    contexts = np.tile(contexts, (TRAIN_TILE, 1))
+    rewards = np.tile(rewards, (TRAIN_TILE, 1))
+    return contexts, rewards
+
+
+def _timed_training(contexts, rewards, batch_size):
+    def run():
+        policy = PolicyNetwork(
+            context_dim=contexts.shape[1],
+            n_actions=rewards.shape[1],
+            hidden_units=100,
+            learning_rate=5e-3,
+            seed=1,
+        )
+        trainer = ReinforceTrainer(policy, rng=1, batch_size=batch_size)
+        trainer.train(contexts, rewards, episodes=TRAIN_EPISODES)
+        return trainer
+    return _best_of(run)
+
+
+def _scheme_factories(result, windows):
+    extractor = result.context_extractor
+    policy = result.policy
+    return {
+        "IoT Device": lambda: FixedLayerScheme(result.system, 0),
+        "Edge": lambda: FixedLayerScheme(result.system, 1),
+        "Cloud": lambda: FixedLayerScheme(result.system, 2),
+        "Successive": lambda: SuccessiveScheme(result.system),
+        "Our Method": lambda: AdaptiveScheme(result.system, policy, extractor),
+    }
+
+
+def _evaluation_fingerprint(evaluation):
+    return {
+        "f1": evaluation.f1,
+        "accuracy": evaluation.accuracy,
+        "mean_delay_ms": evaluation.mean_delay_ms,
+        "mean_reward": evaluation.mean_reward,
+        "layer_usage": {str(k): v for k, v in evaluation.layer_usage.items()},
+    }
+
+
+def _close(a: float, b: float, tolerance: float = 1e-9) -> bool:
+    if np.isnan(a) and np.isnan(b):
+        return True
+    return bool(np.isclose(a, b, rtol=tolerance, atol=tolerance))
+
+
+def run_perf_engine(result) -> dict:
+    """Time sequential vs batched paths; returns the JSON-ready report."""
+    report: dict = {
+        "generated_by": "benchmarks/bench_perf_engine.py",
+        "dataset": result.dataset_name,
+        "config": {
+            "train_episodes": TRAIN_EPISODES,
+            "repeats": REPEATS,
+            "train_tile": TRAIN_TILE,
+            "eval_tile": EVAL_TILE,
+        },
+    }
+
+    # -- policy training: per-sample loop vs minibatched engine ---------------
+    contexts, rewards = _fig2_workload(result)
+    sequential_seconds, sequential_trainer = _timed_training(contexts, rewards, batch_size=1)
+    sequential_reward = sequential_trainer.evaluate(contexts, rewards)["mean_reward"]
+
+    minibatched = []
+    for batch_size in TRAIN_BATCH_SIZES:
+        seconds, trainer = _timed_training(contexts, rewards, batch_size=batch_size)
+        minibatched.append(
+            {
+                "batch_size": batch_size,
+                "seconds": seconds,
+                "speedup": sequential_seconds / seconds,
+                "final_greedy_mean_reward": trainer.evaluate(contexts, rewards)["mean_reward"],
+            }
+        )
+    report["policy_training"] = {
+        "n_contexts": int(contexts.shape[0]),
+        "context_dim": int(contexts.shape[1]),
+        "sequential_seconds": sequential_seconds,
+        "sequential_final_greedy_mean_reward": sequential_reward,
+        "minibatched": minibatched,
+        "stochastic_equivalence": {
+            "tolerance_mean_reward": TRAINING_REWARD_TOLERANCE,
+            "note": (
+                "sampled actions use a different RNG stream than the sequential "
+                "loop; equivalence is on the learned policy's greedy reward"
+            ),
+        },
+    }
+
+    # -- scheme evaluation: run vs run_batch -----------------------------------
+    windows = np.tile(result.test_windows, (EVAL_TILE,) + (1,) * (result.test_windows.ndim - 1))
+    labels = np.tile(result.test_labels, EVAL_TILE)
+    schemes = []
+    for name, factory in _scheme_factories(result, windows).items():
+        sequential_seconds, sequential_eval = _best_of(
+            lambda: evaluate_scheme(factory(), windows, labels, result.reward_fn, batched=False)
+        )
+        batched_seconds, batched_eval = _best_of(
+            lambda: evaluate_scheme(factory(), windows, labels, result.reward_fn, batched=True)
+        )
+        sequential_fp = _evaluation_fingerprint(sequential_eval)
+        batched_fp = _evaluation_fingerprint(batched_eval)
+        equivalent = all(
+            _close(sequential_fp[key], batched_fp[key])
+            for key in ("f1", "accuracy", "mean_delay_ms", "mean_reward")
+        ) and sequential_fp["layer_usage"] == batched_fp["layer_usage"]
+        schemes.append(
+            {
+                "scheme": name,
+                "n_windows": int(windows.shape[0]),
+                "sequential_seconds": sequential_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": sequential_seconds / batched_seconds,
+                "numerically_equivalent": equivalent,
+                "sequential": sequential_fp,
+                "batched": batched_fp,
+            }
+        )
+    report["scheme_evaluation"] = schemes
+    return report
+
+
+def write_report(report: dict) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "perf_engine.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _assert_report(report: dict) -> None:
+    training = report["policy_training"]
+    by_batch = {entry["batch_size"]: entry for entry in training["minibatched"]}
+    assert any(
+        entry["speedup"] >= MIN_TRAINING_SPEEDUP
+        for size, entry in by_batch.items()
+        if size >= 32
+    ), f"minibatched training speedup below {MIN_TRAINING_SPEEDUP}x: {by_batch}"
+    for entry in training["minibatched"]:
+        difference = abs(
+            entry["final_greedy_mean_reward"]
+            - training["sequential_final_greedy_mean_reward"]
+        )
+        assert difference <= TRAINING_REWARD_TOLERANCE, (
+            f"batch_size={entry['batch_size']} diverged from the sequential "
+            f"trainer by {difference:.3f} mean reward"
+        )
+
+    by_scheme = {entry["scheme"]: entry for entry in report["scheme_evaluation"]}
+    for name in ("IoT Device", "Edge", "Cloud", "Our Method"):
+        assert by_scheme[name]["speedup"] >= MIN_SCHEME_SPEEDUP, (
+            f"{name} batched evaluation speedup "
+            f"{by_scheme[name]['speedup']:.2f}x below {MIN_SCHEME_SPEEDUP}x"
+        )
+    for entry in report["scheme_evaluation"]:
+        assert entry["numerically_equivalent"], (
+            f"{entry['scheme']} batched evaluation diverged: "
+            f"{entry['sequential']} vs {entry['batched']}"
+        )
+
+
+@pytest.mark.benchmark(group="perf-engine")
+def test_perf_engine_sequential_vs_batched(univariate_result):
+    """Time both paths, persist the JSON trajectory, enforce the speedup floors."""
+    report = run_perf_engine(univariate_result)
+    path = write_report(report)
+    print(f"\nperf-engine report written to {path}")
+    training = report["policy_training"]
+    for entry in training["minibatched"]:
+        print(
+            f"  policy training batch={entry['batch_size']:<3d} "
+            f"{entry['seconds']*1e3:8.1f} ms  ({entry['speedup']:5.1f}x vs sequential "
+            f"{training['sequential_seconds']*1e3:.1f} ms)"
+        )
+    for entry in report["scheme_evaluation"]:
+        print(
+            f"  scheme eval {entry['scheme']:<12s} {entry['batched_seconds']*1e3:8.1f} ms "
+            f"({entry['speedup']:5.1f}x, equivalent={entry['numerically_equivalent']})"
+        )
+    _assert_report(report)
+
+
+def main() -> None:
+    """Standalone entry point: build the fast univariate pipeline and run."""
+    from repro.data.power import PowerDatasetConfig
+    from repro.pipelines import UnivariatePipelineConfig, run_univariate_pipeline
+
+    config = UnivariatePipelineConfig(
+        data=PowerDatasetConfig(
+            weeks=40, samples_per_day=24, anomalous_day_fraction=0.06, seed=7
+        ),
+        policy_episodes=40,
+    )
+    report = run_perf_engine(run_univariate_pipeline(config))
+    path = write_report(report)
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {path}")
+    _assert_report(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -93,7 +93,9 @@ class PolicyNetwork:
             return np.argmax(probabilities, axis=1)
         cumulative = np.cumsum(probabilities, axis=1)
         draws = self._rng.random((probabilities.shape[0], 1))
-        return (draws > cumulative).sum(axis=1)
+        # Floating-point error can leave the last cumulative slightly below
+        # 1.0, in which case the inverse-transform count reaches n_actions.
+        return np.minimum((draws > cumulative).sum(axis=1), self.n_actions - 1)
 
     # -- learning --------------------------------------------------------------------
 
@@ -130,6 +132,49 @@ class PolicyNetwork:
         self.model.backward(grad)
         self.optimizer.step(self.model.parameters_and_gradients())
         return float(np.log(probability))
+
+    def policy_gradient_step_batch(
+        self,
+        contexts: np.ndarray,
+        actions: np.ndarray,
+        advantages: np.ndarray,
+        entropy_weight: float = 0.0,
+    ) -> np.ndarray:
+        """One REINFORCE update for a whole minibatch of (context, action, advantage).
+
+        The minibatch objective is the *sum* of the per-sample objectives
+        ``-advantage_i * log pi(a_i|z_i) - entropy_weight * H(pi(.|z_i))``, so
+        the update runs one forward pass, one backward pass and one optimizer
+        step regardless of the batch size; with a batch of one it reproduces
+        :meth:`policy_gradient_step` exactly.  Returns the log-probability of
+        each chosen action (shape ``(n,)``).
+        """
+        contexts = self._check_context(contexts)
+        actions = np.asarray(actions, dtype=int)
+        advantages = np.asarray(advantages, dtype=float)
+        n = contexts.shape[0]
+        if actions.shape != (n,):
+            raise ShapeError(f"actions must have shape ({n},), got {actions.shape}")
+        if advantages.shape != (n,):
+            raise ShapeError(f"advantages must have shape ({n},), got {advantages.shape}")
+        if n and (actions.min() < 0 or actions.max() >= self.n_actions):
+            raise ConfigurationError(
+                f"actions must lie in [0, {self.n_actions}), got range "
+                f"[{actions.min()}, {actions.max()}]"
+            )
+        self.model.zero_grads()
+        probabilities = self.model.forward(contexts, training=True)
+        rows = np.arange(n)
+        chosen = np.clip(probabilities[rows, actions], 1e-12, 1.0)
+
+        grad = np.zeros_like(probabilities)
+        grad[rows, actions] = -advantages / chosen
+        if entropy_weight > 0.0:
+            safe = np.clip(probabilities, 1e-12, 1.0)
+            grad += entropy_weight * (np.log(safe) + 1.0)
+        self.model.backward(grad)
+        self.optimizer.step(self.model.parameters_and_gradients())
+        return np.log(chosen)
 
     def log_probability(self, context: np.ndarray, action: int) -> float:
         """``log pi(a | z)`` for one context/action pair."""

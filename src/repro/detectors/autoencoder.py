@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
-from repro.detectors.base import AnomalyDetector, DetectionResult
+from repro.detectors.base import AnomalyDetector, DetectionResult, results_from_point_scores
 from repro.detectors.confidence import ConfidencePolicy
 from repro.detectors.scoring import GaussianLogPDScorer
 from repro.nn.layers.dense import Dense
@@ -132,25 +132,16 @@ class AutoencoderDetector(AnomalyDetector):
         return windows - reconstruction
 
     def detect(self, windows: np.ndarray) -> List[DetectionResult]:
-        """Score each window and apply the detection + confidence rules."""
+        """Score all windows in one pass and apply the detection + confidence rules."""
         self._require_fitted()
         windows = self._check_windows(windows)
         errors = self._point_errors(windows)
-        results: List[DetectionResult] = []
-        threshold = self.scorer.threshold
-        for window_errors in errors:
-            point_scores = self.scorer.log_probability_density(window_errors.reshape(-1, 1))
-            is_anomaly, confident, fraction = self.confidence.evaluate(point_scores, threshold)
-            results.append(
-                DetectionResult(
-                    is_anomaly=is_anomaly,
-                    confident=confident,
-                    anomaly_score=float(point_scores.min()),
-                    point_scores=point_scores,
-                    anomalous_point_fraction=fraction,
-                )
-            )
-        return results
+        n_windows, n_points = errors.shape
+        # Every point of every window is scored with a single vectorised call.
+        point_scores = self.scorer.log_probability_density(
+            errors.reshape(-1, 1)
+        ).reshape(n_windows, n_points)
+        return results_from_point_scores(point_scores, self.scorer.threshold, self.confidence)
 
     # -- introspection -----------------------------------------------------------------
 

@@ -44,6 +44,35 @@ class DetectionResult:
     anomalous_point_fraction: float
 
 
+def results_from_point_scores(
+    point_scores: np.ndarray,
+    threshold: float,
+    confidence,
+) -> List["DetectionResult"]:
+    """Fan one ``(n_windows, n_points)`` logPD matrix out into per-window results.
+
+    The detection and confidence rules are applied to all windows at once via
+    :meth:`~repro.detectors.confidence.ConfidencePolicy.evaluate_batch`; only
+    the per-window :class:`DetectionResult` construction remains a loop.  This
+    is the shared tail of every detector's batched ``detect``.
+    """
+    point_scores = np.asarray(point_scores, dtype=float)
+    is_anomaly, confident, fractions = confidence.evaluate_batch(point_scores, threshold)
+    window_scores = point_scores.min(axis=1)
+    return [
+        DetectionResult(
+            is_anomaly=bool(anomaly),
+            confident=bool(conf),
+            anomaly_score=float(score),
+            point_scores=scores,
+            anomalous_point_fraction=float(fraction),
+        )
+        for anomaly, conf, score, scores, fraction in zip(
+            is_anomaly, confident, window_scores, point_scores, fractions
+        )
+    ]
+
+
 class AnomalyDetector:
     """Base class for the AE and seq2seq detectors."""
 

@@ -85,3 +85,33 @@ class ConfidencePolicy:
             # Confidently normal: every point stays at or above the margin level.
             confident = bool(np.all(point_scores >= self.normal_margin * threshold))
         return is_anomaly, confident, anomalous_fraction
+
+    def evaluate_batch(
+        self, point_scores: np.ndarray, threshold: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`evaluate` over an ``(n_windows, n_points)`` score matrix.
+
+        Returns ``(is_anomaly, confident, anomalous_fraction)``, one entry per
+        window, identical to applying :meth:`evaluate` row by row.
+        """
+        point_scores = np.asarray(point_scores, dtype=float)
+        if point_scores.ndim != 2:
+            raise ValueError(
+                f"point_scores must be 2-D (n_windows, n_points), got shape "
+                f"{point_scores.shape}"
+            )
+        below_threshold = point_scores < threshold
+        if point_scores.shape[1]:
+            anomalous_fraction = below_threshold.mean(axis=1)
+        else:
+            anomalous_fraction = np.zeros(point_scores.shape[0])
+        is_anomaly = below_threshold.any(axis=1)
+        strongly_anomalous = (
+            point_scores < self.strong_score_multiplier * threshold
+        ).any(axis=1)
+        confident_anomaly = strongly_anomalous | (
+            anomalous_fraction > self.anomalous_fraction
+        )
+        confident_normal = (point_scores >= self.normal_margin * threshold).all(axis=1)
+        confident = np.where(is_anomaly, confident_anomaly, confident_normal)
+        return is_anomaly, confident, anomalous_fraction

@@ -100,14 +100,22 @@ def evaluate_scheme(
     labels: np.ndarray,
     reward_fn: Optional[RewardFunction] = None,
     reset_system: bool = True,
+    batched: bool = True,
 ) -> SchemeEvaluation:
     """Run ``scheme`` over ``windows`` and aggregate the results.
 
     ``reset_system=True`` (default) clears the HEC system's event log, clock
     and link state before the run so evaluations of different schemes against
-    the same system are independent.
+    the same system are independent.  ``batched=True`` (default) drives the
+    scheme through its vectorised :meth:`~repro.schemes.base.SelectionScheme.run_batch`
+    path; set it to ``False`` to force the one-window-at-a-time loop.
     """
     if reset_system:
         scheme.system.reset()
-    outcomes = scheme.run(np.asarray(windows, dtype=float), np.asarray(labels, dtype=int))
+    windows = np.asarray(windows, dtype=float)
+    labels_array = np.asarray(labels, dtype=int)
+    if batched:
+        outcomes = scheme.run_batch(windows, labels_array)
+    else:
+        outcomes = scheme.run(windows, labels_array)
     return evaluate_outcomes(scheme.name, outcomes, labels, reward_fn=reward_fn)

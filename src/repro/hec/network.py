@@ -79,6 +79,19 @@ class NetworkLink:
         self.transfer_count += 1
         return float(delay)
 
+    def record_transfers(self, payload_bytes: float, count: int) -> None:
+        """Account for ``count`` steady-state transfers at once.
+
+        Used by the batched detection path: once the connection is established
+        and the link is jitter-free, every further transfer of the same payload
+        has an identical delay, so only the traffic counters need updating.
+        """
+        check_non_negative(payload_bytes, "payload_bytes")
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        self.transferred_bytes += payload_bytes * count
+        self.transfer_count += count
+
     def round_trip_delay_ms(self, request_bytes: float, response_bytes: float = 64.0) -> float:
         """Delay of a request/response exchange (uplink payload + small downlink reply)."""
         up = self.transfer_delay_ms(TransferSpec(request_bytes, "up"))

@@ -16,9 +16,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import DeploymentError, SchedulingError
+from repro.exceptions import DeploymentError, SchedulingError, ShapeError
 from repro.detectors.base import DetectionResult
-from repro.hec.delay import DelayBreakdown, end_to_end_delay, window_payload_bytes
+from repro.hec.delay import (
+    RESULT_PAYLOAD_BYTES,
+    DelayBreakdown,
+    end_to_end_delay,
+    window_payload_bytes,
+)
 from repro.hec.deployment import ModelDeployment
 from repro.hec.topology import HECTopology
 from repro.utils.timer import SimulatedClock
@@ -168,6 +173,123 @@ class HECSystem:
         counters.total_delay_ms += breakdown.total_ms
         counters.anomalies_reported += record.prediction
         return record
+
+    def detect_batch(
+        self,
+        layer: int,
+        windows: np.ndarray,
+        ground_truths: Optional[Sequence[int]] = None,
+        escalated_from: Optional[Sequence[Optional[DelayBreakdown]]] = None,
+    ) -> List[DetectionRecord]:
+        """Handle a batch of detection requests at ``layer`` with one detector call.
+
+        Semantically equivalent to calling :meth:`detect_at` once per window in
+        order (records, counters, clock and link bookkeeping all match), but
+        the detector's forward pass runs once on the whole ``(n, ...)`` batch
+        and the per-window delay breakdowns are replicated from a single
+        steady-state computation whenever the links are jitter-free.
+
+        ``escalated_from`` optionally carries, per window, the delay already
+        spent at lower layers (the Successive scheme's batched escalation).
+        """
+        deployment = self.deployment_at(layer)
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim < 2:
+            raise ShapeError(
+                f"detect_batch expects a batch of windows (n, ...), got shape {windows.shape}"
+            )
+        n = windows.shape[0]
+        if ground_truths is not None and len(ground_truths) != n:
+            raise ShapeError(
+                f"got {len(ground_truths)} ground truths for {n} windows"
+            )
+        if escalated_from is not None and len(escalated_from) != n:
+            raise ShapeError(
+                f"got {len(escalated_from)} escalation breakdowns for {n} windows"
+            )
+        if n == 0:
+            return []
+
+        results: List[DetectionResult] = deployment.detector.detect(windows)
+        breakdowns = self._batch_delay_breakdowns(layer, windows.shape[1:], n, deployment)
+
+        records: List[DetectionRecord] = []
+        counters = self.layer_counters[layer]
+        for index in range(n):
+            breakdown = breakdowns[index]
+            if escalated_from is not None and escalated_from[index] is not None:
+                breakdown.merge_escalation(escalated_from[index])
+            self.clock.advance(breakdown.total_ms)
+            result = results[index]
+            record = DetectionRecord(
+                window_index=self._request_counter,
+                layer=layer,
+                prediction=int(result.is_anomaly),
+                confident=result.confident,
+                anomaly_score=result.anomaly_score,
+                delay=breakdown,
+                ground_truth=(
+                    int(ground_truths[index]) if ground_truths is not None else None
+                ),
+            )
+            self._request_counter += 1
+            self.records.append(record)
+            records.append(record)
+            counters.requests += 1
+            counters.total_execution_ms += deployment.execution_time_ms
+            counters.total_delay_ms += breakdown.total_ms
+            counters.anomalies_reported += record.prediction
+        return records
+
+    def _batch_delay_breakdowns(
+        self,
+        layer: int,
+        window_shape: tuple,
+        n: int,
+        deployment: ModelDeployment,
+    ) -> List[DelayBreakdown]:
+        """Per-window delay breakdowns for ``n`` same-shaped requests at ``layer``.
+
+        The first request may pay connection setup; from the second request on,
+        jitter-free links make every breakdown identical, so the remaining ones
+        are copies of a single steady-state computation and the link traffic
+        counters are advanced in bulk.  Jittery links fall back to computing
+        each breakdown (this preserves the per-transfer RNG draws).
+        """
+        payload = window_payload_bytes(window_shape)
+        links = self.topology.links_to(layer)
+
+        def one_breakdown() -> DelayBreakdown:
+            return end_to_end_delay(
+                self.topology,
+                layer,
+                execution_ms=deployment.execution_time_ms,
+                payload_bytes=payload,
+            )
+
+        breakdowns = [one_breakdown()]
+        if n == 1:
+            return breakdowns
+        if any(link.jitter_ms > 0.0 for link in links):
+            breakdowns.extend(one_breakdown() for _ in range(n - 1))
+            return breakdowns
+
+        steady = one_breakdown()
+        breakdowns.append(steady)
+        for _ in range(n - 2):
+            breakdowns.append(
+                DelayBreakdown(
+                    layer=steady.layer,
+                    uplink_ms=steady.uplink_ms,
+                    execution_ms=steady.execution_ms,
+                    downlink_ms=steady.downlink_ms,
+                    hops=list(steady.hops),
+                )
+            )
+        for link in links:
+            link.record_transfers(payload, n - 2)
+            link.record_transfers(RESULT_PAYLOAD_BYTES, n - 2)
+        return breakdowns
 
     # -- bookkeeping -----------------------------------------------------------------------
 

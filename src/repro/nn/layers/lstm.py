@@ -1,4 +1,4 @@
-"""Long short-term memory (LSTM) layer with full backpropagation through time.
+r"""Long short-term memory (LSTM) layer with full backpropagation through time.
 
 The implementation follows the standard LSTM formulation used by Keras:
 
@@ -25,7 +25,7 @@ Two details exist specifically to mirror the paper's implementation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,17 +40,25 @@ State = Tuple[np.ndarray, np.ndarray]
 
 
 @dataclass
-class _StepCache:
-    """Per-timestep values cached during the forward pass for BPTT."""
+class _SequenceCache:
+    """Whole-sequence tensors cached during the forward pass for BPTT.
 
-    x: np.ndarray
-    h_prev: np.ndarray
-    c_prev: np.ndarray
+    Gate activations are stored as full ``(batch, time, units)`` tensors (one
+    allocation per gate for the entire sequence) instead of per-timestep
+    objects, so the backward pass can compute the weight gradients with single
+    ``tensordot`` contractions over the batch and time axes.  ``h_states`` and
+    ``c_states`` have shape ``(batch, time + 1, units)``: index ``t`` holds the
+    state *entering* timestep ``t`` (index 0 is the initial state), so
+    ``h_states[:, 1:]`` is the output sequence.
+    """
+
+    inputs: np.ndarray
+    h_states: np.ndarray
+    c_states: np.ndarray
     i: np.ndarray
     f: np.ndarray
     g: np.ndarray
     o: np.ndarray
-    c: np.ndarray
     tanh_c: np.ndarray
 
 
@@ -83,7 +91,7 @@ class LSTM(Layer):
         # Populated by forward/backward.
         self.last_state: Optional[State] = None
         self.grad_initial_state: Optional[State] = None
-        self._caches: List[_StepCache] = []
+        self._cache: Optional[_SequenceCache] = None
         self._input_shape: Optional[Tuple[int, int, int]] = None
         self._used_initial_state = False
 
@@ -149,33 +157,47 @@ class LSTM(Layer):
         if self.double_bias:
             bias = bias + self.params["recurrent_bias"]
 
-        self._caches = []
         self._input_shape = (batch, timesteps, features)
-        outputs = np.zeros((batch, timesteps, units))
+
+        # Whole-sequence caches: one allocation each, filled as the recurrence runs.
+        h_states = np.empty((batch, timesteps + 1, units))
+        c_states = np.empty((batch, timesteps + 1, units))
+        h_states[:, 0, :] = h
+        c_states[:, 0, :] = c
+        i_all = np.empty((batch, timesteps, units))
+        f_all = np.empty((batch, timesteps, units))
+        g_all = np.empty((batch, timesteps, units))
+        o_all = np.empty((batch, timesteps, units))
+        tanh_c_all = np.empty((batch, timesteps, units))
 
         # Pre-compute the input contribution for all timesteps in one matmul.
         input_projection = inputs.reshape(batch * timesteps, features) @ kernel
         input_projection = input_projection.reshape(batch, timesteps, 4 * units)
 
         for t in range(timesteps):
-            x_t = inputs[:, t, :]
             z = input_projection[:, t, :] + h @ recurrent + bias
             i = _sigmoid.forward(z[:, :units])
             f = _sigmoid.forward(z[:, units: 2 * units])
             g = np.tanh(z[:, 2 * units: 3 * units])
             o = _sigmoid.forward(z[:, 3 * units:])
-            c_new = f * c + i * g
-            tanh_c = np.tanh(c_new)
-            h_new = o * tanh_c
-            self._caches.append(
-                _StepCache(x=x_t, h_prev=h, c_prev=c, i=i, f=f, g=g, o=o, c=c_new, tanh_c=tanh_c)
-            )
-            h, c = h_new, c_new
-            outputs[:, t, :] = h
+            c = f * c + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            i_all[:, t, :] = i
+            f_all[:, t, :] = f
+            g_all[:, t, :] = g
+            o_all[:, t, :] = o
+            tanh_c_all[:, t, :] = tanh_c
+            h_states[:, t + 1, :] = h
+            c_states[:, t + 1, :] = c
 
+        self._cache = _SequenceCache(
+            inputs=inputs, h_states=h_states, c_states=c_states,
+            i=i_all, f=f_all, g=g_all, o=o_all, tanh_c=tanh_c_all,
+        )
         self.last_state = (h, c)
         if self.return_sequences:
-            return outputs
+            return h_states[:, 1:, :]
         return h
 
     # -- backward ----------------------------------------------------------
@@ -185,7 +207,7 @@ class LSTM(Layer):
         grad_output: np.ndarray,
         grad_state: Optional[State] = None,
     ) -> np.ndarray:
-        if self._input_shape is None or not self._caches:
+        if self._input_shape is None or self._cache is None:
             raise ShapeError("backward called before forward on LSTM layer")
         batch, timesteps, features = self._input_shape
         units = self.units
@@ -207,11 +229,12 @@ class LSTM(Layer):
 
         kernel = self.params["kernel"]
         recurrent = self.params["recurrent_kernel"]
+        cache = self._cache
 
-        grad_kernel = np.zeros_like(kernel)
-        grad_recurrent = np.zeros_like(recurrent)
-        grad_bias = np.zeros(4 * units)
-        grad_inputs = np.zeros((batch, timesteps, features))
+        # Preallocated gate-gradient tensor for the whole sequence; the
+        # recurrent sweep only fills slices of it (no per-timestep concatenate)
+        # and the weight gradients fall out of single tensordots afterwards.
+        dz_all = np.empty((batch, timesteps, 4 * units))
 
         dh_next = np.zeros((batch, units))
         dc_next = np.zeros((batch, units))
@@ -221,26 +244,37 @@ class LSTM(Layer):
             dc_next = dc_next + np.asarray(dc_extra, dtype=float)
 
         for t in range(timesteps - 1, -1, -1):
-            cache = self._caches[t]
+            i = cache.i[:, t, :]
+            f = cache.f[:, t, :]
+            g = cache.g[:, t, :]
+            o = cache.o[:, t, :]
+            tanh_c = cache.tanh_c[:, t, :]
+            c_prev = cache.c_states[:, t, :]
+
             dh = grad_h_seq[:, t, :] + dh_next
-            do = dh * cache.tanh_c
-            dc = dc_next + dh * cache.o * (1.0 - cache.tanh_c**2)
-            di = dc * cache.g
-            df = dc * cache.c_prev
-            dg = dc * cache.i
+            do = dh * tanh_c
+            dc = dc_next + dh * o * (1.0 - tanh_c**2)
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
 
-            dz_i = di * cache.i * (1.0 - cache.i)
-            dz_f = df * cache.f * (1.0 - cache.f)
-            dz_g = dg * (1.0 - cache.g**2)
-            dz_o = do * cache.o * (1.0 - cache.o)
-            dz = np.concatenate([dz_i, dz_f, dz_g, dz_o], axis=1)
+            dz = dz_all[:, t, :]
+            dz[:, :units] = di * i * (1.0 - i)
+            dz[:, units: 2 * units] = df * f * (1.0 - f)
+            dz[:, 2 * units: 3 * units] = dg * (1.0 - g**2)
+            dz[:, 3 * units:] = do * o * (1.0 - o)
 
-            grad_kernel += cache.x.T @ dz
-            grad_recurrent += cache.h_prev.T @ dz
-            grad_bias += dz.sum(axis=0)
-            grad_inputs[:, t, :] = dz @ kernel.T
             dh_next = dz @ recurrent.T
-            dc_next = dc * cache.f
+            dc_next = dc * f
+
+        # Contract the whole sequence at once: sum over batch and time axes.
+        flat_dz = dz_all.reshape(batch * timesteps, 4 * units)
+        grad_kernel = cache.inputs.reshape(batch * timesteps, features).T @ flat_dz
+        grad_recurrent = np.tensordot(
+            cache.h_states[:, :-1, :], dz_all, axes=([0, 1], [0, 1])
+        )
+        grad_bias = flat_dz.sum(axis=0)
+        grad_inputs = (flat_dz @ kernel.T).reshape(batch, timesteps, features)
 
         grad_kernel += self.kernel_regularizer.gradient(kernel)
 

@@ -153,8 +153,13 @@ def train_policy(
     learning_rate: float = 1e-2,
     entropy_weight: float = 0.01,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> tuple[PolicyNetwork, BanditEpisodeLog, np.ndarray]:
-    """Build and train the policy network; returns (policy, log, reward_table)."""
+    """Build and train the policy network; returns (policy, log, reward_table).
+
+    ``batch_size=1`` (default) runs the paper's per-sample REINFORCE loop;
+    larger values use the vectorised minibatched trainer.
+    """
     contexts = context_extractor.extract(train_windows)
     reward_table = compute_reward_table(
         system, detectors_by_layer, train_windows, train_labels, reward_fn
@@ -166,7 +171,9 @@ def train_policy(
         learning_rate=learning_rate,
         seed=seed,
     )
-    trainer = ReinforceTrainer(policy, entropy_weight=entropy_weight, rng=seed)
+    trainer = ReinforceTrainer(
+        policy, entropy_weight=entropy_weight, rng=seed, batch_size=batch_size
+    )
     log = trainer.train(contexts, reward_table, episodes=episodes)
     return policy, log, reward_table
 

@@ -70,6 +70,8 @@ class MultivariatePipelineConfig:
     policy_hidden_units: int = 100
     policy_episodes: int = 30
     policy_learning_rate: float = 5e-3
+    #: 1 = the paper's per-sample REINFORCE loop; >1 = vectorised minibatches.
+    policy_batch_size: int = 1
     policy_anomaly_fraction: float = 0.3
     use_calibrated_execution_times: bool = True
     seed: int = 0
@@ -174,6 +176,7 @@ def run_multivariate_pipeline(config: Optional[MultivariatePipelineConfig] = Non
         episodes=config.policy_episodes,
         learning_rate=config.policy_learning_rate,
         seed=config.seed,
+        batch_size=config.policy_batch_size,
     )
 
     # 5. Table I rows (per-model evaluation on the AD test set).

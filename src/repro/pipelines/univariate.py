@@ -69,6 +69,8 @@ class UnivariatePipelineConfig:
     policy_hidden_units: int = 100
     policy_episodes: int = 40
     policy_learning_rate: float = 5e-3
+    #: 1 = the paper's per-sample REINFORCE loop; >1 = vectorised minibatches.
+    policy_batch_size: int = 1
     normal_train_fraction: float = 0.7
     policy_normal_fraction: float = 0.3
     use_calibrated_execution_times: bool = True
@@ -170,6 +172,7 @@ def run_univariate_pipeline(config: Optional[UnivariatePipelineConfig] = None,
         episodes=config.policy_episodes,
         learning_rate=config.policy_learning_rate,
         seed=config.seed,
+        batch_size=config.policy_batch_size,
     )
 
     # 5. Table I rows (per-model evaluation on the AD test set).

@@ -15,7 +15,7 @@ delay accounting, which ignores it).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -66,6 +66,48 @@ class AdaptiveScheme(SelectionScheme):
         if self.policy_overhead_ms > 0:
             record.delay.execution_ms += self.policy_overhead_ms
         return SchemeOutcome(window_index=window_index, final=record, records=[record])
+
+    def run_batch(
+        self, windows: np.ndarray, ground_truth: Optional[np.ndarray] = None
+    ) -> List[SchemeOutcome]:
+        """Fully vectorised path: one context extraction, one policy forward,
+        then one batched detector call per selected layer.
+
+        Windows are grouped by chosen action, detected per group, and the
+        outcomes re-assembled in the original window order.  With a greedy
+        policy (the evaluation default) and jitter-free links the per-window
+        outcomes are identical to :meth:`run`; with sampling the action draws
+        use the policy's vectorised sampler, so they differ from the
+        sequential draws while following the same distribution.  Jittery
+        links fall back to the sequential loop (grouping would reorder the
+        per-transfer jitter draws).
+        """
+        windows = np.asarray(windows, dtype=float)
+        n = windows.shape[0]
+        if n == 0:
+            return []
+        if not self._links_jitter_free():
+            return self.run(windows, ground_truth)
+        contexts = self.context_extractor.extract(windows)
+        actions = self.policy.select_actions(contexts, greedy=self.greedy)
+        self.chosen_actions.extend(int(action) for action in actions)
+
+        records: List[Optional[object]] = [None] * n
+        for action in np.unique(actions):
+            indices = np.flatnonzero(actions == action)
+            truths = ground_truth[indices] if ground_truth is not None else None
+            for index, record in zip(
+                indices,
+                self.system.detect_batch(int(action), windows[indices], ground_truths=truths),
+            ):
+                records[index] = record
+        if self.policy_overhead_ms > 0:
+            for record in records:
+                record.delay.execution_ms += self.policy_overhead_ms
+        return [
+            SchemeOutcome(window_index=index, final=record, records=[record])
+            for index, record in enumerate(records)
+        ]
 
     def action_distribution(self) -> np.ndarray:
         """Normalised frequencies of the actions chosen so far."""

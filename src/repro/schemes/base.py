@@ -63,13 +63,35 @@ class SelectionScheme:
         raise NotImplementedError
 
     def run(self, windows: np.ndarray, labels: Optional[np.ndarray] = None) -> List[SchemeOutcome]:
-        """Process a batch of windows in order; returns one outcome per window."""
+        """Process a batch of windows one at a time; returns one outcome per window."""
         windows = np.asarray(windows, dtype=float)
         outcomes: List[SchemeOutcome] = []
         for index in range(windows.shape[0]):
             truth = int(labels[index]) if labels is not None else None
             outcomes.append(self.handle_window(windows[index], index, ground_truth=truth))
         return outcomes
+
+    def run_batch(
+        self, windows: np.ndarray, ground_truth: Optional[np.ndarray] = None
+    ) -> List[SchemeOutcome]:
+        """Batched driver: process all windows with vectorised detector calls.
+
+        Subclasses override this with a path that pushes whole batches through
+        :meth:`~repro.hec.simulation.HECSystem.detect_batch`; the outcomes are
+        equivalent to :meth:`run` (identical predictions, delays and system
+        bookkeeping on jitter-free links).  The base implementation simply
+        falls back to the sequential loop.
+        """
+        return self.run(windows, ground_truth)
+
+    def _links_jitter_free(self) -> bool:
+        """Whether every link's delay is deterministic (no jitter RNG draws).
+
+        Schemes whose batched drivers reorder detection requests (grouping by
+        layer) use this to fall back to the sequential path when jitter is on,
+        so the per-transfer jitter draws keep the same order as :meth:`run`.
+        """
+        return all(link.jitter_ms == 0.0 for link in self.system.topology.links)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -6,7 +6,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -38,3 +38,14 @@ class FixedLayerScheme(SelectionScheme):
     ) -> SchemeOutcome:
         record = self.system.detect_at(self.layer, window, ground_truth=ground_truth)
         return SchemeOutcome(window_index=window_index, final=record, records=[record])
+
+    def run_batch(
+        self, windows: np.ndarray, ground_truth: Optional[np.ndarray] = None
+    ) -> List[SchemeOutcome]:
+        """All windows go to the configured layer in one batched detector call."""
+        windows = np.asarray(windows, dtype=float)
+        records = self.system.detect_batch(self.layer, windows, ground_truths=ground_truth)
+        return [
+            SchemeOutcome(window_index=index, final=record, records=[record])
+            for index, record in enumerate(records)
+        ]

@@ -57,6 +57,56 @@ class SuccessiveScheme(SelectionScheme):
         assert record is not None  # the loop always executes at least once
         return SchemeOutcome(window_index=window_index, final=record, records=records)
 
+    def run_batch(
+        self, windows: np.ndarray, ground_truth: Optional[np.ndarray] = None
+    ) -> List[SchemeOutcome]:
+        """Escalation loop over layers with batched per-layer detector calls.
+
+        Instead of finishing each window before starting the next, all windows
+        are detected at the start layer in one batch; the unconfident ones are
+        escalated together to the next layer, and so on.  On jitter-free links
+        each window's record chain and accumulated delay are the same as in
+        :meth:`run` (only the order of the system's global event log differs);
+        jittery links fall back to the sequential loop so the per-transfer
+        jitter draws keep their order.
+        """
+        windows = np.asarray(windows, dtype=float)
+        n = windows.shape[0]
+        if n == 0:
+            return []
+        if not self._links_jitter_free():
+            return self.run(windows, ground_truth)
+        finals: List[Optional[DetectionRecord]] = [None] * n
+        chains: List[List[DetectionRecord]] = [[] for _ in range(n)]
+        accumulated: List[Optional[object]] = [None] * n
+
+        active = np.arange(n)
+        for layer in range(self.start_layer, self.system.n_layers):
+            truths = ground_truth[active] if ground_truth is not None else None
+            records = self.system.detect_batch(
+                layer,
+                windows[active],
+                ground_truths=truths,
+                escalated_from=[accumulated[index] for index in active],
+            )
+            still_active = []
+            top = self.system.n_layers - 1
+            for index, record in zip(active, records):
+                chains[index].append(record)
+                if record.confident or layer == top:
+                    finals[index] = record
+                else:
+                    accumulated[index] = record.delay
+                    still_active.append(index)
+            if not still_active:
+                break
+            active = np.asarray(still_active)
+
+        return [
+            SchemeOutcome(window_index=index, final=finals[index], records=chains[index])
+            for index in range(n)
+        ]
+
     def escalation_rate(self, outcomes: List[SchemeOutcome]) -> float:
         """Fraction of windows that needed more than one layer."""
         if not outcomes:
