@@ -14,6 +14,13 @@ shared CI runner; every timing is the best of several repeats.  Results are
 written machine-readable to ``benchmarks/results/perf_engine.json`` so future
 PRs have a performance trajectory to regress against.
 
+On top of the kernel timings, the report records one **end-to-end wall-clock
+entry per built-in fast scenario** (``scenario_runs``): a single
+``ExperimentRunner(spec).run()`` per scenario, so the trajectory also catches
+whole-pipeline regressions, not just kernel slowdowns.  The standalone entry
+point accepts ``--scenario`` to run the kernel benchmarks against any
+registered scenario's pipeline result.
+
 Equivalence policy: batched scheme evaluation must match sequential exactly
 (greedy policy, deterministic links); minibatched policy training samples
 actions from the same distribution but with a different RNG stream, so it is
@@ -22,6 +29,7 @@ held to a documented stochastic tolerance on the final greedy reward instead.
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -32,6 +40,7 @@ import pytest
 from repro.bandit.policy_network import PolicyNetwork
 from repro.bandit.reinforce import ReinforceTrainer
 from repro.evaluation.experiment import evaluate_scheme
+from repro.experiments import SCENARIOS, ExperimentRunner, get_scenario
 from repro.pipelines.common import TIERS, compute_reward_table
 from repro.schemes.adaptive import AdaptiveScheme
 from repro.schemes.fixed import FixedLayerScheme
@@ -99,13 +108,15 @@ def _timed_training(contexts, rewards, batch_size):
 def _scheme_factories(result, windows):
     extractor = result.context_extractor
     policy = result.policy
-    return {
-        "IoT Device": lambda: FixedLayerScheme(result.system, 0),
-        "Edge": lambda: FixedLayerScheme(result.system, 1),
-        "Cloud": lambda: FixedLayerScheme(result.system, 2),
-        "Successive": lambda: SuccessiveScheme(result.system),
-        "Our Method": lambda: AdaptiveScheme(result.system, policy, extractor),
-    }
+    factories = {}
+    for layer in range(result.system.n_layers):
+        scheme = FixedLayerScheme(result.system, layer)
+        factories[scheme.name] = (
+            lambda chosen=layer: FixedLayerScheme(result.system, chosen)
+        )
+    factories["Successive"] = lambda: SuccessiveScheme(result.system)
+    factories["Our Method"] = lambda: AdaptiveScheme(result.system, policy, extractor)
+    return factories
 
 
 def _evaluation_fingerprint(evaluation):
@@ -201,9 +212,41 @@ def run_perf_engine(result) -> dict:
     return report
 
 
-def write_report(report: dict) -> Path:
+def time_scenario_runs(names=None) -> list:
+    """End-to-end wall clock of one ``ExperimentRunner(spec).run()`` per scenario.
+
+    ``names`` defaults to the *built-in* fast scenarios (``builtin`` tag, not
+    ``paper-scale``) so the recorded trajectory has a stable shape regardless
+    of what example/test code has registered in the session (one run each —
+    these are full train+evaluate pipelines, so no repeats).
+    """
+    if names is None:
+        names = SCENARIOS.names(tags=("builtin",), exclude_tags=("paper-scale",))
+    entries = []
+    for name in names:
+        spec = get_scenario(name)
+        start = time.perf_counter()
+        result = ExperimentRunner(spec).run()
+        seconds = time.perf_counter() - start
+        adaptive = result.evaluations.get("Our Method")
+        entries.append(
+            {
+                "scenario": name,
+                "seconds": seconds,
+                "n_layers": result.system.n_layers,
+                "n_test_windows": int(result.test_labels.shape[0]),
+                "adaptive_f1": adaptive.f1 if adaptive is not None else None,
+                "adaptive_mean_delay_ms": (
+                    adaptive.mean_delay_ms if adaptive is not None else None
+                ),
+            }
+        )
+    return entries
+
+
+def write_report(report: dict, name: str = "perf_engine") -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / "perf_engine.json"
+    path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     return path
 
@@ -243,6 +286,9 @@ def _assert_report(report: dict) -> None:
 def test_perf_engine_sequential_vs_batched(univariate_result):
     """Time both paths, persist the JSON trajectory, enforce the speedup floors."""
     report = run_perf_engine(univariate_result)
+    report["scenario_runs"] = time_scenario_runs()
+    for entry in report["scenario_runs"]:
+        print(f"  scenario {entry['scenario']:<28s} {entry['seconds']:7.2f} s end-to-end")
     path = write_report(report)
     print(f"\nperf-engine report written to {path}")
     training = report["policy_training"]
@@ -261,21 +307,37 @@ def test_perf_engine_sequential_vs_batched(univariate_result):
 
 
 def main() -> None:
-    """Standalone entry point: build the fast univariate pipeline and run."""
-    from repro.data.power import PowerDatasetConfig
-    from repro.pipelines import UnivariatePipelineConfig, run_univariate_pipeline
-
-    config = UnivariatePipelineConfig(
-        data=PowerDatasetConfig(
-            weeks=40, samples_per_day=24, anomalous_day_fraction=0.06, seed=7
-        ),
-        policy_episodes=40,
+    """Standalone entry point: run the perf engine against a scenario's pipeline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        default="univariate-power",
+        help="registered scenario providing the benchmark workload "
+        f"(one of: {', '.join(SCENARIOS.names())})",
     )
-    report = run_perf_engine(run_univariate_pipeline(config))
-    path = write_report(report)
+    parser.add_argument(
+        "--skip-scenario-runs",
+        action="store_true",
+        help="skip the end-to-end wall-clock sweep over the fast scenarios",
+    )
+    args = parser.parse_args()
+
+    result = ExperimentRunner(get_scenario(args.scenario)).run()
+    report = run_perf_engine(result)
+    if not args.skip_scenario_runs:
+        report["scenario_runs"] = time_scenario_runs()
+    # Non-default workloads get their own results file so the canonical
+    # univariate trajectory (perf_engine.json) is never overwritten with
+    # incomparable numbers.
+    if args.scenario == "univariate-power":
+        path = write_report(report)
+    else:
+        path = write_report(report, name=f"perf_engine_{args.scenario}")
     print(json.dumps(report, indent=2))
     print(f"\nwritten to {path}")
-    _assert_report(report)
+    # The speedup/equivalence floors are calibrated on the univariate workload.
+    if args.scenario == "univariate-power":
+        _assert_report(report)
 
 
 if __name__ == "__main__":

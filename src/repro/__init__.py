@@ -30,9 +30,13 @@ The package is organised into the following subpackages:
 ``repro.evaluation``
     Detection metrics, the experiment runner and the generators for Table I,
     Table II and the demo result panel (Fig. 3).
+``repro.experiments``
+    The declarative experiment API: serialisable ``ExperimentSpec`` trees, the
+    stage-based ``ExperimentRunner`` and the scenario registry behind the
+    ``repro run / list / describe`` CLI.
 ``repro.pipelines``
-    End-to-end univariate and multivariate pipelines wiring everything
-    together.
+    Deprecated shims over ``repro.experiments`` preserving the original
+    univariate/multivariate pipeline entry points.
 """
 
 from repro.version import __version__

@@ -1,21 +1,28 @@
 """Command-line interface.
 
-Exposes the two experiment pipelines and the report writer as a small CLI so
-the tables can be regenerated without writing any Python::
+The CLI is scenario-driven: every experiment is a registered
+:class:`~repro.experiments.spec.ExperimentSpec` that can be listed, inspected
+and run with declarative overrides::
 
-    python -m repro.cli univariate --weeks 40 --output-dir reports/
-    python -m repro.cli multivariate --subjects 3 --output-dir reports/
-    python -m repro.cli both --output-dir reports/
+    python -m repro.cli list
+    python -m repro.cli describe univariate-power
+    python -m repro.cli run univariate-power --set data.weeks=20 --set policy.episodes=10
+    python -m repro.cli run mixed-detectors --output-dir reports/
 
-Each invocation trains the detectors and the policy network with the fast
-configuration (or the paper-scale one with ``--paper-scale``), prints the
-Table I / Table II summaries and, when ``--output-dir`` is given, writes the
-JSON + Markdown reproduction reports.
+``--set`` takes dotted spec paths (``data.weeks``, ``detectors.0.epochs``,
+``policy.episodes``, ...); values are coerced to the type of the field they
+replace and unknown keys are rejected.  ``repro describe`` prints the full
+spec as JSON, which doubles as the reference for valid ``--set`` keys.
+
+The legacy subcommands ``univariate`` / ``multivariate`` / ``both`` are kept
+as deprecated aliases over the corresponding scenarios; each prints a pointer
+to the ``run`` command on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -24,6 +31,14 @@ from repro.data.mhealth import MHealthConfig
 from repro.data.power import PowerDatasetConfig
 from repro.evaluation.reporting import write_report
 from repro.evaluation.tables import format_table
+from repro.exceptions import ReproError
+from repro.experiments import (
+    SCENARIOS,
+    ExperimentRunner,
+    apply_overrides,
+    get_scenario,
+    parse_set_arguments,
+)
 from repro.pipelines import (
     MultivariatePipelineConfig,
     UnivariatePipelineConfig,
@@ -40,6 +55,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # -- scenario commands ------------------------------------------------------
+
+    run = subparsers.add_parser(
+        "run", help="run a registered scenario (see 'repro list')"
+    )
+    run.add_argument("scenario", help="scenario name, e.g. univariate-power")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path, e.g. --set data.weeks=20; "
+        "repeatable ('repro describe <scenario>' shows the valid keys)",
+    )
+    run.add_argument("--seed", type=int, default=None,
+                     help="master random seed (the data seed follows)")
+    run.add_argument("--output-dir", type=str, default=None,
+                     help="directory for the JSON/Markdown reproduction reports")
+    run.add_argument("--quiet", action="store_true", help="suppress table output")
+    run.add_argument("--spec-only", action="store_true",
+                     help="print the resolved spec as JSON and exit without running")
+
+    subparsers.add_parser("list", help="list the registered scenarios")
+
+    describe = subparsers.add_parser(
+        "describe", help="show a scenario's description and full spec as JSON"
+    )
+    describe.add_argument("scenario", help="scenario name, e.g. univariate-power")
+
+    # -- deprecated aliases -----------------------------------------------------
+
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--seed", type=int, default=0, help="master random seed")
         sub.add_argument("--paper-scale", action="store_true",
@@ -49,7 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--quiet", action="store_true", help="suppress table output")
 
     univariate = subparsers.add_parser(
-        "univariate", help="run the univariate (power / autoencoder) experiment"
+        "univariate",
+        help="[deprecated alias of 'run univariate-power'] run the univariate experiment",
     )
     add_common(univariate)
     univariate.add_argument("--weeks", type=int, default=40,
@@ -57,17 +105,35 @@ def build_parser() -> argparse.ArgumentParser:
     univariate.add_argument("--policy-episodes", type=int, default=40)
 
     multivariate = subparsers.add_parser(
-        "multivariate", help="run the multivariate (MHEALTH / LSTM-seq2seq) experiment"
+        "multivariate",
+        help="[deprecated alias of 'run multivariate-mhealth'] run the multivariate experiment",
     )
     add_common(multivariate)
     multivariate.add_argument("--subjects", type=int, default=3,
                               help="number of simulated subjects (fast configuration only)")
     multivariate.add_argument("--policy-episodes", type=int, default=30)
 
-    both = subparsers.add_parser("both", help="run both experiments back to back")
+    both = subparsers.add_parser(
+        "both", help="[deprecated] run both experiments back to back"
+    )
     add_common(both)
+    # Per-track knobs must be registered here too — an earlier version of the
+    # CLI silently ignored them on 'both' because getattr() fell back to the
+    # defaults.  None means "use the track's own default".
+    both.add_argument("--weeks", type=int, default=None,
+                      help="number of synthetic weeks for the univariate track")
+    both.add_argument("--subjects", type=int, default=None,
+                      help="number of simulated subjects for the multivariate track")
+    both.add_argument("--policy-episodes", type=int, default=None,
+                      help="policy-training episodes for both tracks")
 
     return parser
+
+
+def _resolved(args: argparse.Namespace, name: str, default):
+    """An argument value with ``None`` (the 'both' subparser) meaning default."""
+    value = getattr(args, name, None)
+    return default if value is None else value
 
 
 def _univariate_config(args: argparse.Namespace) -> UnivariatePipelineConfig:
@@ -75,10 +141,10 @@ def _univariate_config(args: argparse.Namespace) -> UnivariatePipelineConfig:
         return UnivariatePipelineConfig.paper_scale()
     config = UnivariatePipelineConfig(
         data=PowerDatasetConfig(
-            weeks=getattr(args, "weeks", 40), samples_per_day=24,
+            weeks=_resolved(args, "weeks", 40), samples_per_day=24,
             anomalous_day_fraction=0.06, seed=args.seed + 7,
         ),
-        policy_episodes=getattr(args, "policy_episodes", 40),
+        policy_episodes=_resolved(args, "policy_episodes", 40),
         seed=args.seed,
     )
     return config
@@ -91,16 +157,16 @@ def _multivariate_config(args: argparse.Namespace) -> MultivariatePipelineConfig
     return replace(
         base,
         data=MHealthConfig(
-            n_subjects=getattr(args, "subjects", 3),
+            n_subjects=_resolved(args, "subjects", 3),
             seconds_per_activity=base.data.seconds_per_activity,
             sampling_rate_hz=base.data.sampling_rate_hz,
             seed=args.seed + 11,
         ),
-        policy_episodes=getattr(args, "policy_episodes", 30),
+        policy_episodes=_resolved(args, "policy_episodes", 30),
     )
 
 
-def _report(result, args: argparse.Namespace) -> None:
+def _report(result, args: argparse.Namespace, report_name: Optional[str] = None) -> None:
     if not args.quiet:
         print(format_table([row.as_dict() for row in result.table1_rows],
                            title=f"Table I ({result.dataset_name})"))
@@ -109,13 +175,74 @@ def _report(result, args: argparse.Namespace) -> None:
                            title=f"Table II ({result.dataset_name})"))
         print()
     if args.output_dir:
-        paths = write_report(result, args.output_dir)
+        paths = write_report(result, args.output_dir, name=report_name)
         if not args.quiet:
             print(f"Wrote {paths['json']} and {paths['markdown']}")
 
 
+def _run_scenario(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    overrides = parse_set_arguments(args.overrides)
+    if overrides:
+        spec = apply_overrides(spec, overrides)
+    if args.spec_only:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    result = ExperimentRunner(spec).run()
+    _report(result, args, report_name=f"report_{args.scenario}")
+    return 0
+
+
+def _list_scenarios() -> int:
+    print("Registered scenarios:")
+    for entry in SCENARIOS.entries():
+        tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
+        print(f"  {entry.name:<28s} {entry.description}{tags}")
+    print()
+    print("Run one with: python -m repro.cli run <scenario> [--set dotted.key=value ...]")
+    return 0
+
+
+def _describe_scenario(args: argparse.Namespace) -> int:
+    entry = SCENARIOS.entry(args.scenario)
+    spec = SCENARIOS.spec(args.scenario)
+    print(f"Scenario: {entry.name}")
+    if entry.description:
+        print(f"Description: {entry.description}")
+    if entry.tags:
+        print(f"Tags: {', '.join(entry.tags)}")
+    print()
+    print("Spec (valid --set keys are the dotted paths into this document):")
+    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _warn_deprecated(command: str, replacement: str) -> None:
+    print(
+        f"note: '{command}' is a deprecated alias; "
+        f"use 'python -m repro.cli {replacement}'",
+        file=sys.stderr,
+    )
+
+
 def run_command(args: argparse.Namespace) -> int:
     """Execute one parsed CLI command; returns a process exit code."""
+    if args.command == "run":
+        return _run_scenario(args)
+    if args.command == "list":
+        return _list_scenarios()
+    if args.command == "describe":
+        return _describe_scenario(args)
+
+    # Deprecated aliases over the legacy pipeline shims.
+    if args.command == "univariate":
+        _warn_deprecated("univariate", "run univariate-power")
+    elif args.command == "multivariate":
+        _warn_deprecated("multivariate", "run multivariate-mhealth")
+    else:
+        _warn_deprecated("both", "run univariate-power / run multivariate-mhealth")
     if args.command in ("univariate", "both"):
         result = run_univariate_pipeline(_univariate_config(args))
         _report(result, args)
@@ -129,7 +256,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return run_command(args)
+    try:
+        return run_command(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -14,7 +14,9 @@ This subpackage implements the paper's detection side:
 * :mod:`repro.detectors.confidence` — the paper's two confident-detection
   rules;
 * :mod:`repro.detectors.registry` — a registry that associates one detector
-  with each HEC layer.
+  with each HEC layer;
+* :mod:`repro.detectors.adapters` — window-shape adapters that let a detector
+  family run on the other family's window layout (mixed-detector scenarios).
 """
 
 from repro.detectors.base import AnomalyDetector, DetectionResult
@@ -31,6 +33,7 @@ from repro.detectors.lstm_seq2seq import (
     MULTIVARIATE_TIER_ARCHITECTURES,
 )
 from repro.detectors.registry import DetectorRegistry
+from repro.detectors.adapters import WindowReshapeAdapter
 
 __all__ = [
     "AnomalyDetector",
@@ -44,4 +47,5 @@ __all__ = [
     "build_seq2seq_detector",
     "MULTIVARIATE_TIER_ARCHITECTURES",
     "DetectorRegistry",
+    "WindowReshapeAdapter",
 ]

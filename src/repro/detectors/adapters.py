@@ -1,0 +1,101 @@
+"""Window-shape adapters: run a detector family on the "wrong" window layout.
+
+The autoencoder family consumes flat ``(n, window_size)`` univariate windows;
+the seq2seq family consumes ``(n, time, channels)`` multivariate windows.
+Mixed-detector deployments (e.g. cheap autoencoders on the IoT/edge tiers with
+a seq2seq model on the cloud) need both families to accept the *same* batch,
+so :class:`WindowReshapeAdapter` wraps a detector and reshapes every incoming
+batch before delegating:
+
+* ``"expand-channel"`` — ``(n, T)`` univariate windows become ``(n, T, 1)``
+  single-channel sequences (seq2seq on univariate data);
+* ``"flatten"`` — ``(n, T, C)`` multivariate windows become ``(n, T * C)``
+  flat vectors (autoencoder on multivariate data).
+
+Everything else — name, fitted state, the underlying model (used by FP16
+quantisation at deployment time), parameter counts, detection results — is
+delegated untouched, so an adapted detector is a drop-in
+:class:`~repro.detectors.base.AnomalyDetector` for the registry, the HEC
+system and the evaluation code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.detectors.base import AnomalyDetector, DetectionResult
+
+#: Supported reshape modes.
+ADAPTER_MODES = ("expand-channel", "flatten")
+
+
+class WindowReshapeAdapter(AnomalyDetector):
+    """Reshape window batches before handing them to the wrapped detector."""
+
+    def __init__(self, detector: AnomalyDetector, mode: str) -> None:
+        if mode not in ADAPTER_MODES:
+            raise ConfigurationError(
+                f"adapter mode must be one of {ADAPTER_MODES}, got {mode!r}"
+            )
+        # Deliberately no super().__init__: name/fitted are delegated properties.
+        self.inner = detector
+        self.mode = mode
+
+    # -- delegated identity ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def fitted(self) -> bool:
+        return self.inner.fitted
+
+    @property
+    def model(self):
+        """The wrapped detector's model (quantisation targets this)."""
+        return self.inner.model
+
+    # -- reshaping ---------------------------------------------------------------
+
+    def adapt(self, windows: np.ndarray) -> np.ndarray:
+        """The wrapped detector's view of a ``(n, ...)`` window batch."""
+        windows = np.asarray(windows, dtype=float)
+        if self.mode == "expand-channel":
+            if windows.ndim != 2:
+                raise ShapeError(
+                    f"expand-channel expects 2-D (n, window_size) batches, got {windows.shape}"
+                )
+            return windows[:, :, None]
+        if windows.ndim != 3:
+            raise ShapeError(
+                f"flatten expects 3-D (n, time, channels) batches, got {windows.shape}"
+            )
+        return windows.reshape(windows.shape[0], -1)
+
+    # -- AnomalyDetector interface -----------------------------------------------
+
+    def fit(self, normal_windows: np.ndarray, **kwargs) -> "WindowReshapeAdapter":
+        self.inner.fit(self.adapt(normal_windows), **kwargs)
+        return self
+
+    def reconstruct(self, windows: np.ndarray) -> np.ndarray:
+        return self.inner.reconstruct(self.adapt(windows))
+
+    def detect(self, windows: np.ndarray) -> List[DetectionResult]:
+        return self.inner.detect(self.adapt(windows))
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        return self.inner.predict(self.adapt(windows))
+
+    def context_features(self, windows: np.ndarray) -> Optional[np.ndarray]:
+        return self.inner.context_features(self.adapt(windows))
+
+    def parameter_count(self) -> int:
+        return self.inner.parameter_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WindowReshapeAdapter({self.inner!r}, mode={self.mode!r})"

@@ -58,6 +58,27 @@ class DemoPanelSeries:
         return lines
 
 
+def demo_panel_from_evaluation(evaluation, scheme_name: str = "") -> DemoPanelSeries:
+    """Assemble the demo-panel series from a finished :class:`SchemeEvaluation`.
+
+    The evaluation already stores the per-window prediction/delay/action
+    arrays, so no outcome objects are needed — this is what the experiment
+    runner uses to attach the adaptive scheme's panel to a pipeline result.
+    """
+    predictions = np.asarray(evaluation.predictions, dtype=int)
+    labels = np.asarray(evaluation.labels, dtype=int)
+    return DemoPanelSeries(
+        window_indices=np.arange(len(labels)),
+        predictions=predictions,
+        ground_truth=labels,
+        delays_ms=np.asarray(evaluation.delays_ms, dtype=float),
+        actions=np.asarray(evaluation.layers, dtype=int),
+        cumulative_accuracy=cumulative_accuracy(predictions, labels),
+        cumulative_f1=cumulative_f1(predictions, labels),
+        scheme_name=scheme_name or evaluation.scheme_name,
+    )
+
+
 def build_demo_panel_series(
     outcomes: List[SchemeOutcome],
     labels: np.ndarray,

@@ -107,9 +107,11 @@ def result_to_markdown(result, title: Optional[str] = None) -> str:
                "Delay ms (ours)", "Delay ms (paper)", "Reward (ours)", "Reward (paper)"]
     rows = []
     by_name = {row.scheme: row for row in result.table2_rows}
-    for name in SCHEME_ORDER:
-        if name not in by_name:
-            continue
+    # Paper order first, then any extra schemes (custom-topology fixed layers)
+    # in their evaluation order.
+    ordered = [name for name in SCHEME_ORDER if name in by_name]
+    ordered += [row.scheme for row in result.table2_rows if row.scheme not in ordered]
+    for name in ordered:
         row = by_name[name]
         reference = PAPER_TABLE2.get((dataset, name), {})
         rows.append([

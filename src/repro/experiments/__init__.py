@@ -1,0 +1,89 @@
+"""Declarative experiment API: specs, a stage-based runner and a scenario registry.
+
+This package replaces the twin hardcoded pipelines with three pieces:
+
+* :mod:`repro.experiments.spec` — frozen, serialisable
+  :class:`~repro.experiments.spec.ExperimentSpec` dataclasses
+  (dataset + detector-per-tier + topology + deployment + policy + evaluation)
+  with ``to_dict``/``from_dict``/JSON round-trips and dotted-path overrides;
+* :mod:`repro.experiments.runner` — the
+  :class:`~repro.experiments.runner.ExperimentRunner`, decomposing the shared
+  recipe into composable stages
+  (``prepare_data -> fit_detectors -> deploy -> train_policy -> evaluate``),
+  each individually invokable and forkable for policy sweeps;
+* :mod:`repro.experiments.registry` — the
+  :class:`~repro.experiments.registry.ScenarioRegistry` with the built-in
+  scenarios of :mod:`repro.experiments.scenarios` (the paper's two tracks,
+  paper-scale variants, a 4-tier hierarchy and a mixed-detector deployment).
+
+The shared stage machinery (:mod:`repro.experiments.stages`) also backs the
+legacy ``repro.pipelines`` shims, which remain as thin deprecated wrappers.
+"""
+
+from repro.experiments.spec import (
+    DataSpec,
+    DeploymentSpec,
+    DetectorSpec,
+    DeviceSpec,
+    EvaluationSpec,
+    ExperimentSpec,
+    LinkSpec,
+    PolicySpec,
+    TopologySpec,
+    apply_overrides,
+    parse_set_arguments,
+)
+from repro.experiments.stages import (
+    PipelineResult,
+    build_hec_system,
+    compute_reward_table,
+    evaluate_all_schemes,
+    train_policy,
+)
+from repro.experiments.runner import ExperimentRunner, ExperimentState
+from repro.experiments.compat import (
+    spec_from_multivariate_config,
+    spec_from_univariate_config,
+)
+from repro.experiments.registry import (
+    SCENARIOS,
+    ScenarioEntry,
+    ScenarioRegistry,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+import repro.experiments.scenarios  # noqa: F401  (registers the built-ins)
+
+__all__ = [
+    # specs
+    "DataSpec",
+    "DetectorSpec",
+    "DeviceSpec",
+    "LinkSpec",
+    "TopologySpec",
+    "DeploymentSpec",
+    "PolicySpec",
+    "EvaluationSpec",
+    "ExperimentSpec",
+    "apply_overrides",
+    "parse_set_arguments",
+    # stages / runner
+    "PipelineResult",
+    "build_hec_system",
+    "compute_reward_table",
+    "evaluate_all_schemes",
+    "train_policy",
+    "ExperimentRunner",
+    "ExperimentState",
+    # compat
+    "spec_from_univariate_config",
+    "spec_from_multivariate_config",
+    # registry
+    "ScenarioRegistry",
+    "ScenarioEntry",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+]

@@ -1,0 +1,136 @@
+"""Convert the legacy pipeline configurations into experiment specs.
+
+The twin pipeline configuration dataclasses
+(:class:`~repro.pipelines.univariate.UnivariatePipelineConfig`,
+:class:`~repro.pipelines.multivariate.MultivariatePipelineConfig`) predate the
+declarative API.  These converters map them onto equivalent
+:class:`~repro.experiments.spec.ExperimentSpec` trees; the legacy
+``run_*_pipeline`` entry points are thin shims that convert and delegate to
+the :class:`~repro.experiments.runner.ExperimentRunner`, and the built-in
+``univariate-power`` / ``multivariate-mhealth`` scenarios are defined as
+exactly these conversions of the default configurations.
+
+The functions only read attributes (no pipeline imports), which keeps the
+``pipelines <-> experiments`` import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.spec import (
+    DataSpec,
+    DeploymentSpec,
+    DetectorSpec,
+    EvaluationSpec,
+    ExperimentSpec,
+    PolicySpec,
+    TopologySpec,
+)
+
+#: Tier order of the paper's three-layer topology (bottom-up).
+_PAPER_TIERS = ("iot", "edge", "cloud")
+
+
+def spec_from_univariate_config(config, name: str = "univariate-power") -> ExperimentSpec:
+    """The :class:`ExperimentSpec` equivalent of a univariate pipeline config."""
+    data = DataSpec(
+        source="power",
+        seed=config.data.seed,
+        weeks=config.data.weeks,
+        samples_per_day=config.data.samples_per_day,
+        anomalous_day_fraction=config.data.anomalous_day_fraction,
+        noise_std=config.data.noise_std,
+        weekend_level=config.data.weekend_level,
+        normal_train_fraction=config.normal_train_fraction,
+        anomaly_test_fraction=1.0,
+        policy_normal_fraction=config.policy_normal_fraction,
+        policy_anomaly_fraction=1.0,
+    )
+    detectors = tuple(
+        DetectorSpec(
+            family="autoencoder",
+            hidden_sizes=tuple(config.hidden_sizes[tier]),
+            epochs=config.epochs[tier],
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+        )
+        for tier in _PAPER_TIERS
+    )
+    return ExperimentSpec(
+        name=name,
+        dataset_name="univariate",
+        description="Univariate power-consumption track: AE-IoT/Edge/Cloud on weekly windows.",
+        seed=config.seed,
+        data=data,
+        detectors=detectors,
+        topology=TopologySpec(preset="paper-three-layer"),
+        deployment=DeploymentSpec(
+            workload="univariate",
+            use_calibrated_execution_times=config.use_calibrated_execution_times,
+        ),
+        policy=PolicySpec(
+            hidden_units=config.policy_hidden_units,
+            episodes=config.policy_episodes,
+            learning_rate=config.policy_learning_rate,
+            batch_size=config.policy_batch_size,
+            alpha=config.alpha,
+            context="daily-stats",
+            context_segments=7,
+        ),
+        evaluation=EvaluationSpec(),
+    )
+
+
+def spec_from_multivariate_config(config, name: str = "multivariate-mhealth") -> ExperimentSpec:
+    """The :class:`ExperimentSpec` equivalent of a multivariate pipeline config."""
+    data = DataSpec(
+        source="mhealth",
+        seed=config.data.seed,
+        n_subjects=config.data.n_subjects,
+        seconds_per_activity=config.data.seconds_per_activity,
+        sampling_rate_hz=config.data.sampling_rate_hz,
+        normal_activity=config.data.normal_activity,
+        noise_std=config.data.noise_std,
+        subject_variability=config.data.subject_variability,
+        window_size=config.window_size,
+        stride=config.stride,
+        normal_train_fraction=0.7,
+        anomaly_test_fraction=config.anomaly_test_fraction,
+        policy_normal_fraction=0.3,
+        policy_anomaly_fraction=config.policy_anomaly_fraction,
+    )
+    detectors = tuple(
+        DetectorSpec(
+            family="seq2seq",
+            units=config.units[tier],
+            inference_mode=config.inference_mode,
+            epochs=config.epochs[tier],
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+        )
+        for tier in _PAPER_TIERS
+    )
+    return ExperimentSpec(
+        name=name,
+        dataset_name="multivariate",
+        description=(
+            "Multivariate MHEALTH-like track: LSTM/BiLSTM seq2seq detectors on "
+            "activity windows."
+        ),
+        seed=config.seed,
+        data=data,
+        detectors=detectors,
+        topology=TopologySpec(preset="paper-three-layer"),
+        deployment=DeploymentSpec(
+            workload="multivariate",
+            use_calibrated_execution_times=config.use_calibrated_execution_times,
+        ),
+        policy=PolicySpec(
+            hidden_units=config.policy_hidden_units,
+            episodes=config.policy_episodes,
+            learning_rate=config.policy_learning_rate,
+            batch_size=config.policy_batch_size,
+            alpha=config.alpha,
+            context="iot-encoder",
+        ),
+        evaluation=EvaluationSpec(),
+    )

@@ -1,0 +1,173 @@
+"""Built-in scenarios.
+
+The first four reproduce the paper's two tracks (fast and paper-scale
+configurations); the last two exercise shapes the legacy twin pipelines could
+not express at all:
+
+* ``hierarchical-edge-4tier`` — a four-layer hierarchy (sensor, gateway,
+  edge server, cloud) with four autoencoders of increasing capacity and a
+  four-action policy network;
+* ``mixed-detectors`` — different detector *families* per tier: cheap
+  autoencoders on the IoT and edge tiers, an LSTM-seq2seq model (via the
+  ``expand-channel`` window adapter) on the cloud.
+
+New scenarios register with :func:`~repro.experiments.registry.register_scenario`;
+see ``examples/custom_scenario.py`` for a ~20-line template.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.compat import (
+    spec_from_multivariate_config,
+    spec_from_univariate_config,
+)
+from repro.experiments.registry import register_scenario
+from repro.experiments.spec import (
+    DataSpec,
+    DeploymentSpec,
+    DetectorSpec,
+    DeviceSpec,
+    ExperimentSpec,
+    LinkSpec,
+    PolicySpec,
+    TopologySpec,
+)
+
+# NOTE: the imports below reach back into repro.pipelines for the legacy
+# configuration defaults (the single source of truth for the paper's two
+# tracks).  The pipeline shims import repro.experiments.runner/compat/stages
+# only — never this module — which keeps the import graph acyclic.
+from repro.pipelines.multivariate import MultivariatePipelineConfig
+from repro.pipelines.univariate import UnivariatePipelineConfig
+
+
+@register_scenario("univariate-power", tags=("builtin", "fast", "paper-track"))
+def univariate_power() -> ExperimentSpec:
+    """Univariate power track (fast defaults): AE-IoT/Edge/Cloud on weekly windows."""
+    return spec_from_univariate_config(UnivariatePipelineConfig())
+
+
+@register_scenario("multivariate-mhealth", tags=("builtin", "fast", "paper-track"))
+def multivariate_mhealth() -> ExperimentSpec:
+    """Multivariate MHEALTH-like track (fast defaults): LSTM/BiLSTM seq2seq detectors."""
+    return spec_from_multivariate_config(MultivariatePipelineConfig())
+
+
+@register_scenario("univariate-power-paper", tags=("builtin", "paper-scale", "paper-track"))
+def univariate_power_paper() -> ExperimentSpec:
+    """Univariate power track at the paper's dimensions (52 weeks, 15-minute sampling)."""
+    return spec_from_univariate_config(
+        UnivariatePipelineConfig.paper_scale(), name="univariate-power-paper"
+    )
+
+
+@register_scenario("multivariate-mhealth-paper", tags=("builtin", "paper-scale", "paper-track"))
+def multivariate_mhealth_paper() -> ExperimentSpec:
+    """Multivariate track at the paper's dimensions (10 subjects, 128-step windows)."""
+    return spec_from_multivariate_config(
+        MultivariatePipelineConfig.paper_scale(), name="multivariate-mhealth-paper"
+    )
+
+
+@register_scenario("hierarchical-edge-4tier", tags=("builtin", "fast", "extended"))
+def hierarchical_edge_4tier() -> ExperimentSpec:
+    """Four-tier hierarchy (sensor -> gateway -> edge -> cloud), four autoencoders.
+
+    Section II of the paper notes the approach "applies to any K in general";
+    this scenario exercises K = 4 with per-tier device/link profiles adapted
+    from ``examples/custom_hierarchy.py``.  Execution times come from the
+    generic parameter-count model (no calibration table for this workload).
+    """
+    return ExperimentSpec(
+        name="hierarchical-edge-4tier",
+        description=(
+            "4-tier hierarchical edge deployment on the power workload; "
+            "inexpressible under the legacy 3-tier pipelines"
+        ),
+        seed=0,
+        data=DataSpec(
+            source="power",
+            seed=7,
+            weeks=40,
+            samples_per_day=24,
+            anomalous_day_fraction=0.06,
+        ),
+        detectors=(
+            DetectorSpec(family="autoencoder", hidden_sizes=(8,), epochs=30,
+                         name="AE-sensor"),
+            DetectorSpec(family="autoencoder", hidden_sizes=(24, 12, 24), epochs=40,
+                         name="AE-gateway"),
+            DetectorSpec(family="autoencoder", hidden_sizes=(48, 24, 48), epochs=40,
+                         name="AE-edge"),
+            DetectorSpec(family="autoencoder", hidden_sizes=(64, 32, 16, 32, 64),
+                         epochs=80, name="AE-cloud"),
+        ),
+        topology=TopologySpec(
+            preset=None,
+            tier_names=("sensor", "gateway", "edge", "cloud"),
+            devices=(
+                DeviceSpec(name="Sensor MCU", tier="iot",
+                           throughput_params_per_ms=2e3, memory_mb=64.0,
+                           supports_fp32=False),
+                DeviceSpec(name="IoT Gateway", tier="edge",
+                           throughput_params_per_ms=1e4, memory_mb=512.0,
+                           supports_fp32=False),
+                DeviceSpec(name="Edge server", tier="edge",
+                           throughput_params_per_ms=1e5, memory_mb=8192.0),
+                DeviceSpec(name="Cloud datacentre", tier="cloud",
+                           throughput_params_per_ms=1e6, memory_mb=262144.0),
+            ),
+            links=(
+                LinkSpec(name="sensor-gateway", one_way_latency_ms=2.0,
+                         bandwidth_mbps=50.0),
+                LinkSpec(name="gateway-edge", one_way_latency_ms=15.0,
+                         bandwidth_mbps=200.0),
+                LinkSpec(name="edge-cloud", one_way_latency_ms=110.0,
+                         bandwidth_mbps=1000.0),
+            ),
+        ),
+        deployment=DeploymentSpec(workload="power-4tier", quantize_below_layer=2),
+        policy=PolicySpec(episodes=40, alpha=0.002, context="daily-stats",
+                          context_segments=7),
+    )
+
+
+@register_scenario("mixed-detectors", tags=("builtin", "fast", "extended"))
+def mixed_detectors() -> ExperimentSpec:
+    """Mixed detector families: autoencoders on IoT/edge, LSTM-seq2seq on the cloud.
+
+    The seq2seq cloud model consumes the univariate weekly windows through the
+    ``expand-channel`` adapter (``(n, T) -> (n, T, 1)``); the legacy pipelines
+    hard-wired one family per track and could not mix them.
+    """
+    return ExperimentSpec(
+        name="mixed-detectors",
+        description=(
+            "AE on IoT/edge + seq2seq on cloud over one univariate workload; "
+            "inexpressible under the legacy one-family-per-track pipelines"
+        ),
+        seed=0,
+        data=DataSpec(
+            source="power",
+            seed=7,
+            weeks=40,
+            samples_per_day=24,
+            anomalous_day_fraction=0.06,
+        ),
+        detectors=(
+            DetectorSpec(family="autoencoder", hidden_sizes=(12,), epochs=30),
+            DetectorSpec(family="autoencoder", hidden_sizes=(48, 24, 48), epochs=40),
+            DetectorSpec(
+                family="seq2seq",
+                units=24,
+                inference_mode="teacher_forcing",
+                input_adapter="expand-channel",
+                epochs=8,
+                batch_size=16,
+                learning_rate=5e-3,
+            ),
+        ),
+        deployment=DeploymentSpec(workload="univariate"),
+        policy=PolicySpec(episodes=40, alpha=0.0005, context="daily-stats",
+                          context_segments=7),
+    )

@@ -1,0 +1,524 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes one complete experiment — dataset,
+detector per tier, topology, deployment, policy training and evaluation — as
+a tree of frozen dataclasses.  Specs are pure data: they can be compared,
+serialised to/from JSON (via :mod:`repro.utils.serialization`), overridden
+with dotted ``key=value`` paths (the CLI's ``--set``) and handed to an
+:class:`~repro.experiments.runner.ExperimentRunner` to execute.
+
+The same spec tree expresses the paper's two original tracks *and* scenarios
+the old twin pipelines could not: deeper hierarchies (any number of tiers,
+each with its own device/link profile) and mixed detector families (e.g.
+autoencoders on the lower tiers with a seq2seq model on the cloud).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.utils.serialization import load_json, save_json, to_jsonable
+
+PathLike = Union[str, Path]
+
+#: Dataset sources understood by the runner's ``prepare_data`` stage.
+DATA_SOURCES = ("power", "mhealth")
+
+#: Detector families understood by the runner's ``fit_detectors`` stage.
+DETECTOR_FAMILIES = ("autoencoder", "seq2seq")
+
+#: Window adapters (see :mod:`repro.detectors.adapters`).
+INPUT_ADAPTERS = ("expand-channel", "flatten")
+
+#: Context extractors understood by the runner's ``train_policy`` stage.
+CONTEXT_KINDS = ("daily-stats", "iot-encoder")
+
+#: Topology presets understood by :meth:`TopologySpec.build`.
+TOPOLOGY_PRESETS = ("paper-three-layer",)
+
+#: Seed offsets applied by :meth:`DataSpec.reseed`, mirroring the legacy
+#: ``UnivariatePipelineConfig.with_seed`` / ``MultivariatePipelineConfig.with_seed``.
+_DATA_SEED_OFFSETS = {"power": 7, "mhealth": 11}
+
+
+def _check_choice(value: str, choices: Tuple[str, ...], what: str) -> None:
+    if value not in choices:
+        raise ConfigurationError(f"{what} must be one of {choices}, got {value!r}")
+
+
+def _freeze(value):
+    """Recursively convert lists into tuples (JSON round-trip normalisation)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _checked_kwargs(cls, payload: Mapping[str, Any], where: str) -> Dict[str, Any]:
+    """Validate that ``payload`` only holds known fields of ``cls``."""
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(f"{where} must be a mapping, got {type(payload).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in {where}; valid keys: {sorted(allowed)}"
+        )
+    return dict(payload)
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Dataset generation, windowing and split fractions.
+
+    ``source`` selects the generator; fields that do not apply to the chosen
+    source are ignored.  Optional fields left at ``None`` fall back to the
+    generator's own defaults.
+    """
+
+    source: str = "power"
+    seed: Optional[int] = 7
+    # power-specific
+    weeks: int = 40
+    samples_per_day: int = 24
+    anomalous_day_fraction: float = 0.06
+    weekend_level: Optional[float] = None
+    # mhealth-specific
+    n_subjects: int = 3
+    seconds_per_activity: float = 8.0
+    sampling_rate_hz: float = 25.0
+    normal_activity: Optional[Union[str, int]] = None
+    subject_variability: Optional[float] = None
+    window_size: int = 32
+    stride: int = 16
+    # shared
+    noise_std: Optional[float] = None
+    # splits (anomaly-detection split + policy-training split)
+    normal_train_fraction: float = 0.7
+    anomaly_test_fraction: float = 1.0
+    policy_normal_fraction: float = 0.3
+    policy_anomaly_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_choice(self.source, DATA_SOURCES, "data.source")
+
+    def reseed(self, seed: int) -> "DataSpec":
+        """The data seed derived from a new master ``seed`` (legacy offsets)."""
+        return replace(self, seed=seed + _DATA_SEED_OFFSETS[self.source])
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DataSpec":
+        return cls(**_checked_kwargs(cls, payload, "data"))
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """One detector (family + architecture + training knobs) for one tier."""
+
+    family: str = "autoencoder"
+    #: Autoencoder hidden-layer sizes; ``None`` uses the tier's paper-scale default.
+    hidden_sizes: Optional[Tuple[int, ...]] = None
+    #: Seq2seq encoder units; ``None`` uses the tier's paper-scale default.
+    units: Optional[int] = None
+    #: Seq2seq encoder direction; ``None`` uses the tier default (cloud = bidirectional).
+    bidirectional: Optional[bool] = None
+    inference_mode: str = "autoregressive"
+    dropout_rate: float = 0.3
+    #: Reshape incoming windows before the detector sees them
+    #: (``"expand-channel"``: 2-D univariate -> 3-D single-channel;
+    #: ``"flatten"``: 3-D multivariate -> 2-D).  Enables mixed detector families.
+    input_adapter: Optional[str] = None
+    #: Detector display name; ``None`` derives one from the family and tier.
+    name: Optional[str] = None
+    # training
+    epochs: int = 30
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+
+    def __post_init__(self) -> None:
+        _check_choice(self.family, DETECTOR_FAMILIES, "detector.family")
+        if self.input_adapter is not None:
+            _check_choice(self.input_adapter, INPUT_ADAPTERS, "detector.input_adapter")
+        if self.hidden_sizes is not None:
+            object.__setattr__(self, "hidden_sizes", _freeze(self.hidden_sizes))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DetectorSpec":
+        return cls(**_checked_kwargs(cls, payload, "detector"))
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A serialisable :class:`~repro.hec.device.DeviceProfile`."""
+
+    name: str
+    tier: str = "edge"
+    throughput_params_per_ms: float = 1e5
+    memory_mb: float = 4096.0
+    supports_fp32: bool = True
+    #: Calibrated execution times as ``(workload, milliseconds)`` pairs.
+    calibrated_execution_ms: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        calibrated = self.calibrated_execution_ms
+        if isinstance(calibrated, Mapping):
+            calibrated = tuple(sorted(calibrated.items()))
+        object.__setattr__(
+            self,
+            "calibrated_execution_ms",
+            tuple((str(k), float(v)) for k, v in _freeze(calibrated)),
+        )
+
+    def build(self):
+        """The concrete :class:`~repro.hec.device.DeviceProfile`."""
+        from repro.hec.device import DeviceProfile
+
+        return DeviceProfile(
+            name=self.name,
+            tier=self.tier,
+            throughput_params_per_ms=self.throughput_params_per_ms,
+            memory_mb=self.memory_mb,
+            calibrated_execution_ms=dict(self.calibrated_execution_ms),
+            supports_fp32=self.supports_fp32,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeviceSpec":
+        return cls(**_checked_kwargs(cls, payload, "device"))
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A serialisable :class:`~repro.hec.network.NetworkLink`."""
+
+    name: str
+    one_way_latency_ms: float
+    bandwidth_mbps: float = 1000.0
+    jitter_ms: float = 0.0
+    connection_setup_ms: float = 0.0
+
+    def build(self):
+        """The concrete :class:`~repro.hec.network.NetworkLink`."""
+        from repro.hec.network import NetworkLink
+
+        return NetworkLink(
+            self.name,
+            one_way_latency_ms=self.one_way_latency_ms,
+            bandwidth_mbps=self.bandwidth_mbps,
+            jitter_ms=self.jitter_ms,
+            connection_setup_ms=self.connection_setup_ms,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LinkSpec":
+        return cls(**_checked_kwargs(cls, payload, "link"))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The HEC hierarchy: a preset or explicit device/link profiles."""
+
+    #: ``"paper-three-layer"`` builds the paper's Pi 3 -> Jetson TX2 -> Devbox
+    #: testbed; ``None`` requires explicit ``devices`` and ``links``.
+    preset: Optional[str] = "paper-three-layer"
+    tier_names: Tuple[str, ...] = ("iot", "edge", "cloud")
+    devices: Tuple[DeviceSpec, ...] = ()
+    links: Tuple[LinkSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tier_names", tuple(str(t) for t in self.tier_names))
+        object.__setattr__(self, "devices", _freeze(self.devices))
+        object.__setattr__(self, "links", _freeze(self.links))
+        if self.preset is not None:
+            _check_choice(self.preset, TOPOLOGY_PRESETS, "topology.preset")
+        else:
+            if not self.devices:
+                raise ConfigurationError("topology without a preset needs explicit devices")
+            if len(self.links) != len(self.devices) - 1:
+                raise ConfigurationError(
+                    f"a {len(self.devices)}-layer topology needs {len(self.devices) - 1} "
+                    f"links, got {len(self.links)}"
+                )
+        if len(set(self.tier_names)) != len(self.tier_names):
+            raise ConfigurationError(f"tier names must be unique, got {self.tier_names}")
+        if len(self.tier_names) != self.n_layers:
+            raise ConfigurationError(
+                f"{self.n_layers}-layer topology needs {self.n_layers} tier names, "
+                f"got {self.tier_names}"
+            )
+
+    @property
+    def n_layers(self) -> int:
+        """Number of layers this topology will have once built."""
+        if self.preset is not None:
+            return 3
+        return len(self.devices)
+
+    def build(self):
+        """The concrete :class:`~repro.hec.topology.HECTopology`."""
+        from repro.hec.topology import HECTopology, build_three_layer_topology
+
+        if self.preset == "paper-three-layer":
+            return build_three_layer_topology()
+        return HECTopology(
+            devices=[device.build() for device in self.devices],
+            links=[link.build() for link in self.links],
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TopologySpec":
+        kwargs = _checked_kwargs(cls, payload, "topology")
+        if "devices" in kwargs:
+            kwargs["devices"] = tuple(
+                d if isinstance(d, DeviceSpec) else DeviceSpec.from_dict(d)
+                for d in kwargs["devices"]
+            )
+        if "links" in kwargs:
+            kwargs["links"] = tuple(
+                l if isinstance(l, LinkSpec) else LinkSpec.from_dict(l)
+                for l in kwargs["links"]
+            )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """How detectors are placed on the topology."""
+
+    #: Calibration-table key used to resolve execution times (falls back to the
+    #: generic parameter-count model for unknown workloads).
+    workload: str = "univariate"
+    use_calibrated_execution_times: bool = True
+    #: Layers strictly below this index are FP16-quantised; ``None`` = ``K - 1``
+    #: (the paper quantises everything below the cloud).
+    quantize_below_layer: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeploymentSpec":
+        return cls(**_checked_kwargs(cls, payload, "deployment"))
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Bandit policy network, its REINFORCE training and the reward."""
+
+    hidden_units: int = 100
+    episodes: int = 40
+    learning_rate: float = 5e-3
+    #: 1 = the paper's per-sample REINFORCE loop; >1 = vectorised minibatches.
+    batch_size: int = 1
+    entropy_weight: float = 0.01
+    #: Delay-cost coefficient of the reward function (Eq. 1).
+    alpha: float = 0.0005
+    #: ``"daily-stats"`` = per-day statistics of the window (univariate);
+    #: ``"iot-encoder"`` = the layer-0 seq2seq encoder state (multivariate).
+    context: str = "daily-stats"
+    context_segments: int = 7
+
+    def __post_init__(self) -> None:
+        _check_choice(self.context, CONTEXT_KINDS, "policy.context")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PolicySpec":
+        return cls(**_checked_kwargs(cls, payload, "policy"))
+
+
+@dataclass(frozen=True)
+class EvaluationSpec:
+    """What the ``evaluate`` stage produces."""
+
+    batched: bool = True
+    table1: bool = True
+    demo_panel: bool = True
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationSpec":
+        return cls(**_checked_kwargs(cls, payload, "evaluation"))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete declarative experiment."""
+
+    name: str
+    data: DataSpec = field(default_factory=DataSpec)
+    detectors: Tuple[DetectorSpec, ...] = ()
+    #: Label used in table rows and reports; defaults to ``name``.
+    dataset_name: Optional[str] = None
+    description: str = ""
+    seed: int = 0
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an experiment spec needs a non-empty name")
+        object.__setattr__(self, "detectors", _freeze(self.detectors))
+        if not self.detectors:
+            raise ConfigurationError("an experiment spec needs at least one detector")
+        if len(self.detectors) != self.topology.n_layers:
+            raise ConfigurationError(
+                f"spec {self.name!r} has {len(self.detectors)} detectors for a "
+                f"{self.topology.n_layers}-layer topology; one detector per layer is required"
+            )
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def dataset_label(self) -> str:
+        """The dataset label used in table rows and report file names."""
+        return self.dataset_name or self.name
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        """A copy with a new master seed (data seed follows the legacy offsets)."""
+        return replace(self, seed=seed, data=self.data.reseed(seed))
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready nested dictionary (tuples become lists)."""
+        return to_jsonable(dataclasses.asdict(self))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys raise)."""
+        kwargs = _checked_kwargs(cls, payload, "experiment")
+        nested = {
+            "data": DataSpec,
+            "topology": TopologySpec,
+            "deployment": DeploymentSpec,
+            "policy": PolicySpec,
+            "evaluation": EvaluationSpec,
+        }
+        for key, sub_cls in nested.items():
+            if key in kwargs and not isinstance(kwargs[key], sub_cls):
+                kwargs[key] = sub_cls.from_dict(kwargs[key])
+        if "detectors" in kwargs:
+            kwargs["detectors"] = tuple(
+                d if isinstance(d, DetectorSpec) else DetectorSpec.from_dict(d)
+                for d in kwargs["detectors"]
+            )
+        return cls(**kwargs)
+
+    def to_json(self, path: PathLike) -> Path:
+        """Write the spec as pretty-printed JSON; returns the path."""
+        return save_json(path, self.to_dict())
+
+    @classmethod
+    def from_json(cls, path: PathLike) -> "ExperimentSpec":
+        """Load a spec written by :meth:`to_json`."""
+        return cls.from_dict(load_json(path))
+
+
+# -- dotted overrides (the CLI's --set) ------------------------------------------
+
+
+def _coerce_override(raw: Any, current: Any, key: str) -> Any:
+    """Coerce a raw (usually string) override to the type of ``current``."""
+    if not isinstance(raw, str):
+        return raw
+    if isinstance(current, bool):
+        lowered = raw.strip().lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ConfigurationError(f"cannot parse {raw!r} as a boolean for {key!r}")
+    try:
+        if isinstance(current, int) and not isinstance(current, bool):
+            return int(raw)
+        if isinstance(current, float):
+            return float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"cannot parse {raw!r} as {type(current).__name__} for {key!r}"
+        ) from exc
+    if isinstance(current, list):
+        try:
+            parsed = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"cannot parse {raw!r} as a JSON list for {key!r}"
+            ) from exc
+        if not isinstance(parsed, list):
+            raise ConfigurationError(f"{key!r} expects a list, got {raw!r}")
+        return parsed
+    if current is None:
+        # Unknown target type: accept JSON literals, fall back to the raw string.
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            return raw
+    return raw
+
+
+def _descend(node: Any, segment: str, path: str):
+    """One step of a dotted-path walk through dicts and lists."""
+    if isinstance(node, dict):
+        if segment not in node:
+            raise ConfigurationError(
+                f"unknown key {path!r}; valid keys here: {sorted(node)}"
+            )
+        return node[segment]
+    if isinstance(node, list):
+        try:
+            index = int(segment)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{path!r}: expected a list index, got {segment!r}"
+            ) from exc
+        if not 0 <= index < len(node):
+            raise ConfigurationError(
+                f"{path!r}: index {index} out of range (list has {len(node)} items)"
+            )
+        return node[index]
+    raise ConfigurationError(f"{path!r} does not address a nested value")
+
+
+def apply_overrides(spec: ExperimentSpec, overrides: Mapping[str, Any]) -> ExperimentSpec:
+    """A copy of ``spec`` with dotted-path overrides applied.
+
+    ``overrides`` maps dotted keys (e.g. ``"data.weeks"``, ``"detectors.0.epochs"``)
+    to values; string values are coerced to the type of the value they replace.
+    Unknown keys and uncoercible values raise :class:`ConfigurationError`.
+    """
+    payload = spec.to_dict()
+    for key, raw in overrides.items():
+        segments = [s for s in str(key).split(".") if s]
+        if not segments:
+            raise ConfigurationError(f"empty override key {key!r}")
+        node = payload
+        walked = []
+        for segment in segments[:-1]:
+            walked.append(segment)
+            node = _descend(node, segment, ".".join(walked))
+        last = segments[-1]
+        current = _descend(node, last, key)
+        value = _coerce_override(raw, current, key)
+        if isinstance(node, dict):
+            node[last] = value
+        else:
+            node[int(last)] = value
+    return ExperimentSpec.from_dict(payload)
+
+
+def parse_set_arguments(pairs) -> Dict[str, str]:
+    """Parse CLI ``--set key=value`` strings into an override mapping."""
+    overrides: Dict[str, str] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ConfigurationError(
+                f"--set expects KEY=VALUE, got {pair!r}"
+            )
+        key, _, value = pair.partition("=")
+        key = key.strip()
+        if not key:
+            raise ConfigurationError(f"--set expects KEY=VALUE, got {pair!r}")
+        overrides[key] = value
+    return overrides

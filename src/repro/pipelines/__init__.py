@@ -1,16 +1,19 @@
 """End-to-end pipelines reproducing the paper's two experiment tracks.
 
+.. deprecated::
+    The pipelines are thin shims over the declarative experiment API
+    (:mod:`repro.experiments`): each configuration converts to an
+    :class:`~repro.experiments.spec.ExperimentSpec` and runs through the
+    stage-based :class:`~repro.experiments.runner.ExperimentRunner`.  New code
+    should use ``repro.experiments`` (scenarios ``"univariate-power"`` /
+    ``"multivariate-mhealth"``); these entry points remain because their
+    signatures and the returned :class:`PipelineResult` are stable public API.
+
 * :mod:`repro.pipelines.univariate` — the power-consumption (autoencoder)
   track;
 * :mod:`repro.pipelines.multivariate` — the MHEALTH-like (LSTM-seq2seq) track;
-* :mod:`repro.pipelines.common` — shared plumbing (HEC construction, reward
-  tables, scheme evaluation).
-
-Each pipeline exposes a configuration dataclass with a fast default (small
-models, small synthetic datasets) and a ``paper_scale()`` constructor with the
-paper's dimensions, plus a ``run()`` method returning a
-:class:`~repro.pipelines.common.PipelineResult` holding the trained models,
-the HEC system, the policy network and the Table I / Table II rows.
+* :mod:`repro.pipelines.common` — re-export of the shared machinery now in
+  :mod:`repro.experiments.stages`.
 """
 
 from repro.pipelines.common import PipelineResult, build_hec_system, compute_reward_table

@@ -1,6 +1,18 @@
 """End-to-end pipeline for the multivariate (MHEALTH-like) track.
 
-The pipeline mirrors the paper's multivariate experiments:
+.. deprecated::
+    This module is a thin compatibility shim.  :func:`run_multivariate_pipeline`
+    converts its configuration into an
+    :class:`~repro.experiments.spec.ExperimentSpec` (via
+    :func:`~repro.experiments.compat.spec_from_multivariate_config`) and
+    delegates to the stage-based
+    :class:`~repro.experiments.runner.ExperimentRunner`.  New code should use
+    ``repro.experiments`` directly (scenario ``"multivariate-mhealth"``); the
+    shim is kept because its signature and the returned
+    :class:`~repro.experiments.stages.PipelineResult` are stable public API,
+    and equivalence tests pin the shim's output to the runner's bit-for-bit.
+
+The experiment mirrors the paper's multivariate track:
 
 1. generate the 18-channel activity dataset, cut it into windows (128 steps
    with stride 64 at paper scale) that do not straddle activity/subject
@@ -24,25 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-import numpy as np
-
-from repro.bandit.context import EncoderContextExtractor
-from repro.bandit.reward import DelayCost, RewardFunction, PAPER_ALPHA_MULTIVARIATE
-from repro.data.datasets import LabeledWindows
-from repro.data.mhealth import MHealthConfig, generate_mhealth_dataset
-from repro.data.preprocessing import StandardScaler
-from repro.data.splits import anomaly_detection_split, policy_training_split
-from repro.data.windowing import windows_from_dataset
-from repro.detectors.lstm_seq2seq import build_seq2seq_detector
-from repro.evaluation.tables import ModelComparisonRow, model_comparison_row
-from repro.pipelines.common import (
-    PipelineResult,
-    TIERS,
-    build_hec_system,
-    evaluate_all_schemes,
-    train_policy,
-)
-from repro.utils.rng import ensure_rng
+from repro.bandit.reward import PAPER_ALPHA_MULTIVARIATE
+from repro.data.mhealth import MHealthConfig
+# NOTE: import from repro.experiments submodules (not repro.pipelines.common)
+# to keep the pipelines <-> experiments import graph acyclic.
+from repro.experiments.compat import spec_from_multivariate_config
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.stages import PipelineResult
 
 
 @dataclass(frozen=True)
@@ -95,128 +96,17 @@ class MultivariatePipelineConfig:
         """A copy of this configuration with a different master seed."""
         return replace(self, seed=seed, data=replace(self.data, seed=seed + 11))
 
-
-def _prepare_windows(config: MultivariatePipelineConfig) -> LabeledWindows:
-    dataset = generate_mhealth_dataset(config.data)
-    return windows_from_dataset(
-        dataset,
-        window_size=config.window_size,
-        stride=config.stride,
-        purity="activity",
-    )
+    def to_experiment_spec(self) -> ExperimentSpec:
+        """The equivalent declarative :class:`ExperimentSpec`."""
+        return spec_from_multivariate_config(self)
 
 
 def run_multivariate_pipeline(config: Optional[MultivariatePipelineConfig] = None,
                               verbose: bool = False) -> PipelineResult:
-    """Run the full multivariate experiment and return its :class:`PipelineResult`."""
+    """Run the full multivariate experiment and return its :class:`PipelineResult`.
+
+    Deprecated shim: equivalent to
+    ``ExperimentRunner(config.to_experiment_spec(), verbose=verbose).run()``.
+    """
     config = config or MultivariatePipelineConfig()
-    rng = ensure_rng(config.seed)
-
-    # 1. Data: activity-pure windows, standardised per channel on the AD training set.
-    all_windows = _prepare_windows(config)
-    ad_split = anomaly_detection_split(
-        all_windows,
-        normal_train_fraction=0.7,
-        anomaly_test_fraction=config.anomaly_test_fraction,
-        rng=rng,
-    )
-    scaler = StandardScaler().fit(ad_split.train.windows)
-    train_windows = scaler.transform(ad_split.train.windows)
-    test_windows = scaler.transform(ad_split.test.windows)
-    test_labels = ad_split.test.labels
-
-    # 2. Detectors: one seq2seq model per tier, trained only on normal windows.
-    n_channels = all_windows.n_channels
-    detectors = {}
-    for tier in TIERS:
-        detector = build_seq2seq_detector(
-            tier,
-            n_channels=n_channels,
-            units=config.units[tier],
-            inference_mode=config.inference_mode,
-            seed=int(rng.integers(0, 2**31 - 1)),
-        )
-        detector.fit(
-            train_windows,
-            epochs=config.epochs[tier],
-            batch_size=config.batch_size,
-            learning_rate=config.learning_rate,
-            verbose=verbose,
-        )
-        detectors[tier] = detector
-
-    # 3. HEC deployment with the paper's calibrated execution times.
-    overrides = None if config.use_calibrated_execution_times else {}
-    system, deployments = build_hec_system(
-        detectors, workload="multivariate", execution_time_overrides=overrides
-    )
-
-    # 4. Policy training: context = IoT encoder states, reward from Eq. (1).
-    standardized_all = LabeledWindows(
-        windows=scaler.transform(all_windows.windows),
-        labels=all_windows.labels,
-    )
-    policy_train, _policy_test = policy_training_split(
-        standardized_all,
-        normal_fraction=0.3,
-        anomaly_fraction=config.policy_anomaly_fraction,
-        rng=rng,
-    )
-    context_extractor = EncoderContextExtractor(detectors["iot"])
-    reward_fn = RewardFunction(cost=DelayCost(alpha=config.alpha))
-    detectors_by_layer = [detectors[tier] for tier in TIERS]
-    policy, bandit_log, _reward_table = train_policy(
-        system,
-        detectors_by_layer,
-        context_extractor,
-        policy_train.windows,
-        policy_train.labels,
-        reward_fn,
-        hidden_units=config.policy_hidden_units,
-        episodes=config.policy_episodes,
-        learning_rate=config.policy_learning_rate,
-        seed=config.seed,
-        batch_size=config.policy_batch_size,
-    )
-
-    # 5. Table I rows (per-model evaluation on the AD test set).
-    table1_rows: list[ModelComparisonRow] = []
-    for layer, tier in enumerate(TIERS):
-        table1_rows.append(
-            model_comparison_row(
-                dataset="multivariate",
-                tier=tier,
-                detector=detectors[tier],
-                test_windows=test_windows,
-                test_labels=test_labels,
-                execution_time_ms=deployments[layer].execution_time_ms,
-            )
-        )
-
-    # 6. Table II rows: all five schemes on the AD test set.
-    evaluations, table2_rows, demo_panel = evaluate_all_schemes(
-        "multivariate",
-        system,
-        policy,
-        context_extractor,
-        test_windows,
-        test_labels,
-        reward_fn,
-    )
-
-    return PipelineResult(
-        dataset_name="multivariate",
-        detectors=detectors,
-        system=system,
-        deployments=deployments,
-        policy=policy,
-        context_extractor=context_extractor,
-        reward_fn=reward_fn,
-        bandit_log=bandit_log,
-        table1_rows=table1_rows,
-        table2_rows=table2_rows,
-        evaluations=evaluations,
-        demo_panel=demo_panel,
-        test_windows=test_windows,
-        test_labels=test_labels,
-    )
+    return ExperimentRunner(config.to_experiment_spec(), verbose=verbose).run()

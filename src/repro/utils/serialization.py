@@ -19,16 +19,21 @@ from repro.exceptions import SerializationError
 PathLike = Union[str, Path]
 
 
-def _to_jsonable(value: Any) -> Any:
-    """Recursively convert numpy scalars/arrays into plain Python objects."""
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and tuples into plain JSON types.
+
+    Arrays and tuples become lists, numpy scalars become Python scalars and
+    mapping keys are stringified.  Used by :func:`save_json` and by the
+    experiment-spec serialisation in :mod:`repro.experiments.spec`.
+    """
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, (np.floating, np.integer, np.bool_)):
         return value.item()
     if isinstance(value, Mapping):
-        return {str(k): _to_jsonable(v) for k, v in value.items()}
+        return {str(k): to_jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_to_jsonable(v) for v in value]
+        return [to_jsonable(v) for v in value]
     return value
 
 
@@ -37,7 +42,7 @@ def save_json(path: PathLike, payload: Mapping[str, Any]) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(_to_jsonable(dict(payload)), handle, indent=2, sort_keys=True)
+        json.dump(to_jsonable(dict(payload)), handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
 

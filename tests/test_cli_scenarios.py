@@ -1,0 +1,137 @@
+"""Tests for the scenario-driven CLI (run / list / describe) and the fixed
+per-track knobs of the deprecated ``both`` alias."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, run_command, _multivariate_config, _univariate_config
+
+
+class TestParser:
+    def test_run_parses_scenario_and_overrides(self):
+        args = build_parser().parse_args([
+            "run", "univariate-power", "--set", "data.weeks=8",
+            "--set", "policy.episodes=2", "--seed", "3",
+        ])
+        assert args.command == "run"
+        assert args.scenario == "univariate-power"
+        assert args.overrides == ["data.weeks=8", "policy.episodes=2"]
+        assert args.seed == 3
+
+    def test_list_and_describe_parse(self):
+        assert build_parser().parse_args(["list"]).command == "list"
+        args = build_parser().parse_args(["describe", "mixed-detectors"])
+        assert args.scenario == "mixed-detectors"
+
+    def test_legacy_aliases_still_parse(self):
+        args = build_parser().parse_args(["univariate", "--weeks", "14"])
+        assert args.command == "univariate" and args.weeks == 14
+        args = build_parser().parse_args(["multivariate", "--subjects", "2"])
+        assert args.subjects == 2
+
+    def test_both_accepts_per_track_knobs(self):
+        """Regression: these knobs used to be silently ignored on 'both'."""
+        args = build_parser().parse_args([
+            "both", "--weeks", "10", "--subjects", "2", "--policy-episodes", "3",
+        ])
+        assert args.weeks == 10
+        assert args.subjects == 2
+        assert args.policy_episodes == 3
+        assert _univariate_config(args).data.weeks == 10
+        assert _univariate_config(args).policy_episodes == 3
+        assert _multivariate_config(args).data.n_subjects == 2
+        assert _multivariate_config(args).policy_episodes == 3
+
+    def test_both_defaults_fall_back_per_track(self):
+        args = build_parser().parse_args(["both"])
+        assert _univariate_config(args).policy_episodes == 40
+        assert _multivariate_config(args).policy_episodes == 30
+
+    def test_unknown_knob_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["both", "--bogus-knob", "1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "univariate-power", "--weeks", "3"])
+
+
+class TestListAndDescribe:
+    def test_list_prints_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("univariate-power", "multivariate-mhealth",
+                     "hierarchical-edge-4tier", "mixed-detectors"):
+            assert name in out
+
+    def test_describe_prints_spec_json(self, capsys):
+        assert main(["describe", "univariate-power"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["dataset_name"] == "univariate"
+        assert payload["data"]["weeks"] == 40
+        assert len(payload["detectors"]) == 3
+
+    def test_describe_unknown_scenario_exits_2(self, capsys):
+        assert main(["describe", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_writes_scenario_report(self, tmp_path, capsys):
+        exit_code = main([
+            "run", "univariate-power",
+            "--set", "data.weeks=8",
+            "--set", "detectors.0.epochs=2",
+            "--set", "detectors.1.epochs=2",
+            "--set", "detectors.2.epochs=2",
+            "--set", "policy.episodes=2",
+            "--output-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Table II (univariate)" in captured.out
+        report = tmp_path / "report_univariate-power.json"
+        assert report.exists()
+        assert json.loads(report.read_text())["dataset"] == "univariate"
+
+    def test_spec_only_prints_resolved_spec_without_running(self, capsys):
+        exit_code = main([
+            "run", "univariate-power", "--set", "data.weeks=9", "--spec-only",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data"]["weeks"] == 9
+
+    def test_seed_flag_reseeds_spec(self, capsys):
+        assert main(["run", "univariate-power", "--seed", "5", "--spec-only"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 5
+        assert payload["data"]["seed"] == 12
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["run", "not-a-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_override_key_exits_2(self, capsys):
+        assert main(["run", "univariate-power", "--set", "data.bogus=1"]) == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_bad_override_value_exits_2(self, capsys):
+        assert main(["run", "univariate-power", "--set", "data.weeks=soon"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_malformed_set_pair_exits_2(self, capsys):
+        assert main(["run", "univariate-power", "--set", "data.weeks"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestLegacyAliases:
+    def test_univariate_alias_warns_and_runs(self, tmp_path, capsys):
+        args = build_parser().parse_args([
+            "univariate", "--weeks", "10", "--policy-episodes", "3",
+            "--output-dir", str(tmp_path), "--quiet",
+        ])
+        assert run_command(args) == 0
+        captured = capsys.readouterr()
+        assert "deprecated alias" in captured.err
+        assert (tmp_path / "report_univariate.json").exists()

@@ -71,6 +71,7 @@ class TestPackageSurface:
             "repro.hec",
             "repro.schemes",
             "repro.evaluation",
+            "repro.experiments",
             "repro.pipelines",
             "repro.cli",
         ],
@@ -95,6 +96,8 @@ class TestPackageSurface:
             ("repro.hec", ["HECSystem", "build_three_layer_topology", "deploy_registry"]),
             ("repro.schemes", ["FixedLayerScheme", "SuccessiveScheme", "AdaptiveScheme"]),
             ("repro.pipelines", ["run_univariate_pipeline", "run_multivariate_pipeline"]),
+            ("repro.experiments", ["ExperimentSpec", "ExperimentRunner", "register_scenario",
+                                   "get_scenario", "apply_overrides"]),
         ],
     )
     def test_public_api_symbols(self, module_name, symbols):

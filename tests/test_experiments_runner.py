@@ -1,0 +1,285 @@
+"""Tests for the stage-based experiment runner.
+
+Covers the shim-equivalence guarantee (the legacy pipelines and the runner
+produce *identical* Table I / Table II rows for a fixed seed), individual
+stage invocation, policy-sweep forking and the two scenarios the legacy API
+could not express (4-tier topology, mixed detector families).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.power import PowerDatasetConfig
+from repro.detectors.adapters import WindowReshapeAdapter
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    ExperimentRunner,
+    apply_overrides,
+    get_scenario,
+)
+from repro.pipelines import (
+    MultivariatePipelineConfig,
+    UnivariatePipelineConfig,
+    run_multivariate_pipeline,
+    run_univariate_pipeline,
+)
+
+#: Overrides that shrink the extended scenarios to test size.
+TINY_4TIER = {
+    "data.weeks": "10",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "3",
+    "detectors.3.epochs": "3",
+    "policy.episodes": "3",
+}
+TINY_MIXED = {
+    "data.weeks": "10",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "2",
+    "policy.episodes": "3",
+}
+
+
+def _small_univariate_config() -> UnivariatePipelineConfig:
+    return UnivariatePipelineConfig(
+        data=PowerDatasetConfig(weeks=12, samples_per_day=24, anomalous_day_fraction=0.08, seed=3),
+        epochs={"iot": 5, "edge": 5, "cloud": 5},
+        policy_episodes=5,
+    )
+
+
+def _small_multivariate_config() -> MultivariatePipelineConfig:
+    return MultivariatePipelineConfig(
+        units={"iot": 4, "edge": 6, "cloud": 5},
+        epochs={"iot": 2, "edge": 2, "cloud": 2},
+        policy_episodes=4,
+    )
+
+
+class TestShimEquivalence:
+    """run_*_pipeline(cfg) and ExperimentRunner(spec).run() are bit-for-bit equal."""
+
+    def test_univariate_rows_identical(self):
+        config = _small_univariate_config()
+        legacy = run_univariate_pipeline(config)
+        runner = ExperimentRunner(config.to_experiment_spec()).run()
+        assert legacy.table1_rows == runner.table1_rows
+        assert legacy.table2_rows == runner.table2_rows
+        for name in legacy.evaluations:
+            np.testing.assert_array_equal(
+                legacy.evaluations[name].predictions, runner.evaluations[name].predictions
+            )
+            np.testing.assert_array_equal(
+                legacy.evaluations[name].delays_ms, runner.evaluations[name].delays_ms
+            )
+
+    def test_univariate_bandit_log_identical(self):
+        config = _small_univariate_config()
+        legacy = run_univariate_pipeline(config)
+        runner = ExperimentRunner(config.to_experiment_spec()).run()
+        np.testing.assert_array_equal(
+            np.asarray(legacy.bandit_log.episode_mean_rewards),
+            np.asarray(runner.bandit_log.episode_mean_rewards),
+        )
+
+    def test_multivariate_rows_identical(self):
+        config = _small_multivariate_config()
+        legacy = run_multivariate_pipeline(config)
+        runner = ExperimentRunner(config.to_experiment_spec()).run()
+        assert legacy.table1_rows == runner.table1_rows
+        assert legacy.table2_rows == runner.table2_rows
+
+    def test_result_metadata_preserved(self):
+        config = _small_univariate_config()
+        result = run_univariate_pipeline(config)
+        assert result.dataset_name == "univariate"
+        assert list(result.detectors) == ["iot", "edge", "cloud"]
+        assert [row.tier for row in result.table1_rows] == ["iot", "edge", "cloud"]
+        assert result.demo_panel is not None
+
+
+class TestStageInvocation:
+    def test_stages_require_prerequisites(self):
+        runner = ExperimentRunner(get_scenario("univariate-power"))
+        with pytest.raises(ConfigurationError, match="prepare_data"):
+            runner.fit_detectors()
+        with pytest.raises(ConfigurationError, match="must run before"):
+            runner.evaluate()
+
+    def test_individual_stage_calls(self):
+        spec = apply_overrides(
+            get_scenario("univariate-power").with_seed(1),
+            {"data.weeks": "10", "policy.episodes": "3",
+             "detectors.0.epochs": "2", "detectors.1.epochs": "2",
+             "detectors.2.epochs": "2"},
+        )
+        runner = ExperimentRunner(spec)
+        runner.prepare_data()
+        assert runner.state.train_windows is not None
+        assert runner.state.test_labels is not None
+        runner.fit_detectors()
+        assert len(runner.state.detectors) == 3
+        assert all(d.fitted for d in runner.state.detectors)
+        runner.deploy()
+        assert runner.state.system.n_layers == 3
+        runner.train_policy()
+        assert runner.state.policy.n_actions == 3
+        result = runner.evaluate()
+        assert result is runner.state.result
+        # run() after all stages is a no-op returning the same result.
+        assert runner.run() is result
+
+    def test_fork_reuses_fitted_detectors_across_policy_sweep(self):
+        spec = apply_overrides(
+            get_scenario("univariate-power"),
+            {"data.weeks": "10", "policy.episodes": "2",
+             "detectors.0.epochs": "2", "detectors.1.epochs": "2",
+             "detectors.2.epochs": "2"},
+        )
+        base = ExperimentRunner(spec)
+        base.prepare_data()
+        base.fit_detectors()
+        base.deploy()
+
+        results = {}
+        for episodes in (2, 4):
+            swept = base.fork(policy=apply_overrides(
+                spec, {"policy.episodes": str(episodes)}).policy)
+            swept.train_policy()
+            results[episodes] = swept.evaluate()
+            # The detector objects are shared, not retrained.
+            assert swept.state.detectors[0] is base.state.detectors[0]
+        assert results[2].bandit_log.episodes == 2
+        assert results[4].bandit_log.episodes == 4
+
+    def test_fork_rejects_earlier_stage_fields(self):
+        runner = ExperimentRunner(get_scenario("univariate-power"))
+        with pytest.raises(ConfigurationError, match="cannot replace"):
+            runner.fork(data=get_scenario("multivariate-mhealth").data)
+
+
+class TestFourTierScenario:
+    """K = 4 was inexpressible under the legacy 3-tier pipelines."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = apply_overrides(get_scenario("hierarchical-edge-4tier"), TINY_4TIER)
+        return ExperimentRunner(spec).run()
+
+    def test_four_layers_deployed(self, result):
+        assert len(result.deployments) == 4
+        assert result.system.n_layers == 4
+
+    def test_policy_has_four_actions(self, result):
+        assert result.policy.n_actions == 4
+
+    def test_table1_uses_custom_tier_names(self, result):
+        assert [row.tier for row in result.table1_rows] == [
+            "sensor", "gateway", "edge", "cloud"
+        ]
+
+    def test_fixed_schemes_named_after_tiers(self, result):
+        assert set(result.evaluations) == {
+            "Always sensor", "Always gateway", "Always edge", "Always cloud",
+            "Successive", "Our Method",
+        }
+
+    def test_quantized_below_layer_two(self, result):
+        assert [d.quantized for d in result.deployments] == [True, True, False, False]
+
+    def test_delay_increases_up_the_hierarchy(self, result):
+        delays = [
+            result.evaluations[name].mean_delay_ms
+            for name in ("Always sensor", "Always gateway", "Always edge", "Always cloud")
+        ]
+        assert delays == sorted(delays)
+
+
+class TestMixedDetectorScenario:
+    """Mixed detector families were inexpressible under the legacy pipelines."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = apply_overrides(get_scenario("mixed-detectors"), TINY_MIXED)
+        return ExperimentRunner(spec).run()
+
+    def test_families_mixed(self, result):
+        names = [row.model_name for row in result.table1_rows]
+        assert names[0].startswith("AE-")
+        assert names[1].startswith("AE-")
+        assert "seq2seq" in names[2]
+
+    def test_cloud_detector_is_adapted(self, result):
+        cloud = result.detectors["cloud"]
+        assert isinstance(cloud, WindowReshapeAdapter)
+        assert cloud.mode == "expand-channel"
+        assert cloud.fitted
+
+    def test_all_schemes_evaluated(self, result):
+        assert set(result.evaluations) == {
+            "IoT Device", "Edge", "Cloud", "Successive", "Our Method"
+        }
+
+    def test_adapter_predictions_match_inner_detector(self, result):
+        cloud = result.detectors["cloud"]
+        windows = result.test_windows
+        np.testing.assert_array_equal(
+            cloud.predict(windows), cloud.inner.predict(windows[:, :, None])
+        )
+
+
+class TestDetectorBuilding:
+    """Tier architecture defaults survive custom names (regression)."""
+
+    def test_named_seq2seq_inherits_tier_architecture(self):
+        from repro.experiments.runner import _build_detector
+        from repro.experiments import DetectorSpec
+
+        spec = DetectorSpec(family="seq2seq", units=8, name="My-Cloud")
+        detector = _build_detector(spec, tier="cloud", window_shape=(16, 3), seed=0)
+        assert detector.name == "My-Cloud"
+        assert detector.bidirectional is True  # cloud tier default
+
+    def test_explicit_bidirectional_overrides_tier_default(self):
+        from repro.experiments.runner import _build_detector
+        from repro.experiments import DetectorSpec
+
+        spec = DetectorSpec(family="seq2seq", units=8, bidirectional=False)
+        detector = _build_detector(spec, tier="cloud", window_shape=(16, 3), seed=0)
+        assert detector.bidirectional is False
+
+    def test_custom_tier_seq2seq_needs_units(self):
+        from repro.experiments.runner import _build_detector
+        from repro.experiments import DetectorSpec
+
+        with pytest.raises(ConfigurationError, match="explicit units"):
+            _build_detector(DetectorSpec(family="seq2seq"), tier="fog",
+                            window_shape=(16, 3), seed=0)
+
+
+class TestWindowReshapeAdapter:
+    def test_expand_channel_shape(self):
+        from repro.detectors.autoencoder import AutoencoderDetector
+
+        inner = AutoencoderDetector(window_size=6, hidden_sizes=(3,), seed=0)
+        adapter = WindowReshapeAdapter(inner, "flatten")
+        windows = np.arange(12.0).reshape(2, 3, 2)
+        assert adapter.adapt(windows).shape == (2, 6)
+
+    def test_flatten_rejects_flat_input(self):
+        from repro.detectors.autoencoder import AutoencoderDetector
+        from repro.exceptions import ShapeError
+
+        inner = AutoencoderDetector(window_size=6, hidden_sizes=(3,), seed=0)
+        adapter = WindowReshapeAdapter(inner, "flatten")
+        with pytest.raises(ShapeError):
+            adapter.adapt(np.zeros((2, 6)))
+
+    def test_unknown_mode_rejected(self):
+        from repro.detectors.autoencoder import AutoencoderDetector
+
+        inner = AutoencoderDetector(window_size=6, hidden_sizes=(3,), seed=0)
+        with pytest.raises(ConfigurationError):
+            WindowReshapeAdapter(inner, "transpose")

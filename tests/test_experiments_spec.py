@@ -1,0 +1,272 @@
+"""Tests for the declarative experiment specs and the scenario registry."""
+
+import importlib.util
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    SCENARIOS,
+    DataSpec,
+    DetectorSpec,
+    DeviceSpec,
+    ExperimentSpec,
+    LinkSpec,
+    PolicySpec,
+    ScenarioRegistry,
+    TopologySpec,
+    apply_overrides,
+    get_scenario,
+    list_scenarios,
+    parse_set_arguments,
+    spec_from_multivariate_config,
+    spec_from_univariate_config,
+)
+from repro.pipelines import MultivariatePipelineConfig, UnivariatePipelineConfig
+
+BUILTIN_SCENARIOS = (
+    "univariate-power",
+    "multivariate-mhealth",
+    "univariate-power-paper",
+    "multivariate-mhealth-paper",
+    "hierarchical-edge-4tier",
+    "mixed-detectors",
+)
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("name", BUILTIN_SCENARIOS)
+    def test_dict_round_trip(self, name):
+        spec = get_scenario(name)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", ["univariate-power", "hierarchical-edge-4tier"])
+    def test_json_file_round_trip(self, name, tmp_path):
+        spec = get_scenario(name)
+        path = spec.to_json(tmp_path / f"{name}.json")
+        assert path.exists()
+        assert ExperimentSpec.from_json(path) == spec
+
+    def test_to_dict_is_json_serialisable(self):
+        payload = get_scenario("hierarchical-edge-4tier").to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = get_scenario("univariate-power").to_dict()
+        payload["data"]["not_a_field"] = 1
+        with pytest.raises(ConfigurationError, match="not_a_field"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_with_seed_follows_legacy_offsets(self):
+        univariate = get_scenario("univariate-power").with_seed(5)
+        assert univariate.seed == 5 and univariate.data.seed == 12
+        multivariate = get_scenario("multivariate-mhealth").with_seed(4)
+        assert multivariate.seed == 4 and multivariate.data.seed == 15
+
+
+class TestSpecValidation:
+    def test_detector_count_must_match_topology(self):
+        with pytest.raises(ConfigurationError, match="one detector per layer"):
+            ExperimentSpec(name="broken", detectors=(DetectorSpec(), DetectorSpec()))
+
+    def test_unknown_data_source_rejected(self):
+        with pytest.raises(ConfigurationError, match="data.source"):
+            DataSpec(source="csv")
+
+    def test_unknown_detector_family_rejected(self):
+        with pytest.raises(ConfigurationError, match="detector.family"):
+            DetectorSpec(family="transformer")
+
+    def test_unknown_context_rejected(self):
+        with pytest.raises(ConfigurationError, match="policy.context"):
+            PolicySpec(context="raw-window")
+
+    def test_custom_topology_needs_matching_links(self):
+        devices = (DeviceSpec(name="a"), DeviceSpec(name="b"))
+        with pytest.raises(ConfigurationError, match="needs 1 links"):
+            TopologySpec(preset=None, tier_names=("a", "b"), devices=devices, links=())
+
+    def test_custom_topology_needs_matching_tier_names(self):
+        devices = (DeviceSpec(name="a"), DeviceSpec(name="b"))
+        links = (LinkSpec(name="a-b", one_way_latency_ms=1.0),)
+        with pytest.raises(ConfigurationError, match="tier names"):
+            TopologySpec(preset=None, tier_names=("a",), devices=devices, links=links)
+
+    def test_lists_are_normalised_to_tuples(self):
+        spec = DetectorSpec(hidden_sizes=[8, 4, 8])
+        assert spec.hidden_sizes == (8, 4, 8)
+
+
+class TestOverrides:
+    def test_int_float_bool_coercion(self):
+        spec = get_scenario("univariate-power")
+        out = apply_overrides(spec, {
+            "data.weeks": "12",
+            "policy.learning_rate": "0.01",
+            "evaluation.batched": "false",
+        })
+        assert out.data.weeks == 12
+        assert out.policy.learning_rate == pytest.approx(0.01)
+        assert out.evaluation.batched is False
+
+    def test_detector_index_paths(self):
+        spec = get_scenario("univariate-power")
+        out = apply_overrides(spec, {"detectors.1.epochs": "7"})
+        assert out.detectors[1].epochs == 7
+        assert out.detectors[0].epochs == spec.detectors[0].epochs
+
+    def test_unknown_key_raises(self):
+        spec = get_scenario("univariate-power")
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            apply_overrides(spec, {"data.wekks": "12"})
+
+    def test_unknown_section_raises(self):
+        spec = get_scenario("univariate-power")
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            apply_overrides(spec, {"dta.weeks": "12"})
+
+    def test_bad_value_raises(self):
+        spec = get_scenario("univariate-power")
+        with pytest.raises(ConfigurationError, match="cannot parse"):
+            apply_overrides(spec, {"data.weeks": "a lot"})
+
+    def test_bad_bool_raises(self):
+        spec = get_scenario("univariate-power")
+        with pytest.raises(ConfigurationError, match="boolean"):
+            apply_overrides(spec, {"evaluation.batched": "maybe"})
+
+    def test_bad_index_raises(self):
+        spec = get_scenario("univariate-power")
+        with pytest.raises(ConfigurationError, match="out of range"):
+            apply_overrides(spec, {"detectors.9.epochs": "7"})
+
+    def test_overrides_do_not_mutate_original(self):
+        spec = get_scenario("univariate-power")
+        apply_overrides(spec, {"data.weeks": "12"})
+        assert spec.data.weeks == 40
+
+    def test_parse_set_arguments(self):
+        assert parse_set_arguments(["a.b=1", "c=x=y"]) == {"a.b": "1", "c": "x=y"}
+
+    def test_parse_set_arguments_rejects_missing_equals(self):
+        with pytest.raises(ConfigurationError, match="KEY=VALUE"):
+            parse_set_arguments(["data.weeks"])
+
+
+class TestScenarioRegistry:
+    def test_builtins_registered(self):
+        names = list_scenarios()
+        for name in BUILTIN_SCENARIOS:
+            assert name in names
+
+    def test_duplicate_registration_raises(self):
+        registry = ScenarioRegistry()
+        registry.register("demo", lambda: get_scenario("univariate-power"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("demo", lambda: get_scenario("univariate-power"))
+
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            SCENARIOS.spec("no-such-scenario")
+
+    def test_decorator_registration_and_docstring_description(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("demo")
+        def demo():
+            """A demo scenario."""
+            return get_scenario("univariate-power")
+
+        entry = registry.entry("demo")
+        assert entry.description == "A demo scenario."
+        assert registry.spec("demo").name == "univariate-power"
+
+    def test_invalid_names_rejected(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(ConfigurationError, match="whitespace"):
+            registry.register("has space", lambda: None)
+
+    def test_builtins_carry_builtin_tag(self):
+        """The perf harness sweeps tags=('builtin',); example/user scenarios must not leak in."""
+        for name in BUILTIN_SCENARIOS:
+            assert "builtin" in SCENARIOS.entry(name).tags
+
+    def test_tag_filtering(self):
+        fast = SCENARIOS.names(exclude_tags=("paper-scale",))
+        assert "univariate-power" in fast
+        assert "univariate-power-paper" not in fast
+        paper = SCENARIOS.names(tags=("paper-scale",))
+        assert set(paper) == {"univariate-power-paper", "multivariate-mhealth-paper"}
+
+    def test_factory_must_return_spec(self):
+        registry = ScenarioRegistry()
+        registry.register("broken", lambda: 42)
+        with pytest.raises(ConfigurationError, match="ExperimentSpec"):
+            registry.spec("broken")
+
+
+class TestLegacyConfigConversion:
+    """The builtin scenarios ARE the converted legacy defaults."""
+
+    def test_univariate_scenario_matches_legacy_default(self):
+        assert get_scenario("univariate-power") == spec_from_univariate_config(
+            UnivariatePipelineConfig()
+        )
+
+    def test_multivariate_scenario_matches_legacy_default(self):
+        assert get_scenario("multivariate-mhealth") == spec_from_multivariate_config(
+            MultivariatePipelineConfig()
+        )
+
+    def test_paper_scale_variants_match(self):
+        assert get_scenario("univariate-power-paper") == spec_from_univariate_config(
+            UnivariatePipelineConfig.paper_scale(), name="univariate-power-paper"
+        )
+        assert get_scenario("multivariate-mhealth-paper") == spec_from_multivariate_config(
+            MultivariatePipelineConfig.paper_scale(), name="multivariate-mhealth-paper"
+        )
+
+    def test_config_to_experiment_spec_method(self):
+        config = UnivariatePipelineConfig(policy_episodes=3)
+        spec = config.to_experiment_spec()
+        assert spec.policy.episodes == 3
+        assert spec.dataset_name == "univariate"
+
+    def test_custom_config_fields_survive_conversion(self):
+        config = MultivariatePipelineConfig(window_size=64, stride=32, seed=9)
+        spec = spec_from_multivariate_config(config)
+        assert spec.data.window_size == 64
+        assert spec.data.stride == 32
+        assert spec.seed == 9
+        assert spec.policy.context == "iot-encoder"
+
+
+class TestCustomScenarioExample:
+    """examples/custom_scenario.py registers a runnable scenario (satellite)."""
+
+    @pytest.fixture(scope="class")
+    def example_module(self):
+        import sys
+
+        path = Path(__file__).resolve().parent.parent / "examples" / "custom_scenario.py"
+        module_name = "custom_scenario_example"
+        if module_name in sys.modules:
+            return sys.modules[module_name]
+        module_spec = importlib.util.spec_from_file_location(module_name, path)
+        module = importlib.util.module_from_spec(module_spec)
+        sys.modules[module_name] = module
+        module_spec.loader.exec_module(module)
+        return module
+
+    def test_example_registers_scenario(self, example_module):
+        assert example_module.SCENARIO_NAME in SCENARIOS
+        spec = get_scenario(example_module.SCENARIO_NAME)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_example_scenario_is_tiny(self, example_module):
+        spec = get_scenario(example_module.SCENARIO_NAME)
+        assert spec.data.weeks <= 16
+        assert spec.policy.episodes <= 20
