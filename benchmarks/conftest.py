@@ -10,6 +10,7 @@ after the run and copied into EXPERIMENTS.md.
 from __future__ import annotations
 
 import sys
+import warnings
 from pathlib import Path
 
 import pytest
@@ -45,10 +46,14 @@ def univariate_result():
         data=PowerDatasetConfig(weeks=40, samples_per_day=24, anomalous_day_fraction=0.06, seed=7),
         policy_episodes=40,
     )
-    return run_univariate_pipeline(config)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return run_univariate_pipeline(config)
 
 
 @pytest.fixture(scope="session")
 def multivariate_result():
     """A fast end-to-end run of the multivariate (MHEALTH / seq2seq) pipeline."""
-    return run_multivariate_pipeline(MultivariatePipelineConfig())
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return run_multivariate_pipeline(MultivariatePipelineConfig())

@@ -4,19 +4,24 @@ The CLI is scenario-driven: every experiment is a registered
 :class:`~repro.experiments.spec.ExperimentSpec` that can be listed, inspected
 and run with declarative overrides::
 
-    python -m repro.cli list
+    python -m repro.cli list --verbose
     python -m repro.cli describe univariate-power
     python -m repro.cli run univariate-power --set data.weeks=20 --set policy.episodes=10
     python -m repro.cli run mixed-detectors --output-dir reports/
+    python -m repro.cli fleet fleet-burst-storm --shards 2 --output-dir reports/
 
 ``--set`` takes dotted spec paths (``data.weeks``, ``detectors.0.epochs``,
-``policy.episodes``, ...); values are coerced to the type of the field they
+``fleet.n_devices``, ...); values are coerced to the type of the field they
 replace and unknown keys are rejected.  ``repro describe`` prints the full
 spec as JSON, which doubles as the reference for valid ``--set`` keys.
+``repro fleet`` trains a scenario and streams its fleet workload through the
+trained system (see :mod:`repro.fleet`); ``--seed`` on both ``run`` and
+``fleet`` reseeds the whole experiment without dotted ``--set`` syntax.
 
 The legacy subcommands ``univariate`` / ``multivariate`` / ``both`` are kept
 as deprecated aliases over the corresponding scenarios; each prints a pointer
-to the ``run`` command on stderr.
+to the ``run`` command on stderr and emits a once-per-process
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
 from repro.data.mhealth import MHealthConfig
@@ -45,6 +51,7 @@ from repro.pipelines import (
     run_multivariate_pipeline,
     run_univariate_pipeline,
 )
+from repro.utils.deprecation import warn_deprecated_once
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,7 +85,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--spec-only", action="store_true",
                      help="print the resolved spec as JSON and exit without running")
 
-    subparsers.add_parser("list", help="list the registered scenarios")
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="train a fleet scenario and stream its device fleet through the "
+        "system (see 'repro list' for scenarios tagged [fleet])",
+    )
+    fleet.add_argument("scenario", help="fleet scenario name, e.g. fleet-burst-storm")
+    fleet.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path, e.g. --set fleet.n_devices=500; "
+        "repeatable ('repro describe <scenario>' shows the valid keys)",
+    )
+    fleet.add_argument("--seed", type=int, default=None,
+                       help="master random seed (data and device streams follow)")
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="partition the fleet across this many worker processes "
+                       "(overrides fleet.n_shards)")
+    fleet.add_argument("--output-dir", type=str, default=None,
+                       help="directory for the JSON fleet report")
+    fleet.add_argument("--quiet", action="store_true", help="suppress summary output")
+    fleet.add_argument("--spec-only", action="store_true",
+                       help="print the resolved spec as JSON and exit without running")
+
+    list_parser = subparsers.add_parser("list", help="list the registered scenarios")
+    list_parser.add_argument(
+        "--verbose", action="store_true",
+        help="multi-line listing with descriptions, tags and workload summaries",
+    )
 
     describe = subparsers.add_parser(
         "describe", help="show a scenario's description and full spec as JSON"
@@ -180,13 +217,19 @@ def _report(result, args: argparse.Namespace, report_name: Optional[str] = None)
             print(f"Wrote {paths['json']} and {paths['markdown']}")
 
 
-def _run_scenario(args: argparse.Namespace) -> int:
+def _resolve_spec(args: argparse.Namespace):
+    """The scenario spec with ``--seed`` and ``--set`` overrides applied."""
     spec = get_scenario(args.scenario)
     if args.seed is not None:
         spec = spec.with_seed(args.seed)
     overrides = parse_set_arguments(args.overrides)
     if overrides:
         spec = apply_overrides(spec, overrides)
+    return spec
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
     if args.spec_only:
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -195,13 +238,54 @@ def _run_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-def _list_scenarios() -> int:
+def _run_fleet(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    if spec.fleet is None:
+        fleet_names = ", ".join(SCENARIOS.names(tags=("fleet",))) or "none registered"
+        raise ReproError(
+            f"scenario {args.scenario!r} has no fleet workload; "
+            f"fleet scenarios: {fleet_names}"
+        )
+    if args.shards is not None:
+        spec = apply_overrides(spec, {"fleet.n_shards": args.shards})
+    if args.spec_only:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    report = ExperimentRunner(spec).run_fleet()
+    if not args.quiet:
+        print(report.summary())
+    if args.output_dir:
+        path = Path(args.output_dir) / f"fleet_{args.scenario}.json"
+        report.to_json(path)
+        if not args.quiet:
+            print(f"Wrote {path}")
+    return 0
+
+
+def _list_scenarios(verbose: bool = False) -> int:
     print("Registered scenarios:")
     for entry in SCENARIOS.entries():
-        tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
-        print(f"  {entry.name:<28s} {entry.description}{tags}")
+        if verbose:
+            tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
+            print(f"  {entry.name}{tags}")
+            if entry.description:
+                print(f"      {entry.description}")
+            spec = SCENARIOS.spec(entry.name)
+            workload = (
+                f"source={spec.data.source}  layers={spec.topology.n_layers}  "
+                f"seed={spec.seed}"
+            )
+            if spec.fleet is not None:
+                workload += (
+                    f"  fleet={spec.fleet.n_devices} devices x {spec.fleet.ticks} ticks"
+                )
+            print(f"      {workload}")
+        else:
+            tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
+            print(f"  {entry.name:<28s} {entry.description}{tags}")
     print()
     print("Run one with: python -m repro.cli run <scenario> [--set dotted.key=value ...]")
+    print("Stream a [fleet] scenario with: python -m repro.cli fleet <scenario>")
     return 0
 
 
@@ -220,6 +304,11 @@ def _describe_scenario(args: argparse.Namespace) -> int:
 
 
 def _warn_deprecated(command: str, replacement: str) -> None:
+    warn_deprecated_once(
+        f"cli.{command}",
+        f"the '{command}' subcommand is deprecated; "
+        f"use 'python -m repro.cli {replacement}'",
+    )
     print(
         f"note: '{command}' is a deprecated alias; "
         f"use 'python -m repro.cli {replacement}'",
@@ -231,8 +320,10 @@ def run_command(args: argparse.Namespace) -> int:
     """Execute one parsed CLI command; returns a process exit code."""
     if args.command == "run":
         return _run_scenario(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "list":
-        return _list_scenarios()
+        return _list_scenarios(verbose=getattr(args, "verbose", False))
     if args.command == "describe":
         return _describe_scenario(args)
 

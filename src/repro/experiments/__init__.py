@@ -33,6 +33,7 @@ from repro.experiments.spec import (
     apply_overrides,
     parse_set_arguments,
 )
+from repro.fleet.spec import FleetSpec, MutatorSpec
 from repro.experiments.stages import (
     PipelineResult,
     build_hec_system,
@@ -54,6 +55,7 @@ from repro.experiments.registry import (
     register_scenario,
 )
 import repro.experiments.scenarios  # noqa: F401  (registers the built-ins)
+import repro.fleet.scenarios  # noqa: F401  (registers the fleet scenarios)
 
 __all__ = [
     # specs
@@ -65,6 +67,8 @@ __all__ = [
     "DeploymentSpec",
     "PolicySpec",
     "EvaluationSpec",
+    "FleetSpec",
+    "MutatorSpec",
     "ExperimentSpec",
     "apply_overrides",
     "parse_set_arguments",

@@ -60,6 +60,9 @@ from repro.experiments.stages import (
     train_policy,
 )
 from repro.evaluation.tables import ModelComparisonRow, model_comparison_row
+from repro.fleet.devices import WindowPool
+from repro.fleet.engine import FleetEngine, ShardedFleetEngine
+from repro.fleet.report import FleetReport
 from repro.hec.deployment import ModelDeployment, deploy_registry
 from repro.hec.simulation import HECSystem
 from repro.utils.rng import ensure_rng
@@ -95,19 +98,22 @@ class ExperimentState:
     reward_fn: Optional[RewardFunction] = None
     # evaluate
     result: Optional[PipelineResult] = None
+    # stream
+    fleet_report: Optional[FleetReport] = None
 
     def clone_for_fork(self) -> "ExperimentState":
         """A copy sharing data/detector/deployment state, with the policy and
         evaluation stages cleared and an independent RNG stream."""
         clone = copy.copy(self)
         clone.rng = copy.deepcopy(self.rng)
-        clone.completed = self.completed - {"train_policy", "evaluate"}
+        clone.completed = self.completed - {"train_policy", "evaluate", "stream"}
         clone.policy = None
         clone.bandit_log = None
         clone.reward_table = None
         clone.context_extractor = None
         clone.reward_fn = None
         clone.result = None
+        clone.fleet_report = None
         return clone
 
 
@@ -439,6 +445,42 @@ class ExperimentRunner:
         self._done("evaluate")
         return state.result
 
+    def stream(self) -> FleetReport:
+        """Stream the spec's fleet workload through the trained system.
+
+        An *optional* sixth stage (not part of :attr:`STAGES`, so :meth:`run`
+        stays purely offline): requires ``train_policy`` and a ``fleet`` node
+        on the spec.  ``fleet.n_shards > 1`` partitions the devices across
+        :class:`~repro.fleet.engine.ShardedFleetEngine` workers; a single
+        shard runs in-process and is bit-identical to the unsharded engine.
+        """
+        self._require("train_policy")
+        fleet_spec = self.spec.fleet
+        if fleet_spec is None:
+            raise ConfigurationError(
+                f"spec {self.spec.name!r} has no fleet node; add a FleetSpec "
+                "(or pick a fleet scenario, see 'repro list')"
+            )
+        state = self.state
+        pool = WindowPool.from_labeled(state.standardized_all)
+        engine_kwargs = dict(
+            system=state.system,
+            policy=state.policy,
+            context_extractor=state.context_extractor,
+            spec=fleet_spec,
+            pool=pool,
+            master_seed=self.spec.seed,
+            name=self.spec.name,
+            tier_names=self.tier_names,
+        )
+        if fleet_spec.n_shards > 1:
+            engine = ShardedFleetEngine(**engine_kwargs)
+        else:
+            engine = FleetEngine(**engine_kwargs)
+        state.fleet_report = engine.run()
+        self._done("stream")
+        return state.fleet_report
+
     # -- orchestration -----------------------------------------------------------
 
     def run(self) -> PipelineResult:
@@ -447,6 +489,20 @@ class ExperimentRunner:
             if stage not in self.state.completed:
                 getattr(self, stage)()
         return self.state.result
+
+    def run_fleet(self) -> FleetReport:
+        """Train (through ``train_policy``) and stream the fleet workload.
+
+        The offline ``evaluate`` stage is skipped — fleet runs judge the
+        system by its online metrics — but an already-evaluated runner can
+        call this too (completed stages never re-run).
+        """
+        for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+            if stage not in self.state.completed:
+                getattr(self, stage)()
+        if "stream" not in self.state.completed:
+            self.stream()
+        return self.state.fleet_report
 
     def fork(self, **replacements) -> "ExperimentRunner":
         """A runner with replaced policy/evaluation sub-specs sharing this

@@ -22,7 +22,9 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.fleet.spec import FleetSpec
 from repro.utils.serialization import load_json, save_json, to_jsonable
+from repro.utils.validation import checked_dataclass_kwargs
 
 PathLike = Union[str, Path]
 
@@ -56,19 +58,6 @@ def _freeze(value):
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(item) for item in value)
     return value
-
-
-def _checked_kwargs(cls, payload: Mapping[str, Any], where: str) -> Dict[str, Any]:
-    """Validate that ``payload`` only holds known fields of ``cls``."""
-    if not isinstance(payload, Mapping):
-        raise ConfigurationError(f"{where} must be a mapping, got {type(payload).__name__}")
-    allowed = {f.name for f in fields(cls)}
-    unknown = sorted(set(payload) - allowed)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown key(s) {unknown} in {where}; valid keys: {sorted(allowed)}"
-        )
-    return dict(payload)
 
 
 @dataclass(frozen=True)
@@ -112,7 +101,7 @@ class DataSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DataSpec":
-        return cls(**_checked_kwargs(cls, payload, "data"))
+        return cls(**checked_dataclass_kwargs(cls, payload, "data"))
 
 
 @dataclass(frozen=True)
@@ -148,7 +137,7 @@ class DetectorSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DetectorSpec":
-        return cls(**_checked_kwargs(cls, payload, "detector"))
+        return cls(**checked_dataclass_kwargs(cls, payload, "detector"))
 
 
 @dataclass(frozen=True)
@@ -188,7 +177,7 @@ class DeviceSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DeviceSpec":
-        return cls(**_checked_kwargs(cls, payload, "device"))
+        return cls(**checked_dataclass_kwargs(cls, payload, "device"))
 
 
 @dataclass(frozen=True)
@@ -215,7 +204,7 @@ class LinkSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "LinkSpec":
-        return cls(**_checked_kwargs(cls, payload, "link"))
+        return cls(**checked_dataclass_kwargs(cls, payload, "link"))
 
 
 @dataclass(frozen=True)
@@ -271,7 +260,7 @@ class TopologySpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "TopologySpec":
-        kwargs = _checked_kwargs(cls, payload, "topology")
+        kwargs = checked_dataclass_kwargs(cls, payload, "topology")
         if "devices" in kwargs:
             kwargs["devices"] = tuple(
                 d if isinstance(d, DeviceSpec) else DeviceSpec.from_dict(d)
@@ -299,7 +288,7 @@ class DeploymentSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DeploymentSpec":
-        return cls(**_checked_kwargs(cls, payload, "deployment"))
+        return cls(**checked_dataclass_kwargs(cls, payload, "deployment"))
 
 
 @dataclass(frozen=True)
@@ -324,7 +313,7 @@ class PolicySpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "PolicySpec":
-        return cls(**_checked_kwargs(cls, payload, "policy"))
+        return cls(**checked_dataclass_kwargs(cls, payload, "policy"))
 
 
 @dataclass(frozen=True)
@@ -337,7 +326,7 @@ class EvaluationSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationSpec":
-        return cls(**_checked_kwargs(cls, payload, "evaluation"))
+        return cls(**checked_dataclass_kwargs(cls, payload, "evaluation"))
 
 
 @dataclass(frozen=True)
@@ -355,6 +344,9 @@ class ExperimentSpec:
     deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
     evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+    #: Streaming fleet workload for the runner's ``stream`` stage; ``None``
+    #: for purely offline experiments (see :mod:`repro.fleet`).
+    fleet: Optional[FleetSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -388,17 +380,26 @@ class ExperimentSpec:
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
         """Rebuild a spec from :meth:`to_dict` output (unknown keys raise)."""
-        kwargs = _checked_kwargs(cls, payload, "experiment")
+        kwargs = checked_dataclass_kwargs(cls, payload, "experiment")
         nested = {
             "data": DataSpec,
             "topology": TopologySpec,
             "deployment": DeploymentSpec,
             "policy": PolicySpec,
             "evaluation": EvaluationSpec,
+            "fleet": FleetSpec,
         }
+        # ``fleet`` is the only nested node that may be null (offline specs);
+        # a null required node must keep raising the clean mapping error.
+        optional = {"fleet"}
         for key, sub_cls in nested.items():
-            if key in kwargs and not isinstance(kwargs[key], sub_cls):
-                kwargs[key] = sub_cls.from_dict(kwargs[key])
+            if key not in kwargs:
+                continue
+            value = kwargs[key]
+            if key in optional and value is None:
+                continue
+            if not isinstance(value, sub_cls):
+                kwargs[key] = sub_cls.from_dict(value)
         if "detectors" in kwargs:
             kwargs["detectors"] = tuple(
                 d if isinstance(d, DetectorSpec) else DetectorSpec.from_dict(d)

@@ -1,0 +1,65 @@
+"""Fleet streaming subsystem: workload generators, sharded streaming engine
+and online evaluation for thousand-device HEC simulations.
+
+The offline experiments replay one pre-windowed dataset; this package turns
+the same trained system into the paper's *premise* — an IoT fleet continuously
+streaming sensor windows:
+
+* :mod:`repro.fleet.spec` — declarative :class:`FleetSpec`/:class:`MutatorSpec`
+  (the ``fleet`` node of an :class:`~repro.experiments.spec.ExperimentSpec`);
+* :mod:`repro.fleet.devices` — :class:`DeviceFleet` workload generators with
+  per-device RNG streams;
+* :mod:`repro.fleet.mutators` — concept drift, bursty anomaly episodes,
+  device churn and phase jitter;
+* :mod:`repro.fleet.engine` — the event-clocked :class:`FleetEngine` and the
+  ``multiprocessing``-sharded :class:`ShardedFleetEngine`;
+* :mod:`repro.fleet.metrics` / :mod:`repro.fleet.report` — bounded-memory
+  online evaluation and the serialisable :class:`FleetReport`.
+
+Fleet *scenarios* live in :mod:`repro.fleet.scenarios`, registered into the
+shared scenario registry by :mod:`repro.experiments` (not imported here, to
+keep the import graph acyclic).
+"""
+
+from repro.fleet.devices import DeviceFleet, VirtualDevice, WindowArrival, WindowPool
+from repro.fleet.engine import FleetEngine, ShardedFleetEngine
+from repro.fleet.metrics import DelayReservoir, StreamingMetrics
+from repro.fleet.mutators import (
+    AnomalyBurst,
+    ConceptDrift,
+    DeviceChurn,
+    PhaseJitter,
+    StreamMutator,
+)
+from repro.fleet.report import (
+    DelaySummary,
+    FleetReport,
+    TierUsage,
+    WindowedMetrics,
+    report_from_metrics,
+)
+from repro.fleet.spec import MUTATOR_KINDS, FleetSpec, MutatorSpec
+
+__all__ = [
+    "DeviceFleet",
+    "VirtualDevice",
+    "WindowArrival",
+    "WindowPool",
+    "FleetEngine",
+    "ShardedFleetEngine",
+    "DelayReservoir",
+    "StreamingMetrics",
+    "StreamMutator",
+    "ConceptDrift",
+    "AnomalyBurst",
+    "DeviceChurn",
+    "PhaseJitter",
+    "FleetReport",
+    "TierUsage",
+    "WindowedMetrics",
+    "DelaySummary",
+    "report_from_metrics",
+    "FleetSpec",
+    "MutatorSpec",
+    "MUTATOR_KINDS",
+]

@@ -1,0 +1,184 @@
+"""Workload generators: a fleet of heterogeneous virtual devices.
+
+A :class:`DeviceFleet` turns the experiment's prepared (standardised) windows
+into *live traffic*: each :class:`VirtualDevice` samples windows from a shared
+:class:`WindowPool` — normal and anomalous pools cut from the synthetic
+power/MHEALTH generators — perturbs them through the configured stream
+mutators, and emits timestamped :class:`WindowArrival` batches per event-clock
+tick.
+
+Determinism is the load-bearing property: every device owns an RNG seeded
+from ``(master seed, fleet seed, device id)``, so a device's stream is
+bit-identical no matter which shard it lands on or how many other devices
+exist.  That is what lets :class:`~repro.fleet.engine.ShardedFleetEngine`
+partition the fleet across workers and still merge to the exact unsharded
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import LabeledWindows
+from repro.exceptions import ConfigurationError
+from repro.fleet.mutators import StreamMutator
+from repro.fleet.spec import FleetSpec
+
+#: Mask folding arbitrary (possibly negative) ints into SeedSequence entropy.
+_SEED_MASK = 0xFFFFFFFF
+
+
+def device_rng(master_seed: int, fleet_seed: int, device_id: int) -> np.random.Generator:
+    """The RNG owned by one device: a pure function of the three seeds."""
+    entropy = (int(master_seed) & _SEED_MASK, int(fleet_seed) & _SEED_MASK, int(device_id))
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+@dataclass(frozen=True)
+class WindowArrival:
+    """One window emitted by one device at one point in simulated time."""
+
+    device_id: int
+    tick: int
+    #: Tick-relative simulated emission time (``tick`` plus an in-tick offset).
+    timestamp: float
+    window: np.ndarray
+    label: int
+
+
+@dataclass(frozen=True)
+class WindowPool:
+    """The normal/anomalous window pools every device samples from."""
+
+    normal: np.ndarray
+    anomalous: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.normal.shape[0] == 0:
+            raise ConfigurationError("a window pool needs at least one normal window")
+        if (
+            self.anomalous.shape[0]
+            and self.anomalous.shape[1:] != self.normal.shape[1:]
+        ):
+            raise ConfigurationError(
+                f"normal windows {self.normal.shape[1:]} and anomalous windows "
+                f"{self.anomalous.shape[1:]} must share one shape"
+            )
+
+    @property
+    def window_shape(self) -> Tuple[int, ...]:
+        """Shape of one window."""
+        return tuple(self.normal.shape[1:])
+
+    @classmethod
+    def from_labeled(cls, labeled: LabeledWindows) -> "WindowPool":
+        """Split labelled (usually standardised) windows into the two pools."""
+        windows = np.asarray(labeled.windows, dtype=float)
+        labels = np.asarray(labeled.labels, dtype=int)
+        return cls(normal=windows[labels == 0], anomalous=windows[labels == 1])
+
+
+class VirtualDevice:
+    """One simulated IoT device emitting perturbed windows from the pool."""
+
+    def __init__(
+        self,
+        device_id: int,
+        pool: WindowPool,
+        mutators: Sequence[StreamMutator],
+        spec: FleetSpec,
+        master_seed: int = 0,
+    ) -> None:
+        self.device_id = int(device_id)
+        self.pool = pool
+        self.mutators = tuple(mutators)
+        self.spec = spec
+        self.rng = device_rng(master_seed, spec.seed, device_id)
+        # Per-mutator device parameters, drawn from this device's own RNG in
+        # mutator order (creation draws precede every emission draw).
+        self.states = [
+            mutator.device_state(self.rng, pool.window_shape) for mutator in self.mutators
+        ]
+
+    def online(self, tick: int) -> bool:
+        """Whether the device emits at ``tick`` (pure, no RNG draws)."""
+        return all(
+            mutator.online(state, tick)
+            for mutator, state in zip(self.mutators, self.states)
+        )
+
+    def _anomaly_rate(self, tick: int) -> float:
+        rate = self.spec.anomaly_rate
+        for mutator, state in zip(self.mutators, self.states):
+            rate = mutator.anomaly_rate(rate, state, tick)
+        return rate
+
+    def emit(self, tick: int) -> List[WindowArrival]:
+        """The device's arrivals for ``tick`` (empty while offline)."""
+        if not self.online(tick):
+            return []
+        return self._emit_online(tick)
+
+    def _emit_online(self, tick: int) -> List[WindowArrival]:
+        """Arrivals for ``tick``, assuming the caller already checked online."""
+        count = int(self.rng.poisson(self.spec.arrival_rate))
+        arrivals: List[WindowArrival] = []
+        rate = self._anomaly_rate(tick)
+        for _ in range(count):
+            anomalous = bool(self.rng.random() < rate) and self.pool.anomalous.shape[0] > 0
+            source = self.pool.anomalous if anomalous else self.pool.normal
+            window = source[int(self.rng.integers(source.shape[0]))]
+            for mutator, state in zip(self.mutators, self.states):
+                window = mutator.transform(window, state, tick, self.rng)
+            arrivals.append(
+                WindowArrival(
+                    device_id=self.device_id,
+                    tick=tick,
+                    timestamp=float(tick + self.rng.random()),
+                    window=np.asarray(window, dtype=float),
+                    label=int(anomalous),
+                )
+            )
+        return arrivals
+
+
+class DeviceFleet:
+    """An ordered collection of virtual devices (optionally a shard subset)."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        pool: WindowPool,
+        master_seed: int = 0,
+        device_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.spec = spec
+        self.pool = pool
+        self.master_seed = int(master_seed)
+        ids = range(spec.n_devices) if device_ids is None else device_ids
+        mutators = spec.build_mutators()
+        self.devices = [
+            VirtualDevice(device_id, pool, mutators, spec, master_seed=master_seed)
+            for device_id in ids
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    @property
+    def window_shape(self) -> Tuple[int, ...]:
+        """Shape of one emitted window."""
+        return self.pool.window_shape
+
+    def arrivals(self, tick: int) -> Tuple[List[WindowArrival], int]:
+        """All arrivals for ``tick`` in device-id order, plus the online count."""
+        batch: List[WindowArrival] = []
+        online = 0
+        for device in self.devices:
+            if device.online(tick):
+                online += 1
+                batch.extend(device._emit_online(tick))
+        return batch, online

@@ -1,0 +1,240 @@
+"""The streaming engines: event-clocked fleet traffic through the HEC system.
+
+:class:`FleetEngine` drains per-tick arrival queues from a
+:class:`~repro.fleet.devices.DeviceFleet` through the trained bandit policy
+and :meth:`~repro.hec.simulation.HECSystem.detect_batch` — one context
+extraction and one policy forward per tick, one batched detector call per
+selected layer — feeding a :class:`~repro.fleet.metrics.StreamingMetrics`
+aggregator so the full trace is never materialised.
+
+:class:`ShardedFleetEngine` partitions the device ids across
+``multiprocessing`` workers, runs one :class:`FleetEngine` per shard and
+merges the per-shard aggregators in shard order.  Because every device owns
+an RNG derived from its id (not from its shard), the merged counts are
+independent of the partitioning, and a single-shard run is bit-identical to
+the unsharded engine — a property pinned by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bandit.context import ContextExtractor
+from repro.bandit.policy_network import PolicyNetwork
+from repro.exceptions import ConfigurationError
+from repro.fleet.devices import DeviceFleet, WindowPool
+from repro.fleet.metrics import StreamingMetrics
+from repro.fleet.report import FleetReport, report_from_metrics
+from repro.fleet.spec import FleetSpec
+from repro.hec.simulation import HECSystem
+
+
+def _default_tier_names(n_layers: int) -> Tuple[str, ...]:
+    return tuple(f"layer-{layer}" for layer in range(n_layers))
+
+
+class FleetEngine:
+    """Stream one (subset of a) device fleet through a deployed HEC system."""
+
+    def __init__(
+        self,
+        system: HECSystem,
+        policy: PolicyNetwork,
+        context_extractor: ContextExtractor,
+        spec: FleetSpec,
+        pool: WindowPool,
+        master_seed: int = 0,
+        name: str = "fleet",
+        tier_names: Optional[Sequence[str]] = None,
+        device_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        if policy.n_actions != system.n_layers:
+            raise ConfigurationError(
+                f"policy has {policy.n_actions} actions but the HEC system has "
+                f"{system.n_layers} layers"
+            )
+        self.system = system
+        self.policy = policy
+        self.context_extractor = context_extractor
+        self.spec = spec
+        self.pool = pool
+        self.master_seed = int(master_seed)
+        self.name = name
+        self.tier_names = tuple(tier_names) if tier_names else _default_tier_names(
+            system.n_layers
+        )
+        if len(self.tier_names) != system.n_layers:
+            raise ConfigurationError(
+                f"got {len(self.tier_names)} tier names for {system.n_layers} layers"
+            )
+        self.device_ids = (
+            tuple(int(d) for d in device_ids) if device_ids is not None else None
+        )
+
+    @property
+    def n_devices(self) -> int:
+        """Devices this engine simulates (the subset size when sharded)."""
+        if self.device_ids is not None:
+            return len(self.device_ids)
+        return self.spec.n_devices
+
+    def run_metrics(self) -> StreamingMetrics:
+        """The core streaming loop; returns the filled metrics aggregator."""
+        spec = self.spec
+        system = self.system
+        system.reset()
+        # Streams run against a warmed system: keep-alive connections are
+        # established up front, so every request sees steady-state delays and
+        # the per-request delay stream is independent of shard partitioning.
+        system.topology.warm_links()
+        # The event log would grow with the stream; the aggregator is the
+        # bounded-memory replacement, so logging is suspended for the run.
+        previous_record_log = system.record_log
+        system.record_log = False
+        try:
+            fleet = DeviceFleet(
+                spec, self.pool, master_seed=self.master_seed, device_ids=self.device_ids
+            )
+            metrics = StreamingMetrics(
+                ticks=spec.ticks,
+                metrics_window=spec.metrics_window,
+                n_layers=system.n_layers,
+                reservoir_size=spec.reservoir_size,
+                seed_entropy=(self.master_seed, spec.seed),
+            )
+            for tick in range(spec.ticks):
+                arrivals, online = fleet.arrivals(tick)
+                metrics.record_uptime(online, len(fleet) - online)
+                if not arrivals:
+                    continue
+                windows = np.stack([arrival.window for arrival in arrivals])
+                labels = np.asarray([arrival.label for arrival in arrivals], dtype=int)
+                contexts = self.context_extractor.extract(windows)
+                actions = self.policy.select_actions(contexts, greedy=True)
+                for action in np.unique(actions):
+                    chosen = np.flatnonzero(actions == action)
+                    records = system.detect_batch(
+                        int(action), windows[chosen], ground_truths=labels[chosen]
+                    )
+                    metrics.observe(
+                        tick,
+                        int(action),
+                        predictions=np.asarray([r.prediction for r in records]),
+                        labels=labels[chosen],
+                        delays_ms=np.asarray([r.delay_ms for r in records]),
+                    )
+        finally:
+            system.record_log = previous_record_log
+        return metrics
+
+    def run(self) -> FleetReport:
+        """Stream the fleet and assemble the :class:`FleetReport`."""
+        metrics = self.run_metrics()
+        return report_from_metrics(
+            self.name, metrics, self.tier_names, n_devices=self.n_devices
+        )
+
+
+def _run_shard_worker(payload: dict) -> StreamingMetrics:
+    """Module-level shard entry point (must be picklable for the pool)."""
+    engine = FleetEngine(**payload)
+    return engine.run_metrics()
+
+
+class ShardedFleetEngine:
+    """Partition the fleet across worker processes and merge deterministically.
+
+    Multi-shard runs require jitter-free links (the paper's configuration):
+    per-transfer jitter draws would come from each shard's own link replicas
+    and so depend on the partitioning, which would break the merge contract.
+    """
+
+    def __init__(
+        self,
+        system: HECSystem,
+        policy: PolicyNetwork,
+        context_extractor: ContextExtractor,
+        spec: FleetSpec,
+        pool: WindowPool,
+        master_seed: int = 0,
+        name: str = "fleet",
+        tier_names: Optional[Sequence[str]] = None,
+        n_shards: Optional[int] = None,
+        parallel: bool = True,
+    ) -> None:
+        self.n_shards = int(n_shards) if n_shards is not None else spec.n_shards
+        if self.n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {self.n_shards}")
+        if self.n_shards > spec.n_devices:
+            raise ConfigurationError(
+                f"n_shards ({self.n_shards}) cannot exceed n_devices ({spec.n_devices})"
+            )
+        self.system = system
+        self.policy = policy
+        self.context_extractor = context_extractor
+        self.spec = spec
+        self.pool = pool
+        self.master_seed = int(master_seed)
+        self.name = name
+        self.tier_names = tuple(tier_names) if tier_names else _default_tier_names(
+            system.n_layers
+        )
+        self.parallel = bool(parallel)
+        if self.n_shards > 1 and any(
+            link.jitter_ms > 0.0 for link in system.topology.links
+        ):
+            # Jittery links draw per-transfer RNG from each shard's own link
+            # replicas, so the delay stream would depend on the partitioning —
+            # the determinism contract only holds on jitter-free links.
+            raise ConfigurationError(
+                "ShardedFleetEngine requires jitter-free links for n_shards > 1 "
+                "(per-transfer jitter draws would depend on the device "
+                "partitioning); set link jitter_ms=0 or use n_shards=1"
+            )
+
+    def _shard_payloads(self) -> List[dict]:
+        partitions = np.array_split(np.arange(self.spec.n_devices), self.n_shards)
+        return [
+            {
+                "system": self.system,
+                "policy": self.policy,
+                "context_extractor": self.context_extractor,
+                "spec": self.spec,
+                "pool": self.pool,
+                "master_seed": self.master_seed,
+                "name": self.name,
+                "tier_names": self.tier_names,
+                "device_ids": partition.tolist(),
+            }
+            for partition in partitions
+        ]
+
+    def _run_shards(self) -> List[StreamingMetrics]:
+        payloads = self._shard_payloads()
+        if self.n_shards == 1 or not self.parallel:
+            # In-process path: FleetEngine.run_metrics resets the shared
+            # system before each shard, so sequential shards stay isolated.
+            return [_run_shard_worker(payload) for payload in payloads]
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            with context.Pool(processes=self.n_shards) as worker_pool:
+                # map() preserves shard order, which the merge relies on.
+                return worker_pool.map(_run_shard_worker, payloads)
+        except (OSError, ValueError, multiprocessing.ProcessError):
+            return [_run_shard_worker(payload) for payload in payloads]
+
+    def run(self) -> FleetReport:
+        """Run every shard, merge in shard order and assemble the report."""
+        parts = self._run_shards()
+        metrics = StreamingMetrics.merge(
+            parts, seed_entropy=(self.master_seed, self.spec.seed)
+        )
+        return report_from_metrics(
+            self.name, metrics, self.tier_names, n_devices=self.spec.n_devices
+        )

@@ -1,0 +1,237 @@
+"""Online evaluation: streaming metrics that never hold the full trace.
+
+:class:`StreamingMetrics` aggregates a fleet run incrementally: global and
+windowed confusion counts (accuracy/F1 per block of ticks), per-tier
+utilisation and delay sums, and end-to-end delay percentiles estimated from a
+bounded :class:`DelayReservoir` — O(reservoir + ticks/metrics_window + tiers)
+memory regardless of how many windows stream through.
+
+Aggregators are mergeable: :meth:`StreamingMetrics.merge` folds per-shard
+aggregators (in shard order) into the fleet-wide result, which is how
+:class:`~repro.fleet.engine.ShardedFleetEngine` reduces its workers.  Merging
+a single aggregator is the identity, so a one-shard run reproduces the
+unsharded engine bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: SeedSequence entropy tag for the reservoir-merge subsampling draws.
+_MERGE_TAG = 0x5EED
+
+
+class DelayReservoir:
+    """Bounded uniform sample of a delay stream (Vitter's algorithm R)."""
+
+    def __init__(self, capacity: int, seed_entropy: Sequence[int]) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"reservoir capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.values: List[float] = []
+        self.seen = 0
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([int(e) & 0xFFFFFFFF for e in seed_entropy])
+        )
+
+    def add(self, value: float) -> None:
+        """Offer one sample to the reservoir."""
+        self.seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(float(value))
+            return
+        slot = int(self._rng.integers(self.seen))
+        if slot < self.capacity:
+            self.values[slot] = float(value)
+
+    def extend(self, values) -> None:
+        """Offer a batch of samples in order."""
+        for value in values:
+            self.add(value)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sampled delays (0 when empty)."""
+        if not self.values:
+            return 0.0
+        return float(np.percentile(np.asarray(self.values), q))
+
+    @classmethod
+    def merge(cls, parts: Sequence["DelayReservoir"], seed_entropy: Sequence[int]
+              ) -> "DelayReservoir":
+        """Fold per-shard reservoirs into one, deterministically.
+
+        Samples are concatenated in shard order; when the union exceeds the
+        capacity it is subsampled without replacement, weighting each sample
+        by its source stream's seen/kept ratio so heavier shards stay
+        proportionally represented.  A single part merges to an exact copy.
+        """
+        if not parts:
+            raise ConfigurationError("cannot merge zero reservoirs")
+        capacity = parts[0].capacity
+        merged = cls(capacity, seed_entropy)
+        merged.seen = int(sum(part.seen for part in parts))
+        if len(parts) == 1:
+            merged.values = list(parts[0].values)
+            return merged
+        pooled: List[float] = []
+        weights: List[float] = []
+        for part in parts:
+            pooled.extend(part.values)
+            if part.values:
+                weights.extend([part.seen / len(part.values)] * len(part.values))
+        if len(pooled) <= capacity:
+            merged.values = pooled
+            return merged
+        probabilities = np.asarray(weights, dtype=float)
+        probabilities /= probabilities.sum()
+        chosen = merged._rng.choice(
+            len(pooled), size=capacity, replace=False, p=probabilities
+        )
+        merged.values = [pooled[index] for index in sorted(chosen)]
+        return merged
+
+
+class StreamingMetrics:
+    """Incremental fleet-run aggregation (confusion, tiers, delays, uptime)."""
+
+    def __init__(
+        self,
+        ticks: int,
+        metrics_window: int,
+        n_layers: int,
+        reservoir_size: int,
+        seed_entropy: Sequence[int],
+    ) -> None:
+        if ticks <= 0 or metrics_window <= 0:
+            raise ConfigurationError(
+                f"ticks and metrics_window must be positive, got {ticks}/{metrics_window}"
+            )
+        self.ticks = int(ticks)
+        self.metrics_window = int(metrics_window)
+        self.n_layers = int(n_layers)
+        self.n_metric_windows = -(-self.ticks // self.metrics_window)
+        # Confusion counts: [tp, fp, tn, fn], globally and per metrics window.
+        self.confusion = np.zeros(4, dtype=np.int64)
+        self.windowed_confusion = np.zeros((self.n_metric_windows, 4), dtype=np.int64)
+        self.windowed_delay_sum = np.zeros(self.n_metric_windows)
+        # Per-tier utilisation.
+        self.layer_requests = np.zeros(self.n_layers, dtype=np.int64)
+        self.layer_delay_sum = np.zeros(self.n_layers)
+        self.layer_anomalies = np.zeros(self.n_layers, dtype=np.int64)
+        # Delay stream.
+        self.delay_sum = 0.0
+        self.delay_max = 0.0
+        self.reservoir = DelayReservoir(reservoir_size, seed_entropy)
+        # Fleet uptime.
+        self.online_device_ticks = 0
+        self.offline_device_ticks = 0
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def record_uptime(self, online: int, offline: int) -> None:
+        """Account one tick's online/offline device counts."""
+        self.online_device_ticks += int(online)
+        self.offline_device_ticks += int(offline)
+
+    def observe(
+        self,
+        tick: int,
+        layer: int,
+        predictions: np.ndarray,
+        labels: np.ndarray,
+        delays_ms: np.ndarray,
+    ) -> None:
+        """Fold one detected batch (a single layer within one tick) in."""
+        predictions = np.asarray(predictions, dtype=int)
+        labels = np.asarray(labels, dtype=int)
+        delays_ms = np.asarray(delays_ms, dtype=float)
+        if not 0 <= tick < self.ticks:
+            raise ConfigurationError(f"tick must lie in [0, {self.ticks}), got {tick}")
+        counts = np.array(
+            [
+                np.sum((predictions == 1) & (labels == 1)),
+                np.sum((predictions == 1) & (labels == 0)),
+                np.sum((predictions == 0) & (labels == 0)),
+                np.sum((predictions == 0) & (labels == 1)),
+            ],
+            dtype=np.int64,
+        )
+        window = tick // self.metrics_window
+        self.confusion += counts
+        self.windowed_confusion[window] += counts
+        self.windowed_delay_sum[window] += float(delays_ms.sum())
+        self.layer_requests[layer] += predictions.shape[0]
+        self.layer_delay_sum[layer] += float(delays_ms.sum())
+        self.layer_anomalies[layer] += int(predictions.sum())
+        self.delay_sum += float(delays_ms.sum())
+        if delays_ms.size:
+            self.delay_max = max(self.delay_max, float(delays_ms.max()))
+        self.reservoir.extend(delays_ms)
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def n_windows(self) -> int:
+        """Total number of windows evaluated so far."""
+        return int(self.confusion.sum())
+
+    @classmethod
+    def merge(
+        cls, parts: Sequence["StreamingMetrics"], seed_entropy: Sequence[int]
+    ) -> "StreamingMetrics":
+        """Fold per-shard aggregators (in shard order) into one."""
+        if not parts:
+            raise ConfigurationError("cannot merge zero metric aggregators")
+        first = parts[0]
+        for part in parts[1:]:
+            if (
+                part.ticks != first.ticks
+                or part.metrics_window != first.metrics_window
+                or part.n_layers != first.n_layers
+                or part.reservoir.capacity != first.reservoir.capacity
+            ):
+                raise ConfigurationError("cannot merge metric aggregators with different shapes")
+        merged = cls(
+            ticks=first.ticks,
+            metrics_window=first.metrics_window,
+            n_layers=first.n_layers,
+            reservoir_size=first.reservoir.capacity,
+            seed_entropy=list(seed_entropy) + [_MERGE_TAG],
+        )
+        for part in parts:
+            merged.confusion += part.confusion
+            merged.windowed_confusion += part.windowed_confusion
+            merged.windowed_delay_sum += part.windowed_delay_sum
+            merged.layer_requests += part.layer_requests
+            merged.layer_delay_sum += part.layer_delay_sum
+            merged.layer_anomalies += part.layer_anomalies
+            merged.delay_sum += part.delay_sum
+            merged.delay_max = max(merged.delay_max, part.delay_max)
+            merged.online_device_ticks += part.online_device_ticks
+            merged.offline_device_ticks += part.offline_device_ticks
+        merged.reservoir = DelayReservoir.merge(
+            [part.reservoir for part in parts],
+            list(seed_entropy) + [_MERGE_TAG],
+        )
+        return merged
+
+
+def rates_from_confusion(counts: np.ndarray) -> dict:
+    """accuracy/precision/recall/F1 from one ``[tp, fp, tn, fn]`` vector."""
+    tp, fp, tn, fn = (int(c) for c in counts)
+    total = tp + fp + tn + fn
+    accuracy = (tp + tn) / total if total else 0.0
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {
+        "accuracy": float(accuracy),
+        "precision": float(precision),
+        "recall": float(recall),
+        "f1": float(f1),
+        "anomaly_fraction": float((tp + fn) / total) if total else 0.0,
+    }

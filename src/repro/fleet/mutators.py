@@ -1,0 +1,159 @@
+"""Stream mutators: controlled non-stationarity for device window streams.
+
+A mutator perturbs one aspect of a virtual device's stream and is driven by
+three hooks:
+
+* :meth:`StreamMutator.device_state` — called once when a device is created,
+  drawing any per-device parameters from the *device's own* RNG (so the
+  perturbation is independent of how devices are partitioned across shards);
+* :meth:`StreamMutator.anomaly_rate` / :meth:`StreamMutator.online` — pure
+  functions of the device state and the tick (no RNG draws, so an offline
+  device consumes exactly the same stream as an online one would have);
+* :meth:`StreamMutator.transform` — applied to each emitted window, with the
+  device RNG available for per-window draws.
+
+The four concrete mutators are the scenarios the paper's fleet premise
+implies but the offline replay could never exercise: gradual concept drift,
+bursty fleet-wide anomaly episodes, device churn/dropout, and per-device
+phase jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+
+class StreamMutator:
+    """Base class: a no-op perturbation of a device stream."""
+
+    def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
+        """Per-device parameters, drawn from the device's own RNG at creation."""
+        return {}
+
+    def anomaly_rate(self, base_rate: float, state: Dict[str, Any], tick: int) -> float:
+        """The effective anomaly probability for this device at ``tick``."""
+        return base_rate
+
+    def online(self, state: Dict[str, Any], tick: int) -> bool:
+        """Whether the device emits at ``tick``."""
+        return True
+
+    def transform(
+        self,
+        window: np.ndarray,
+        state: Dict[str, Any],
+        tick: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """The emitted view of a sampled pool window."""
+        return window
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class ConceptDrift(StreamMutator):
+    """Gradual distribution shift along a per-device random direction.
+
+    Each device drifts away from the training distribution by
+    ``drift_per_tick`` standardised units per tick along a unit direction
+    drawn at creation.  Labels are untouched: the drifted windows are still
+    "normal", which is exactly what degrades the deployed detectors over time
+    and shows up in the windowed online metrics.
+    """
+
+    def __init__(self, drift_per_tick: float = 0.01) -> None:
+        self.drift_per_tick = float(drift_per_tick)
+
+    def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
+        direction = rng.normal(size=window_shape)
+        norm = float(np.linalg.norm(direction))
+        if norm > 0:
+            direction = direction / norm
+        return {"drift_direction": direction}
+
+    def transform(self, window, state, tick, rng):
+        return window + self.drift_per_tick * tick * state["drift_direction"]
+
+
+class AnomalyBurst(StreamMutator):
+    """Fleet-wide bursty anomaly episodes.
+
+    Every ``period`` ticks, the anomaly probability jumps to
+    ``burst_anomaly_rate`` for the first ``burst_ticks`` ticks of the period —
+    an anomaly storm hitting the whole fleet at once, visible as spikes in the
+    windowed anomaly fraction and load on the upper tiers.
+    """
+
+    def __init__(
+        self,
+        period: int = 20,
+        burst_ticks: int = 5,
+        burst_anomaly_rate: float = 0.5,
+    ) -> None:
+        self.period = int(period)
+        self.burst_ticks = int(burst_ticks)
+        self.burst_anomaly_rate = float(burst_anomaly_rate)
+
+    def in_burst(self, tick: int) -> bool:
+        """Whether ``tick`` falls inside a burst episode."""
+        return tick % self.period < self.burst_ticks
+
+    def anomaly_rate(self, base_rate, state, tick):
+        return self.burst_anomaly_rate if self.in_burst(tick) else base_rate
+
+
+class DeviceChurn(StreamMutator):
+    """Periodic device dropout: a fraction of the fleet goes dark and returns.
+
+    At creation each device decides (from its own RNG) whether it churns and,
+    if so, at which phase of the ``period`` its ``offline_ticks``-long outage
+    falls.  Online-ness is then a pure function of the tick, so churn never
+    perturbs the RNG stream the device uses for its windows.
+    """
+
+    def __init__(
+        self,
+        churn_fraction: float = 0.2,
+        offline_ticks: int = 4,
+        period: int = 16,
+    ) -> None:
+        self.churn_fraction = float(churn_fraction)
+        self.offline_ticks = int(offline_ticks)
+        self.period = int(period)
+
+    def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
+        churns = bool(rng.random() < self.churn_fraction)
+        phase = int(rng.integers(0, self.period))
+        return {"churns": churns, "churn_phase": phase}
+
+    def online(self, state, tick):
+        if not state["churns"]:
+            return True
+        return (tick + state["churn_phase"]) % self.period >= self.offline_ticks
+
+
+class PhaseJitter(StreamMutator):
+    """Per-device phase misalignment: windows arrive circularly shifted.
+
+    Models devices whose windowing is not aligned with the training data
+    (clock skew, late joiners): each device has a fixed base shift plus a
+    small per-window draw, both bounded by ``max_shift`` timesteps.
+    """
+
+    def __init__(self, max_shift: int = 4) -> None:
+        self.max_shift = int(max_shift)
+
+    def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
+        base = int(rng.integers(-self.max_shift, self.max_shift + 1)) if self.max_shift else 0
+        return {"base_shift": base}
+
+    def transform(self, window, state, tick, rng):
+        shift = state["base_shift"]
+        if self.max_shift:
+            shift += int(rng.integers(-1, 2))
+        if shift == 0:
+            return window
+        return np.roll(window, shift, axis=0)

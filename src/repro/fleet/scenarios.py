@@ -1,0 +1,105 @@
+"""Built-in fleet scenarios.
+
+Each scenario is an ordinary registered :class:`~repro.experiments.spec.ExperimentSpec`
+whose ``fleet`` node describes the streaming workload, so the usual machinery
+(``repro describe``, ``--set`` overrides, ``--seed``) applies unchanged and
+``repro fleet <scenario>`` streams it after training:
+
+* ``fleet-1k-drift`` — a thousand power-metering devices whose streams slowly
+  drift away from the training distribution;
+* ``fleet-burst-storm`` — fleet-wide anomaly storms hitting every device at
+  once, stressing the upper tiers in bursts;
+* ``fleet-churn-mixed-detectors`` — a churning fleet (devices dropping out and
+  returning, windows phase-jittered) served by the mixed AE/seq2seq
+  deployment.
+
+The module is imported (and thereby registered) by :mod:`repro.experiments`,
+next to the offline built-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.registry import register_scenario
+from repro.experiments.scenarios import mixed_detectors, univariate_power
+from repro.experiments.spec import ExperimentSpec
+from repro.fleet.spec import FleetSpec, MutatorSpec
+
+
+@register_scenario("fleet-1k-drift", tags=("fleet", "extended"))
+def fleet_1k_drift() -> ExperimentSpec:
+    """1000 drifting power devices streaming through the trained 3-tier system."""
+    return replace(
+        univariate_power(),
+        name="fleet-1k-drift",
+        description=(
+            "thousand-device power fleet under gradual concept drift; "
+            "windowed online metrics show the deployed detectors degrading"
+        ),
+        fleet=FleetSpec(
+            n_devices=1000,
+            ticks=40,
+            arrival_rate=0.2,
+            anomaly_rate=0.08,
+            metrics_window=8,
+            mutators=(MutatorSpec(kind="concept-drift", drift_per_tick=0.02),),
+        ),
+    )
+
+
+@register_scenario("fleet-burst-storm", tags=("fleet", "extended"))
+def fleet_burst_storm() -> ExperimentSpec:
+    """Fleet-wide anomaly storms: bursts of anomalous windows every few ticks."""
+    return replace(
+        univariate_power(),
+        name="fleet-burst-storm",
+        description=(
+            "200-device power fleet hit by periodic fleet-wide anomaly storms "
+            "(anomaly rate jumps to 60% for 4 of every 16 ticks)"
+        ),
+        fleet=FleetSpec(
+            n_devices=200,
+            ticks=48,
+            arrival_rate=0.5,
+            anomaly_rate=0.05,
+            metrics_window=4,
+            mutators=(
+                MutatorSpec(
+                    kind="anomaly-burst",
+                    burst_period=16,
+                    burst_ticks=4,
+                    burst_anomaly_rate=0.6,
+                ),
+            ),
+        ),
+    )
+
+
+@register_scenario("fleet-churn-mixed-detectors", tags=("fleet", "extended"))
+def fleet_churn_mixed_detectors() -> ExperimentSpec:
+    """A churning, phase-jittered fleet on the mixed AE/seq2seq deployment."""
+    return replace(
+        mixed_detectors(),
+        name="fleet-churn-mixed-detectors",
+        description=(
+            "300-device fleet with churn (30% of devices cycle offline) and "
+            "per-device phase jitter, served by AE tiers plus a seq2seq cloud"
+        ),
+        fleet=FleetSpec(
+            n_devices=300,
+            ticks=32,
+            arrival_rate=0.3,
+            anomaly_rate=0.1,
+            metrics_window=8,
+            mutators=(
+                MutatorSpec(
+                    kind="device-churn",
+                    churn_fraction=0.3,
+                    offline_ticks=4,
+                    churn_period=16,
+                ),
+                MutatorSpec(kind="phase-jitter", max_shift=3),
+            ),
+        ),
+    )

@@ -1,0 +1,179 @@
+"""Declarative fleet specifications.
+
+A :class:`FleetSpec` describes a streaming workload: how many virtual devices
+emit windows, at what rate, for how many event-clock ticks, and which stream
+mutators (concept drift, bursty anomaly episodes, device churn, per-device
+phase jitter) perturb the streams.  Like the rest of the experiment-spec tree
+it is pure data — frozen, comparable, JSON round-trippable and overridable
+with the CLI's dotted ``--set`` paths — and it hangs off
+:class:`~repro.experiments.spec.ExperimentSpec` as the optional ``fleet``
+node consumed by the runner's ``stream`` stage.
+
+This module deliberately imports nothing from :mod:`repro.experiments` so the
+spec tree can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import checked_dataclass_kwargs
+
+#: Stream-mutator kinds understood by :meth:`MutatorSpec.build`.
+MUTATOR_KINDS = ("concept-drift", "anomaly-burst", "device-churn", "phase-jitter")
+
+
+@dataclass(frozen=True)
+class MutatorSpec:
+    """One stream mutator: a ``kind`` plus the knobs that kind reads.
+
+    Fields that do not apply to the chosen ``kind`` are ignored, mirroring how
+    :class:`~repro.experiments.spec.DataSpec` treats source-specific fields.
+    """
+
+    kind: str
+    # concept-drift: every device's windows drift along a per-device random
+    # direction, ``drift_per_tick`` units of standardised amplitude per tick.
+    drift_per_tick: float = 0.01
+    # anomaly-burst: every ``burst_period`` ticks the fleet-wide anomaly
+    # probability is raised to ``burst_anomaly_rate`` for ``burst_ticks`` ticks.
+    burst_period: int = 20
+    burst_ticks: int = 5
+    burst_anomaly_rate: float = 0.5
+    # device-churn: a ``churn_fraction`` of devices goes offline for
+    # ``offline_ticks`` out of every ``churn_period`` ticks (per-device phase).
+    churn_fraction: float = 0.2
+    offline_ticks: int = 4
+    churn_period: int = 16
+    # phase-jitter: each device's windows are circularly shifted by a fixed
+    # per-device offset plus a per-window draw, both bounded by ``max_shift``.
+    max_shift: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATOR_KINDS:
+            raise ConfigurationError(
+                f"mutator kind must be one of {MUTATOR_KINDS}, got {self.kind!r}"
+            )
+        if self.drift_per_tick < 0:
+            raise ConfigurationError(
+                f"drift_per_tick must be non-negative, got {self.drift_per_tick}"
+            )
+        if self.burst_period <= 0 or self.burst_ticks < 0:
+            raise ConfigurationError(
+                f"burst_period must be positive and burst_ticks non-negative, "
+                f"got {self.burst_period}/{self.burst_ticks}"
+            )
+        if not 0.0 <= self.burst_anomaly_rate <= 1.0:
+            raise ConfigurationError(
+                f"burst_anomaly_rate must lie in [0, 1], got {self.burst_anomaly_rate}"
+            )
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ConfigurationError(
+                f"churn_fraction must lie in [0, 1], got {self.churn_fraction}"
+            )
+        if self.churn_period <= 0 or not 0 <= self.offline_ticks <= self.churn_period:
+            raise ConfigurationError(
+                f"churn needs 0 <= offline_ticks <= churn_period, got "
+                f"{self.offline_ticks}/{self.churn_period}"
+            )
+        if self.max_shift < 0:
+            raise ConfigurationError(f"max_shift must be non-negative, got {self.max_shift}")
+
+    def build(self):
+        """The concrete :mod:`repro.fleet.mutators` instance for this spec."""
+        from repro.fleet.mutators import (
+            AnomalyBurst,
+            ConceptDrift,
+            DeviceChurn,
+            PhaseJitter,
+        )
+
+        if self.kind == "concept-drift":
+            return ConceptDrift(drift_per_tick=self.drift_per_tick)
+        if self.kind == "anomaly-burst":
+            return AnomalyBurst(
+                period=self.burst_period,
+                burst_ticks=self.burst_ticks,
+                burst_anomaly_rate=self.burst_anomaly_rate,
+            )
+        if self.kind == "device-churn":
+            return DeviceChurn(
+                churn_fraction=self.churn_fraction,
+                offline_ticks=self.offline_ticks,
+                period=self.churn_period,
+            )
+        return PhaseJitter(max_shift=self.max_shift)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MutatorSpec":
+        return cls(**checked_dataclass_kwargs(cls, payload, "fleet mutator"))
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A streaming fleet workload attached to an experiment.
+
+    ``seed`` is the fleet's own stream seed; the engine folds it together with
+    the experiment's master seed and each device id, so ``repro fleet --seed``
+    reseeds every device stream while two devices never share one.
+    """
+
+    n_devices: int = 100
+    ticks: int = 40
+    #: Mean windows emitted per online device per tick (Poisson arrivals).
+    arrival_rate: float = 0.5
+    #: Baseline probability that an emitted window is drawn from the anomaly pool.
+    anomaly_rate: float = 0.08
+    seed: int = 0
+    #: Ticks aggregated into one online-metrics window (windowed accuracy/F1).
+    metrics_window: int = 8
+    #: Capacity of the bounded delay reservoir behind the percentile estimates.
+    reservoir_size: int = 2048
+    #: Worker processes for :class:`~repro.fleet.engine.ShardedFleetEngine`.
+    n_shards: int = 1
+    mutators: Tuple[MutatorSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ConfigurationError(f"n_devices must be positive, got {self.n_devices}")
+        if self.ticks <= 0:
+            raise ConfigurationError(f"ticks must be positive, got {self.ticks}")
+        if self.arrival_rate <= 0:
+            raise ConfigurationError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if not 0.0 <= self.anomaly_rate <= 1.0:
+            raise ConfigurationError(
+                f"anomaly_rate must lie in [0, 1], got {self.anomaly_rate}"
+            )
+        if self.metrics_window <= 0:
+            raise ConfigurationError(
+                f"metrics_window must be positive, got {self.metrics_window}"
+            )
+        if self.reservoir_size <= 0:
+            raise ConfigurationError(
+                f"reservoir_size must be positive, got {self.reservoir_size}"
+            )
+        if self.n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {self.n_shards}")
+        if self.n_shards > self.n_devices:
+            raise ConfigurationError(
+                f"n_shards ({self.n_shards}) cannot exceed n_devices ({self.n_devices})"
+            )
+        object.__setattr__(self, "mutators", tuple(self.mutators))
+
+    def build_mutators(self):
+        """Concrete mutator instances, in spec order."""
+        return tuple(mutator.build() for mutator in self.mutators)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FleetSpec":
+        kwargs = checked_dataclass_kwargs(cls, payload, "fleet")
+        if "mutators" in kwargs:
+            kwargs["mutators"] = tuple(
+                m if isinstance(m, MutatorSpec) else MutatorSpec.from_dict(m)
+                for m in kwargs["mutators"]
+            )
+        return cls(**kwargs)

@@ -79,6 +79,17 @@ class NetworkLink:
         self.transfer_count += 1
         return float(delay)
 
+    def warm(self) -> None:
+        """Mark the keep-alive connection as already established.
+
+        The paper's testbed keeps TCP connections alive, so steady-state
+        traffic never pays ``connection_setup_ms``.  Long-running consumers
+        (the fleet streaming engine) warm their links up front, which also
+        keeps per-request delays independent of how a fleet is partitioned
+        across shard replicas.
+        """
+        self._connection_established = True
+
     def record_transfers(self, payload_bytes: float, count: int) -> None:
         """Account for ``count`` steady-state transfers at once.
 

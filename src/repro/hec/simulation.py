@@ -86,6 +86,11 @@ class HECSystem:
         if missing:
             raise DeploymentError(f"no deployment for layers {missing}")
         self.records: List[DetectionRecord] = []
+        #: Whether handled requests are appended to :attr:`records`.  The
+        #: fleet streaming engine disables this so unbounded streams aggregate
+        #: through bounded online metrics instead of an ever-growing log;
+        #: counters, clock and link bookkeeping are unaffected.
+        self.record_log = True
         self.layer_counters: Dict[int, LayerCounters] = {
             layer: LayerCounters() for layer in range(topology.n_layers)
         }
@@ -165,7 +170,8 @@ class HECSystem:
             ground_truth=ground_truth,
         )
         self._request_counter += 1
-        self.records.append(record)
+        if self.record_log:
+            self.records.append(record)
 
         counters = self.layer_counters[layer]
         counters.requests += 1
@@ -233,7 +239,8 @@ class HECSystem:
                 ),
             )
             self._request_counter += 1
-            self.records.append(record)
+            if self.record_log:
+                self.records.append(record)
             records.append(record)
             counters.requests += 1
             counters.total_execution_ms += deployment.execution_time_ms

@@ -75,6 +75,11 @@ class HECTopology:
         for link in self.links:
             link.reset()
 
+    def warm_links(self) -> None:
+        """Pre-establish the keep-alive connection on every link."""
+        for link in self.links:
+            link.warm()
+
     def describe(self) -> str:
         """A short multi-line description of the topology."""
         lines = [f"HECTopology with {self.n_layers} layers:"]

@@ -44,6 +44,7 @@ from repro.experiments.compat import spec_from_multivariate_config
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.stages import PipelineResult
+from repro.utils.deprecation import warn_deprecated_once
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,13 @@ def run_multivariate_pipeline(config: Optional[MultivariatePipelineConfig] = Non
 
     Deprecated shim: equivalent to
     ``ExperimentRunner(config.to_experiment_spec(), verbose=verbose).run()``.
+    Emits a once-per-process :class:`DeprecationWarning`.
     """
+    warn_deprecated_once(
+        "pipelines.run_multivariate_pipeline",
+        "run_multivariate_pipeline is deprecated; use "
+        "ExperimentRunner(config.to_experiment_spec()).run() or the "
+        "'multivariate-mhealth' scenario",
+    )
     config = config or MultivariatePipelineConfig()
     return ExperimentRunner(config.to_experiment_spec(), verbose=verbose).run()

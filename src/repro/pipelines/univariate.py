@@ -42,6 +42,7 @@ from repro.experiments.compat import spec_from_univariate_config
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.stages import PipelineResult
+from repro.utils.deprecation import warn_deprecated_once
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,13 @@ def run_univariate_pipeline(config: Optional[UnivariatePipelineConfig] = None,
 
     Deprecated shim: equivalent to
     ``ExperimentRunner(config.to_experiment_spec(), verbose=verbose).run()``.
+    Emits a once-per-process :class:`DeprecationWarning`.
     """
+    warn_deprecated_once(
+        "pipelines.run_univariate_pipeline",
+        "run_univariate_pipeline is deprecated; use "
+        "ExperimentRunner(config.to_experiment_spec()).run() or the "
+        "'univariate-power' scenario",
+    )
     config = config or UnivariatePipelineConfig()
     return ExperimentRunner(config.to_experiment_spec(), verbose=verbose).run()

@@ -1,0 +1,43 @@
+"""Once-per-process deprecation warnings.
+
+Legacy entry points (the ``repro.pipelines`` shims, the CLI's
+``univariate``/``multivariate``/``both`` aliases) must announce their
+deprecation without spamming loops or breaking batch jobs that call a shim
+hundreds of times.  :func:`warn_deprecated_once` therefore emits each keyed
+:class:`DeprecationWarning` exactly once per process, *idempotently*: the key
+is marked emitted before the warning fires, so even under
+``-W error::DeprecationWarning`` (the CI tier) a caught first warning is not
+followed by a second one.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+#: Keys whose deprecation warning has already been emitted in this process.
+_EMITTED: Set[str] = set()
+
+
+def warn_deprecated_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``message`` as a :class:`DeprecationWarning` once per ``key``.
+
+    Returns ``True`` when the warning fired, ``False`` when ``key`` had
+    already been announced.  The key is recorded *before* warning so the
+    behaviour stays once-per-process even when warnings are raised as errors.
+    """
+    if key in _EMITTED:
+        return False
+    _EMITTED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def deprecation_emitted(key: str) -> bool:
+    """Whether the warning for ``key`` has fired in this process."""
+    return key in _EMITTED
+
+
+def reset_deprecation_registry() -> None:
+    """Forget every emitted key (test isolation helper)."""
+    _EMITTED.clear()

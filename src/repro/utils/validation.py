@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+import dataclasses
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +37,24 @@ def check_in(value: Any, allowed: Iterable[Any], name: str) -> Any:
     if value not in allowed:
         raise ConfigurationError(f"{name} must be one of {allowed!r}, got {value!r}")
     return value
+
+
+def checked_dataclass_kwargs(cls, payload, where: str) -> dict:
+    """``payload`` as kwargs for dataclass ``cls``, rejecting unknown keys.
+
+    Shared by the ``from_dict`` constructors of the experiment- and
+    fleet-spec trees (both deserialise frozen dataclasses from JSON payloads
+    and must fail loudly on misspelled keys).
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(f"{where} must be a mapping, got {type(payload).__name__}")
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in {where}; valid keys: {sorted(allowed)}"
+        )
+    return dict(payload)
 
 
 def check_array(

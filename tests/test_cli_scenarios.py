@@ -126,6 +126,7 @@ class TestRunCommand:
 
 
 class TestLegacyAliases:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_univariate_alias_warns_and_runs(self, tmp_path, capsys):
         args = build_parser().parse_args([
             "univariate", "--weeks", "10", "--policy-episodes", "3",

@@ -1,0 +1,143 @@
+"""Tests for the once-per-process deprecation warnings on legacy entry points.
+
+The CI tier runs the suite with ``-W error::DeprecationWarning``; these tests
+manage the warning registry and filters explicitly so they are order-
+independent (another test may already have consumed a shim's single warning).
+"""
+
+import warnings
+
+import pytest
+
+from repro.cli import build_parser, run_command
+from repro.utils.deprecation import (
+    deprecation_emitted,
+    reset_deprecation_registry,
+    warn_deprecated_once,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test starts from (and leaves behind) a pristine warning registry."""
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
+
+
+def _recorded(fn):
+    """Call ``fn`` recording every warning, with all filters set to 'always'."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+    return caught
+
+
+class TestWarnDeprecatedOnce:
+    def test_fires_exactly_once_per_key(self):
+        caught = _recorded(lambda: [warn_deprecated_once("k", "gone soon") for _ in range(5)])
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert "gone soon" in str(caught[0].message)
+        assert deprecation_emitted("k")
+
+    def test_distinct_keys_fire_independently(self):
+        caught = _recorded(
+            lambda: (warn_deprecated_once("a", "a"), warn_deprecated_once("b", "b"))
+        )
+        assert len(caught) == 2
+
+    def test_idempotent_even_when_warning_raises(self):
+        """Under -W error the first call raises; the key must still be spent."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning):
+                warn_deprecated_once("hard", "boom")
+            # Second call: key already marked, so no (raised) warning.
+            assert warn_deprecated_once("hard", "boom") is False
+
+    def test_reset_allows_refiring(self):
+        caught = _recorded(lambda: warn_deprecated_once("again", "x"))
+        assert len(caught) == 1
+        reset_deprecation_registry()
+        caught = _recorded(lambda: warn_deprecated_once("again", "x"))
+        assert len(caught) == 1
+
+
+class TestPipelineShimsWarn:
+    def _stub_runner(self, monkeypatch):
+        """Stub ExperimentRunner so the shims return instantly."""
+
+        class _Stub:
+            def __init__(self, spec, verbose=False):
+                self.spec = spec
+
+            def run(self):
+                return "ran"
+
+        import repro.pipelines.multivariate as multivariate
+        import repro.pipelines.univariate as univariate
+
+        monkeypatch.setattr(univariate, "ExperimentRunner", _Stub)
+        monkeypatch.setattr(multivariate, "ExperimentRunner", _Stub)
+
+    def test_univariate_shim_warns_once(self, monkeypatch):
+        self._stub_runner(monkeypatch)
+        from repro.pipelines import run_univariate_pipeline
+
+        caught = _recorded(lambda: [run_univariate_pipeline() for _ in range(3)])
+        deprecations = [c for c in caught if issubclass(c.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "run_univariate_pipeline is deprecated" in str(deprecations[0].message)
+
+    def test_multivariate_shim_warns_once(self, monkeypatch):
+        self._stub_runner(monkeypatch)
+        from repro.pipelines import run_multivariate_pipeline
+
+        caught = _recorded(lambda: [run_multivariate_pipeline() for _ in range(3)])
+        deprecations = [c for c in caught if issubclass(c.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "run_multivariate_pipeline" in str(deprecations[0].message)
+
+    def test_shims_have_distinct_keys(self, monkeypatch):
+        self._stub_runner(monkeypatch)
+        from repro.pipelines import run_multivariate_pipeline, run_univariate_pipeline
+
+        caught = _recorded(
+            lambda: (run_univariate_pipeline(), run_multivariate_pipeline())
+        )
+        assert len([c for c in caught if issubclass(c.category, DeprecationWarning)]) == 2
+
+
+class TestCliAliasesWarn:
+    def _run_alias(self, monkeypatch, argv):
+        """Run a legacy alias with the underlying pipeline calls stubbed out."""
+        import repro.cli as cli
+
+        class _Result:
+            table1_rows = []
+            table2_rows = []
+            dataset_name = "stub"
+
+        monkeypatch.setattr(cli, "run_univariate_pipeline", lambda config: _Result())
+        monkeypatch.setattr(cli, "run_multivariate_pipeline", lambda config: _Result())
+        monkeypatch.setattr(cli, "_report", lambda result, args, report_name=None: None)
+        args = build_parser().parse_args(argv)
+        return run_command(args)
+
+    @pytest.mark.parametrize("alias", ["univariate", "multivariate", "both"])
+    def test_alias_warns_once(self, monkeypatch, alias, capsys):
+        caught = _recorded(lambda: self._run_alias(monkeypatch, [alias]))
+        deprecations = [c for c in caught if issubclass(c.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "deprecated" in str(deprecations[0].message)
+        assert "deprecated alias" in capsys.readouterr().err
+
+    def test_alias_warning_is_per_process_not_per_invocation(self, monkeypatch, capsys):
+        caught = _recorded(
+            lambda: [self._run_alias(monkeypatch, ["univariate"]) for _ in range(3)]
+        )
+        deprecations = [c for c in caught if issubclass(c.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        # The stderr pointer still prints every time (cheap, actionable).
+        assert capsys.readouterr().err.count("deprecated alias") == 3

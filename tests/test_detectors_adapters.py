@@ -1,0 +1,156 @@
+"""Edge-case tests for ``detectors/adapters.WindowReshapeAdapter``.
+
+Covers the shapes the mixed-detector deployments actually hit: window lengths
+that do not divide evenly across channels, single-channel multivariate input,
+and the error messages raised on shape mismatches (they must name the
+offending shape so ``--set`` mistakes are debuggable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors.adapters import ADAPTER_MODES, WindowReshapeAdapter
+from repro.detectors.autoencoder import AutoencoderDetector
+from repro.detectors.base import DetectionResult
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class _RecordingDetector:
+    """A minimal fake detector that records the shapes it is handed."""
+
+    name = "recorder"
+    fitted = True
+    model = "sentinel-model"
+
+    def __init__(self):
+        self.seen = []
+
+    def _note(self, windows):
+        self.seen.append(np.asarray(windows).shape)
+        return windows
+
+    def fit(self, windows, **kwargs):
+        self._note(windows)
+        return self
+
+    def reconstruct(self, windows):
+        return self._note(windows)
+
+    def detect(self, windows):
+        windows = self._note(windows)
+        return [
+            DetectionResult(
+                is_anomaly=False,
+                confident=True,
+                anomaly_score=0.0,
+                point_scores=np.zeros(3),
+                anomalous_point_fraction=0.0,
+            )
+            for _ in range(windows.shape[0])
+        ]
+
+    def predict(self, windows):
+        return np.zeros(self._note(windows).shape[0], dtype=int)
+
+    def context_features(self, windows):
+        self._note(windows)
+        return None
+
+    def parameter_count(self):
+        return 42
+
+
+class TestReshapeEdgeCases:
+    def test_expand_channel_odd_window_length(self):
+        """Non-divisible (prime) window lengths reshape fine: (n, 17) -> (n, 17, 1)."""
+        adapter = WindowReshapeAdapter(_RecordingDetector(), "expand-channel")
+        out = adapter.adapt(np.zeros((5, 17)))
+        assert out.shape == (5, 17, 1)
+
+    def test_flatten_non_divisible_time_channel_product(self):
+        """(n, 7, 3) flattens to (n, 21) even though 21 splits into neither 7 nor 3 evenly elsewhere."""
+        adapter = WindowReshapeAdapter(_RecordingDetector(), "flatten")
+        out = adapter.adapt(np.arange(2 * 7 * 3, dtype=float).reshape(2, 7, 3))
+        assert out.shape == (2, 21)
+        # Row-major flattening: timestep-major, channel-minor.
+        np.testing.assert_array_equal(out[0], np.arange(21, dtype=float))
+
+    def test_flatten_single_channel_input(self):
+        """Single-channel (n, T, 1) input degenerates to the univariate layout."""
+        adapter = WindowReshapeAdapter(_RecordingDetector(), "flatten")
+        windows = np.random.default_rng(0).normal(size=(4, 9, 1))
+        out = adapter.adapt(windows)
+        assert out.shape == (4, 9)
+        np.testing.assert_array_equal(out, windows[:, :, 0])
+
+    def test_expand_then_flatten_round_trip(self):
+        windows = np.random.default_rng(1).normal(size=(3, 11))
+        expand = WindowReshapeAdapter(_RecordingDetector(), "expand-channel")
+        flatten = WindowReshapeAdapter(_RecordingDetector(), "flatten")
+        np.testing.assert_array_equal(flatten.adapt(expand.adapt(windows)), windows)
+
+    def test_single_window_batch(self):
+        adapter = WindowReshapeAdapter(_RecordingDetector(), "expand-channel")
+        assert adapter.adapt(np.zeros((1, 6))).shape == (1, 6, 1)
+
+
+class TestErrorMessages:
+    def test_expand_channel_rejects_3d_and_names_shape(self):
+        adapter = WindowReshapeAdapter(_RecordingDetector(), "expand-channel")
+        with pytest.raises(ShapeError) as excinfo:
+            adapter.adapt(np.zeros((2, 4, 3)))
+        message = str(excinfo.value)
+        assert "expand-channel expects 2-D" in message
+        assert "(2, 4, 3)" in message
+
+    def test_flatten_rejects_2d_and_names_shape(self):
+        adapter = WindowReshapeAdapter(_RecordingDetector(), "flatten")
+        with pytest.raises(ShapeError) as excinfo:
+            adapter.adapt(np.zeros((2, 4)))
+        message = str(excinfo.value)
+        assert "flatten expects 3-D" in message
+        assert "(2, 4)" in message
+
+    def test_expand_channel_rejects_1d(self):
+        adapter = WindowReshapeAdapter(_RecordingDetector(), "expand-channel")
+        with pytest.raises(ShapeError, match="got \\(4,\\)"):
+            adapter.adapt(np.zeros(4))
+
+    def test_unknown_mode_lists_valid_modes(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            WindowReshapeAdapter(_RecordingDetector(), "transpose")
+        message = str(excinfo.value)
+        assert "'transpose'" in message
+        for mode in ADAPTER_MODES:
+            assert mode in message
+
+
+class TestDelegation:
+    def test_every_method_delegates_with_adapted_shape(self):
+        inner = _RecordingDetector()
+        adapter = WindowReshapeAdapter(inner, "flatten")
+        windows = np.zeros((2, 5, 3))
+        adapter.fit(windows)
+        adapter.reconstruct(windows)
+        adapter.detect(windows)
+        adapter.predict(windows)
+        adapter.context_features(windows)
+        assert inner.seen == [(2, 15)] * 5
+        assert adapter.name == "recorder"
+        assert adapter.fitted is True
+        assert adapter.model == "sentinel-model"
+        assert adapter.parameter_count() == 42
+
+    def test_real_autoencoder_on_multivariate_windows(self):
+        """A real AE behind 'flatten' trains and scores (n, T, C) batches."""
+        rng = np.random.default_rng(3)
+        train = rng.normal(size=(24, 6, 3))
+        detector = AutoencoderDetector(window_size=18, hidden_sizes=(8,), name="AE", seed=0)
+        adapter = WindowReshapeAdapter(detector, "flatten")
+        adapter.fit(train, epochs=3, batch_size=8, learning_rate=1e-3)
+        assert adapter.fitted
+        results = adapter.detect(train[:4])
+        assert len(results) == 4
+        predictions = adapter.predict(train[:4])
+        assert predictions.shape == (4,)
+        assert set(np.unique(predictions)) <= {0, 1}

@@ -1,0 +1,246 @@
+"""Tests for the workload generators: device streams and stream mutators."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.devices import DeviceFleet, VirtualDevice, WindowPool, device_rng
+from repro.fleet.mutators import AnomalyBurst, DeviceChurn
+from repro.fleet.spec import FleetSpec, MutatorSpec
+
+
+@pytest.fixture(scope="module")
+def pool():
+    rng = np.random.default_rng(0)
+    normal = rng.normal(size=(12, 21))
+    anomalous = rng.normal(loc=3.0, size=(5, 21))
+    return WindowPool(normal=normal, anomalous=anomalous)
+
+
+def _device(pool, spec, device_id=0, master_seed=0):
+    return VirtualDevice(
+        device_id, pool, spec.build_mutators(), spec, master_seed=master_seed
+    )
+
+
+class TestWindowPool:
+    def test_shape_mismatch_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="share one shape"):
+            WindowPool(normal=np.zeros((3, 4)), anomalous=np.zeros((2, 5)))
+
+    def test_from_labeled_splits_by_label(self, pool):
+        from repro.data.datasets import LabeledWindows
+
+        windows = np.concatenate([pool.normal, pool.anomalous])
+        labels = np.array([0] * 12 + [1] * 5)
+        rebuilt = WindowPool.from_labeled(LabeledWindows(windows=windows, labels=labels))
+        np.testing.assert_array_equal(rebuilt.normal, pool.normal)
+        np.testing.assert_array_equal(rebuilt.anomalous, pool.anomalous)
+
+
+class TestDeviceDeterminism:
+    def test_same_seed_same_stream(self, pool):
+        spec = FleetSpec(n_devices=4, ticks=6, arrival_rate=1.0, seed=3)
+        a = _device(pool, spec, device_id=2)
+        b = _device(pool, spec, device_id=2)
+        for tick in range(spec.ticks):
+            arrivals_a, arrivals_b = a.emit(tick), b.emit(tick)
+            assert len(arrivals_a) == len(arrivals_b)
+            for x, y in zip(arrivals_a, arrivals_b):
+                np.testing.assert_array_equal(x.window, y.window)
+                assert (x.label, x.timestamp) == (y.label, y.timestamp)
+
+    def test_stream_independent_of_other_devices(self, pool):
+        """A device's stream depends only on (master seed, fleet seed, id)."""
+        spec = FleetSpec(n_devices=8, ticks=4, arrival_rate=1.0, seed=3)
+        whole = DeviceFleet(spec, pool)
+        subset = DeviceFleet(spec, pool, device_ids=[5])
+        lone = subset.devices[0]
+        twin = whole.devices[5]
+        for tick in range(spec.ticks):
+            for x, y in zip(twin.emit(tick), lone.emit(tick)):
+                np.testing.assert_array_equal(x.window, y.window)
+                assert x.label == y.label
+
+    def test_different_devices_differ(self, pool):
+        spec = FleetSpec(n_devices=4, ticks=2, arrival_rate=3.0, seed=3)
+        fleet = DeviceFleet(spec, pool)
+        streams = [tuple(a.timestamp for a in d.emit(0)) for d in fleet.devices]
+        assert len(set(streams)) > 1
+
+    def test_device_rng_is_pure_function(self):
+        a = device_rng(1, 2, 3).integers(0, 1 << 30, size=4)
+        b = device_rng(1, 2, 3).integers(0, 1 << 30, size=4)
+        c = device_rng(1, 2, 4).integers(0, 1 << 30, size=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestArrivals:
+    def test_arrivals_are_timestamped_within_tick(self, pool):
+        spec = FleetSpec(n_devices=6, ticks=5, arrival_rate=2.0, seed=1)
+        fleet = DeviceFleet(spec, pool)
+        for tick in range(spec.ticks):
+            batch, online = fleet.arrivals(tick)
+            assert online == 6
+            for arrival in batch:
+                assert arrival.tick == tick
+                assert tick <= arrival.timestamp < tick + 1
+                assert arrival.window.shape == pool.window_shape
+
+    def test_labels_follow_anomaly_pool(self, pool):
+        spec = FleetSpec(n_devices=20, ticks=10, arrival_rate=2.0, anomaly_rate=1.0, seed=1)
+        fleet = DeviceFleet(spec, pool)
+        batch, _ = fleet.arrivals(0)
+        assert batch and all(arrival.label == 1 for arrival in batch)
+
+    def test_empty_anomaly_pool_yields_normal_labels(self):
+        lonely = WindowPool(
+            normal=np.random.default_rng(0).normal(size=(6, 10)),
+            anomalous=np.zeros((0, 10)),
+        )
+        spec = FleetSpec(n_devices=5, ticks=3, arrival_rate=2.0, anomaly_rate=1.0, seed=1)
+        batch, _ = DeviceFleet(spec, lonely).arrivals(0)
+        assert batch and all(arrival.label == 0 for arrival in batch)
+
+
+class TestConceptDrift:
+    def test_distance_from_pool_grows_with_ticks(self, pool):
+        spec = FleetSpec(
+            n_devices=1,
+            ticks=30,
+            arrival_rate=4.0,
+            anomaly_rate=0.0,
+            seed=5,
+            mutators=(MutatorSpec(kind="concept-drift", drift_per_tick=0.2),),
+        )
+        device = _device(pool, spec)
+
+        def mean_distance(tick):
+            arrivals = device.emit(tick)
+            distances = [
+                np.min(np.linalg.norm(pool.normal - a.window, axis=1)) for a in arrivals
+            ]
+            return np.mean(distances) if distances else None
+
+        early, late = mean_distance(0), mean_distance(29)
+        assert early is not None and late is not None
+        assert late > early + 1.0  # 29 ticks x 0.2/tick along a unit direction
+
+    def test_drift_preserves_labels(self, pool):
+        spec = FleetSpec(
+            n_devices=1,
+            ticks=5,
+            arrival_rate=4.0,
+            anomaly_rate=0.0,
+            seed=5,
+            mutators=(MutatorSpec(kind="concept-drift", drift_per_tick=0.5),),
+        )
+        device = _device(pool, spec)
+        assert all(a.label == 0 for tick in range(5) for a in device.emit(tick))
+
+
+class TestAnomalyBurst:
+    def test_burst_window_arithmetic(self):
+        burst = AnomalyBurst(period=10, burst_ticks=3, burst_anomaly_rate=0.8)
+        assert [burst.in_burst(t) for t in range(10)] == [True] * 3 + [False] * 7
+        assert burst.in_burst(10)  # next period
+
+    def test_burst_raises_anomaly_fraction(self, pool):
+        spec = FleetSpec(
+            n_devices=40,
+            ticks=8,
+            arrival_rate=2.0,
+            anomaly_rate=0.0,
+            seed=2,
+            mutators=(
+                MutatorSpec(
+                    kind="anomaly-burst",
+                    burst_period=8,
+                    burst_ticks=4,
+                    burst_anomaly_rate=1.0,
+                ),
+            ),
+        )
+        fleet = DeviceFleet(spec, pool)
+        burst_batch, _ = fleet.arrivals(0)
+        calm_batch, _ = fleet.arrivals(5)
+        assert burst_batch and all(a.label == 1 for a in burst_batch)
+        assert calm_batch and all(a.label == 0 for a in calm_batch)
+
+
+class TestDeviceChurn:
+    def test_churned_devices_cycle_offline(self, pool):
+        spec = FleetSpec(
+            n_devices=30,
+            ticks=16,
+            arrival_rate=1.0,
+            seed=4,
+            mutators=(
+                MutatorSpec(
+                    kind="device-churn", churn_fraction=1.0, offline_ticks=4, churn_period=8
+                ),
+            ),
+        )
+        fleet = DeviceFleet(spec, pool)
+        online_counts = [fleet.arrivals(tick)[1] for tick in range(16)]
+        assert min(online_counts) < 30  # someone is offline
+        for device in fleet.devices:  # every device returns within one period
+            assert any(device.online(tick) for tick in range(8))
+            assert not all(device.online(tick) for tick in range(8))
+
+    def test_zero_fraction_never_drops(self, pool):
+        churn = DeviceChurn(churn_fraction=0.0)
+        state = churn.device_state(np.random.default_rng(0), pool.window_shape)
+        assert all(churn.online(state, tick) for tick in range(100))
+
+    def test_offline_devices_emit_nothing(self, pool):
+        spec = FleetSpec(
+            n_devices=1,
+            ticks=8,
+            arrival_rate=5.0,
+            seed=11,
+            mutators=(
+                MutatorSpec(
+                    kind="device-churn", churn_fraction=1.0, offline_ticks=8, churn_period=8
+                ),
+            ),
+        )
+        device = _device(pool, spec)
+        assert all(device.emit(tick) == [] for tick in range(8))
+
+
+class TestPhaseJitter:
+    def test_windows_are_rolled_pool_windows(self, pool):
+        spec = FleetSpec(
+            n_devices=1,
+            ticks=4,
+            arrival_rate=4.0,
+            anomaly_rate=0.0,
+            seed=6,
+            mutators=(MutatorSpec(kind="phase-jitter", max_shift=4),),
+        )
+        device = _device(pool, spec)
+        for arrival in device.emit(0):
+            rolled_back = [
+                np.roll(arrival.window, -shift, axis=0)
+                for shift in range(-5, 6)
+            ]
+            assert any(
+                any(np.allclose(candidate, w) for w in pool.normal)
+                for candidate in rolled_back
+            )
+
+    def test_zero_shift_is_identity(self, pool):
+        spec = FleetSpec(
+            n_devices=1,
+            ticks=1,
+            arrival_rate=4.0,
+            anomaly_rate=0.0,
+            seed=6,
+            mutators=(MutatorSpec(kind="phase-jitter", max_shift=0),),
+        )
+        device = _device(pool, spec)
+        for arrival in device.emit(0):
+            assert any(np.array_equal(arrival.window, w) for w in pool.normal)

@@ -1,0 +1,230 @@
+"""Tests for the streaming engines and the runner's ``stream`` stage.
+
+The central pin is the acceptance criterion: ``ShardedFleetEngine(n_shards=1)``
+produces a bit-identical :class:`~repro.fleet.report.FleetReport` to the
+unsharded :class:`~repro.fleet.engine.FleetEngine`.  Multi-shard runs must
+match on every count exactly (device streams are partition-independent) and
+on delay statistics up to float summation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import ExperimentRunner, apply_overrides, get_scenario
+from repro.fleet.devices import WindowPool
+from repro.fleet.engine import FleetEngine, ShardedFleetEngine
+
+#: Shrink the burst-storm scenario to test size (training and streaming).
+TINY = {
+    "data.weeks": "10",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "3",
+    "policy.episodes": "3",
+    "fleet.n_devices": "16",
+    "fleet.ticks": "12",
+    "fleet.metrics_window": "4",
+    "fleet.arrival_rate": "1.0",
+}
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A tiny trained fleet scenario: (spec, runner with train_policy done)."""
+    spec = apply_overrides(get_scenario("fleet-burst-storm"), TINY)
+    runner = ExperimentRunner(spec)
+    for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+        getattr(runner, stage)()
+    return spec, runner
+
+
+def _engine_kwargs(spec, runner):
+    state = runner.state
+    return dict(
+        system=state.system,
+        policy=state.policy,
+        context_extractor=state.context_extractor,
+        spec=spec.fleet,
+        pool=WindowPool.from_labeled(state.standardized_all),
+        master_seed=spec.seed,
+        name=spec.name,
+        tier_names=spec.topology.tier_names,
+    )
+
+
+class TestFleetEngine:
+    def test_run_is_deterministic(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        assert FleetEngine(**kwargs).run() == FleetEngine(**kwargs).run()
+
+    def test_report_shape(self, trained):
+        spec, runner = trained
+        report = FleetEngine(**_engine_kwargs(spec, runner)).run()
+        assert report.name == spec.name
+        assert report.n_devices == spec.fleet.n_devices
+        assert report.ticks == spec.fleet.ticks
+        assert report.n_windows > 0
+        assert len(report.windowed) == 3  # 12 ticks / metrics_window 4
+        assert [t.tier for t in report.tiers] == list(spec.topology.tier_names)
+        assert sum(t.requests for t in report.tiers) == report.n_windows
+        assert report.delay.samples_seen == report.n_windows
+
+    def test_stream_leaves_no_event_log(self, trained):
+        """The streaming path must not materialise the per-request trace."""
+        spec, runner = trained
+        engine = FleetEngine(**_engine_kwargs(spec, runner))
+        report = engine.run()
+        assert report.n_windows > 0
+        assert engine.system.records == []
+        assert engine.system.record_log is True  # restored afterwards
+
+    def test_burst_storm_visible_in_windowed_metrics(self, trained):
+        """Bursts (ticks 0-3 of every 16) raise the windowed anomaly fraction."""
+        spec, runner = trained
+        report = FleetEngine(**_engine_kwargs(spec, runner)).run()
+        burst_block, calm_block = report.windowed[0], report.windowed[1]
+        assert burst_block.anomaly_fraction > calm_block.anomaly_fraction
+
+    def test_policy_layer_mismatch_rejected(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        kwargs["tier_names"] = ("too", "few")
+        with pytest.raises(ConfigurationError, match="tier names"):
+            FleetEngine(**kwargs)
+
+
+class TestScenarioStreams:
+    """Each built-in fleet scenario's mutators show up in its online metrics."""
+
+    def test_drift_scenario_degrades_windowed_accuracy(self):
+        spec = apply_overrides(
+            get_scenario("fleet-1k-drift"),
+            {
+                "data.weeks": "10", "detectors.0.epochs": "3",
+                "detectors.1.epochs": "3", "detectors.2.epochs": "3",
+                "policy.episodes": "3",
+                "fleet.n_devices": "40", "fleet.ticks": "32",
+                "fleet.metrics_window": "8", "fleet.arrival_rate": "1.0",
+                "fleet.mutators.0.drift_per_tick": "0.08",
+            },
+        )
+        report = ExperimentRunner(spec).run_fleet()
+        assert report.windowed[0].accuracy > report.windowed[-1].accuracy
+
+    def test_churn_scenario_reports_offline_device_ticks(self):
+        spec = apply_overrides(
+            get_scenario("fleet-churn-mixed-detectors"),
+            {
+                "data.weeks": "8", "detectors.0.epochs": "2",
+                "detectors.1.epochs": "2", "detectors.2.epochs": "2",
+                "policy.episodes": "2",
+                "fleet.n_devices": "20", "fleet.ticks": "16",
+                "fleet.mutators.0.churn_fraction": "1.0",
+            },
+        )
+        report = ExperimentRunner(spec).run_fleet()
+        assert report.offline_device_ticks > 0
+        total = report.online_device_ticks + report.offline_device_ticks
+        assert total == 20 * 16
+
+
+class TestShardedEquivalence:
+    def test_single_shard_bit_identical_to_unsharded(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        unsharded = FleetEngine(**kwargs).run()
+        sharded = ShardedFleetEngine(**kwargs, n_shards=1).run()
+        assert sharded == unsharded  # dataclass equality: every field, bit for bit
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_multi_shard_counts_partition_independent(self, trained, n_shards):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        unsharded = FleetEngine(**kwargs).run()
+        sharded = ShardedFleetEngine(**kwargs, n_shards=n_shards).run()
+        # Counts are exact regardless of the partitioning...
+        assert sharded.n_windows == unsharded.n_windows
+        assert sharded.n_anomalous == unsharded.n_anomalous
+        assert sharded.accuracy == unsharded.accuracy
+        assert sharded.f1 == unsharded.f1
+        assert [t.requests for t in sharded.tiers] == [t.requests for t in unsharded.tiers]
+        assert [w.n_windows for w in sharded.windowed] == [
+            w.n_windows for w in unsharded.windowed
+        ]
+        assert sharded.online_device_ticks == unsharded.online_device_ticks
+        # ...while delay sums may differ by float summation order only.
+        assert sharded.delay.mean_ms == pytest.approx(unsharded.delay.mean_ms, rel=1e-12)
+        assert sharded.delay.max_ms == unsharded.delay.max_ms
+        for a, b in zip(sharded.tiers, unsharded.tiers):
+            assert a.mean_delay_ms == pytest.approx(b.mean_delay_ms, rel=1e-12)
+
+    def test_multi_shard_deterministic(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        first = ShardedFleetEngine(**kwargs, n_shards=2).run()
+        second = ShardedFleetEngine(**kwargs, n_shards=2).run()
+        assert first == second
+
+    def test_parallel_and_sequential_shards_agree(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        parallel = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True).run()
+        sequential = ShardedFleetEngine(**kwargs, n_shards=2, parallel=False).run()
+        assert parallel == sequential
+
+    def test_more_shards_than_devices_rejected(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        with pytest.raises(ConfigurationError, match="n_shards"):
+            ShardedFleetEngine(**kwargs, n_shards=999)
+
+    def test_jittery_links_rejected_for_multi_shard(self, trained):
+        """Per-transfer jitter draws would depend on the partitioning."""
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        link = kwargs["system"].topology.links[0]
+        link.jitter_ms = 1.5
+        try:
+            with pytest.raises(ConfigurationError, match="jitter-free"):
+                ShardedFleetEngine(**kwargs, n_shards=2)
+            # A single shard stays allowed (bit-identical to unsharded).
+            ShardedFleetEngine(**kwargs, n_shards=1)
+        finally:
+            link.jitter_ms = 0.0
+
+
+class TestRunnerStreamStage:
+    def test_stream_requires_train_policy(self):
+        runner = ExperimentRunner(apply_overrides(get_scenario("fleet-burst-storm"), TINY))
+        with pytest.raises(ConfigurationError, match="must run before"):
+            runner.stream()
+
+    def test_stream_requires_fleet_node(self):
+        spec = apply_overrides(
+            get_scenario("univariate-power"),
+            {"data.weeks": "10", "policy.episodes": "2", "detectors.0.epochs": "2",
+             "detectors.1.epochs": "2", "detectors.2.epochs": "2"},
+        )
+        runner = ExperimentRunner(spec)
+        for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+            getattr(runner, stage)()
+        with pytest.raises(ConfigurationError, match="no fleet node"):
+            runner.stream()
+
+    def test_stream_stage_matches_direct_engine(self, trained):
+        spec, runner = trained
+        direct = FleetEngine(**_engine_kwargs(spec, runner)).run()
+        report = runner.stream()
+        assert report == direct
+        assert runner.state.fleet_report is report
+        # run_fleet() after stream is a no-op returning the same report.
+        assert runner.run_fleet() is report
+
+    def test_run_fleet_from_scratch_uses_sharded_engine(self):
+        spec = apply_overrides(
+            get_scenario("fleet-burst-storm"), {**TINY, "fleet.n_shards": "2"}
+        )
+        report = ExperimentRunner(spec).run_fleet()
+        assert report.n_windows > 0

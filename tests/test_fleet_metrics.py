@@ -1,0 +1,151 @@
+"""Tests for the bounded-memory online metrics and their shard merge."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fleet.metrics import DelayReservoir, StreamingMetrics, rates_from_confusion
+from repro.fleet.report import report_from_metrics
+
+
+class TestDelayReservoir:
+    def test_keeps_everything_under_capacity(self):
+        reservoir = DelayReservoir(10, [1, 2])
+        reservoir.extend([1.0, 2.0, 3.0])
+        assert reservoir.values == [1.0, 2.0, 3.0]
+        assert reservoir.seen == 3
+
+    def test_bounded_beyond_capacity(self):
+        reservoir = DelayReservoir(16, [1, 2])
+        reservoir.extend(np.arange(1000, dtype=float))
+        assert len(reservoir.values) == 16
+        assert reservoir.seen == 1000
+
+    def test_deterministic_given_seed(self):
+        a, b = DelayReservoir(8, [3]), DelayReservoir(8, [3])
+        stream = np.random.default_rng(0).normal(size=200)
+        a.extend(stream)
+        b.extend(stream)
+        assert a.values == b.values
+
+    def test_percentiles_on_full_sample(self):
+        reservoir = DelayReservoir(1000, [1])
+        reservoir.extend(np.arange(101, dtype=float))
+        assert reservoir.percentile(50.0) == pytest.approx(50.0)
+        assert reservoir.percentile(100.0) == pytest.approx(100.0)
+
+    def test_merge_single_part_is_identity(self):
+        part = DelayReservoir(8, [1])
+        part.extend([5.0, 6.0, 7.0])
+        merged = DelayReservoir.merge([part], [9])
+        assert merged.values == part.values
+        assert merged.seen == part.seen
+
+    def test_merge_respects_capacity_and_determinism(self):
+        parts = []
+        for shard in range(3):
+            part = DelayReservoir(32, [shard])
+            part.extend(np.random.default_rng(shard).normal(size=100))
+            parts.append(part)
+        merged_a = DelayReservoir.merge(parts, [7])
+        merged_b = DelayReservoir.merge(parts, [7])
+        assert len(merged_a.values) == 32
+        assert merged_a.seen == 300
+        assert merged_a.values == merged_b.values
+
+
+class TestStreamingMetrics:
+    def _metrics(self, ticks=8, window=4, layers=3, reservoir=64):
+        return StreamingMetrics(
+            ticks=ticks,
+            metrics_window=window,
+            n_layers=layers,
+            reservoir_size=reservoir,
+            seed_entropy=(0, 0),
+        )
+
+    def test_confusion_and_windowed_counts(self):
+        metrics = self._metrics()
+        metrics.observe(
+            0, 1,
+            predictions=np.array([1, 0, 1, 0]),
+            labels=np.array([1, 0, 0, 1]),
+            delays_ms=np.array([10.0, 10.0, 10.0, 10.0]),
+        )
+        metrics.observe(
+            5, 2,
+            predictions=np.array([1]),
+            labels=np.array([1]),
+            delays_ms=np.array([40.0]),
+        )
+        np.testing.assert_array_equal(metrics.confusion, [2, 1, 1, 1])
+        np.testing.assert_array_equal(metrics.windowed_confusion[0], [1, 1, 1, 1])
+        np.testing.assert_array_equal(metrics.windowed_confusion[1], [1, 0, 0, 0])
+        assert metrics.n_windows == 5
+        np.testing.assert_array_equal(metrics.layer_requests, [0, 4, 1])
+        assert metrics.delay_sum == pytest.approx(80.0)
+        assert metrics.delay_max == 40.0
+
+    def test_out_of_range_tick_rejected(self):
+        with pytest.raises(ConfigurationError, match="tick"):
+            self._metrics(ticks=4).observe(
+                4, 0, np.array([1]), np.array([1]), np.array([1.0])
+            )
+
+    def test_merge_is_additive_and_shape_checked(self):
+        a, b = self._metrics(), self._metrics()
+        a.observe(0, 0, np.array([1]), np.array([1]), np.array([5.0]))
+        b.observe(7, 2, np.array([0]), np.array([1]), np.array([9.0]))
+        a.record_uptime(3, 1)
+        b.record_uptime(4, 0)
+        merged = StreamingMetrics.merge([a, b], seed_entropy=(0, 0))
+        np.testing.assert_array_equal(merged.confusion, a.confusion + b.confusion)
+        np.testing.assert_array_equal(
+            merged.layer_requests, a.layer_requests + b.layer_requests
+        )
+        assert merged.online_device_ticks == 7
+        assert merged.offline_device_ticks == 1
+        assert merged.reservoir.seen == 2
+        with pytest.raises(ConfigurationError, match="different shapes"):
+            StreamingMetrics.merge([a, self._metrics(ticks=99)], seed_entropy=(0, 0))
+
+    def test_rates_from_confusion(self):
+        rates = rates_from_confusion(np.array([2, 1, 6, 1]))
+        assert rates["accuracy"] == pytest.approx(0.8)
+        assert rates["precision"] == pytest.approx(2 / 3)
+        assert rates["recall"] == pytest.approx(2 / 3)
+        assert rates["f1"] == pytest.approx(2 / 3)
+        assert rates["anomaly_fraction"] == pytest.approx(0.3)
+        empty = rates_from_confusion(np.zeros(4, dtype=int))
+        assert empty["accuracy"] == 0.0 and empty["f1"] == 0.0
+
+
+class TestReportAssembly:
+    def test_report_round_trips_and_sums_add_up(self, tmp_path):
+        metrics = StreamingMetrics(
+            ticks=8, metrics_window=4, n_layers=2, reservoir_size=64, seed_entropy=(0, 0)
+        )
+        rng = np.random.default_rng(0)
+        for tick in range(8):
+            n = 5
+            metrics.observe(
+                tick,
+                tick % 2,
+                predictions=rng.integers(0, 2, size=n),
+                labels=rng.integers(0, 2, size=n),
+                delays_ms=rng.uniform(1.0, 9.0, size=n),
+            )
+            metrics.record_uptime(5, 0)
+        report = report_from_metrics("unit", metrics, ("edge", "cloud"), n_devices=5)
+        assert report.n_windows == 40
+        assert sum(w.n_windows for w in report.windowed) == report.n_windows
+        assert sum(t.requests for t in report.tiers) == report.n_windows
+        assert sum(t.fraction for t in report.tiers) == pytest.approx(1.0)
+        assert report.delay.p50_ms <= report.delay.p90_ms <= report.delay.p99_ms
+        assert report.delay.max_ms >= report.delay.p99_ms
+
+        path = report.to_json(tmp_path / "report.json")
+        from repro.fleet.report import FleetReport
+
+        assert FleetReport.from_json(path) == report
+        assert "Fleet report for unit" in report.summary()

@@ -5,6 +5,8 @@ check the qualitative shape the paper reports (Table I/II trends), not its
 absolute numbers.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,15 @@ from repro.pipelines import (
 from repro.pipelines.common import TIERS
 
 
+def _run_shim(shim, *args, **kwargs):
+    """Call a deprecated pipeline shim with its DeprecationWarning silenced
+    (the CI tier promotes DeprecationWarning to an error; the once-per-process
+    warning itself is covered by tests/test_deprecation.py)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return shim(*args, **kwargs)
+
+
 @pytest.fixture(scope="session")
 def univariate_result():
     """One shared fast run of the univariate pipeline."""
@@ -25,13 +36,13 @@ def univariate_result():
         data=PowerDatasetConfig(weeks=30, samples_per_day=24, anomalous_day_fraction=0.08, seed=7),
         policy_episodes=30,
     )
-    return run_univariate_pipeline(config)
+    return _run_shim(run_univariate_pipeline, config)
 
 
 @pytest.fixture(scope="session")
 def multivariate_result():
     """One shared fast run of the multivariate pipeline."""
-    return run_multivariate_pipeline(MultivariatePipelineConfig())
+    return _run_shim(run_multivariate_pipeline, MultivariatePipelineConfig())
 
 
 SCHEME_NAMES = {"IoT Device", "Edge", "Cloud", "Successive", "Our Method"}
@@ -131,8 +142,8 @@ class TestUnivariatePipeline:
             epochs={"iot": 10, "edge": 10, "cloud": 10},
             policy_episodes=10,
         )
-        a = run_univariate_pipeline(config)
-        b = run_univariate_pipeline(config)
+        a = _run_shim(run_univariate_pipeline, config)
+        b = _run_shim(run_univariate_pipeline, config)
         np.testing.assert_array_equal(
             a.evaluations["Our Method"].predictions, b.evaluations["Our Method"].predictions
         )

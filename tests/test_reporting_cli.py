@@ -1,6 +1,7 @@
 """Tests for the reporting module and the command-line interface."""
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -14,6 +15,11 @@ from repro.evaluation.reporting import (
 )
 from repro.pipelines import UnivariatePipelineConfig, run_univariate_pipeline
 
+#: The legacy shims/aliases exercised here warn once per process; the CI tier
+#: promotes DeprecationWarning to an error, so silence it for these tests
+#: (the warning behaviour itself is pinned by tests/test_deprecation.py).
+IGNORE_DEPRECATIONS = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(scope="module")
 def small_result():
@@ -23,7 +29,9 @@ def small_result():
         epochs={"iot": 10, "edge": 15, "cloud": 15},
         policy_episodes=10,
     )
-    return run_univariate_pipeline(config)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return run_univariate_pipeline(config)
 
 
 class TestResultToDict:
@@ -99,6 +107,7 @@ class TestCLI:
         assert args.seed == 5
         assert args.quiet is True
 
+    @IGNORE_DEPRECATIONS
     def test_run_univariate_command_writes_report(self, tmp_path, capsys):
         exit_code = main([
             "univariate", "--weeks", "14", "--policy-episodes", "5",
@@ -110,6 +119,7 @@ class TestCLI:
         assert (tmp_path / "report_univariate.json").exists()
         assert (tmp_path / "report_univariate.md").exists()
 
+    @IGNORE_DEPRECATIONS
     def test_run_command_quiet_suppresses_tables(self, tmp_path, capsys):
         args = build_parser().parse_args([
             "univariate", "--weeks", "14", "--policy-episodes", "5", "--quiet",
