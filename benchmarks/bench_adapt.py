@@ -1,0 +1,226 @@
+"""Adaptation benchmark — drift recovery quality and lifecycle latency.
+
+Trains the ``adapt-1k-drift-recovery`` scenario (shrunken training, full
+streaming workload by default), streams it twice — once with the detectors
+frozen, once with the adaptation loop closed — and records into
+``benchmarks/results/adapt.json``:
+
+* the windowed F1 trajectory of both runs (the degradation/recovery story);
+* the recovery contract: detection F1 before drift, at the trough, and after
+  the gated hot-swap (must be strictly above the trough and within 10% of
+  the pre-drift level);
+* lifecycle latency: wall-clock seconds per retrain attempt and per swap
+  (collected from the controller's timings, which are deliberately kept out
+  of the deterministic :class:`~repro.fleet.report.FleetReport`).
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/bench_adapt.py               # full 1k sweep
+    PYTHONPATH=src python benchmarks/bench_adapt.py --devices 64 --arrival-rate 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments import ExperimentRunner, apply_overrides, get_scenario
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Stable schema tag for CI consumers (see benchmarks/compare_results.py).
+SCHEMA_VERSION = 1
+
+#: The scenario whose lifecycle is measured.
+SCENARIO = "adapt-1k-drift-recovery"
+#: Training is shrunk to seconds: the bench measures adaptation, not fitting.
+TRAIN_OVERRIDES = {
+    "data.weeks": "12",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "3",
+    "policy.episodes": "3",
+}
+DEFAULT_DEVICES = 1000
+DEFAULT_ARRIVAL_RATE = 0.2
+#: Fraction of the pre-drift F1 the post-recovery F1 must reach.
+RECOVERY_FRACTION = 0.9
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _windowed_f1(report) -> list:
+    return [round(w.f1, 6) for w in report.windowed]
+
+
+def _recovery_stats(report) -> dict:
+    """Pre-drift / trough / post-recovery F1 from the windowed trajectory."""
+    f1 = [w.f1 for w in report.windowed if w.n_windows]
+    pre = f1[0]
+    trough = min(f1)
+    post = f1[-1]
+    return {
+        "f1_pre_drift": pre,
+        "f1_trough": trough,
+        "f1_post_recovery": post,
+        "above_trough": post > trough,
+        "within_10pct_of_pre": post >= RECOVERY_FRACTION * pre,
+    }
+
+
+def run_bench_adapt(
+    devices: int = DEFAULT_DEVICES,
+    arrival_rate: float = DEFAULT_ARRIVAL_RATE,
+    min_retrain_windows: int | None = None,
+) -> dict:
+    """Stream frozen vs adaptive; returns the JSON-ready report."""
+    spec = apply_overrides(get_scenario(SCENARIO), TRAIN_OVERRIDES)
+    spec = apply_overrides(
+        spec,
+        {
+            "fleet.n_devices": str(devices),
+            "fleet.arrival_rate": str(arrival_rate),
+        },
+    )
+    if min_retrain_windows is not None:
+        spec = apply_overrides(
+            spec, {"adapt.min_retrain_windows": str(min_retrain_windows)}
+        )
+
+    report: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_adapt.py",
+        "scenario": SCENARIO,
+        "cpus": _available_cpus(),
+        "config": {
+            "n_devices": devices,
+            "ticks": spec.fleet.ticks,
+            "arrival_rate": arrival_rate,
+            "metrics_window": spec.fleet.metrics_window,
+            "monitors": list(spec.adapt.monitors),
+        },
+    }
+
+    # -- frozen baseline: the same stream with the detectors never retrained --
+    frozen_runner = ExperimentRunner(replace(spec, adapt=None))
+    frozen_report = frozen_runner.run_fleet()
+    report["frozen"] = {
+        "windowed_f1": _windowed_f1(frozen_report),
+        "f1_final": frozen_report.windowed[-1].f1,
+        "f1_overall": frozen_report.f1,
+    }
+
+    # -- adaptive run ---------------------------------------------------------
+    runner = ExperimentRunner(spec)
+    adaptive_report = runner.run_fleet()
+    controller = runner.state.adaptation_controller
+    timeline = adaptive_report.adaptation
+    retrain_seconds = [t.retrain_seconds for t in controller.timings]
+    swap_seconds = [t.swap_seconds for t in controller.timings if t.accepted]
+    report["adaptive"] = {
+        "windowed_f1": _windowed_f1(adaptive_report),
+        "f1_overall": adaptive_report.f1,
+        "n_drift_events": len(timeline.drifts),
+        "n_retrains": len(timeline.retrains),
+        "n_swaps": len(timeline.swaps),
+        "swap_ticks": [s.tick for s in timeline.swaps],
+        "recovery": _recovery_stats(adaptive_report),
+        "latency": {
+            "retrain_seconds_total": sum(retrain_seconds),
+            "retrain_seconds_mean": (
+                sum(retrain_seconds) / len(retrain_seconds) if retrain_seconds else 0.0
+            ),
+            "swap_seconds_total": sum(swap_seconds),
+            "swap_seconds_mean": (
+                sum(swap_seconds) / len(swap_seconds) if swap_seconds else 0.0
+            ),
+        },
+    }
+    return report
+
+
+def write_report(report: dict, name: str = "adapt") -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _assert_report(report: dict) -> None:
+    adaptive = report["adaptive"]
+    assert adaptive["n_swaps"] >= 1, "no checkpoint was ever hot-swapped"
+    recovery = adaptive["recovery"]
+    assert recovery["above_trough"], (
+        f"post-recovery F1 {recovery['f1_post_recovery']:.3f} did not exceed the "
+        f"trough {recovery['f1_trough']:.3f}"
+    )
+    assert recovery["within_10pct_of_pre"], (
+        f"post-recovery F1 {recovery['f1_post_recovery']:.3f} is not within 10% of "
+        f"the pre-drift level {recovery['f1_pre_drift']:.3f}"
+    )
+
+
+def _print_report(report: dict) -> None:
+    adaptive = report["adaptive"]
+    recovery = adaptive["recovery"]
+    print(
+        f"adapt drift recovery ({report['config']['n_devices']} devices x "
+        f"{report['config']['ticks']} ticks, {report['cpus']} CPUs)"
+    )
+    print(f"  frozen    windowed F1: {report['frozen']['windowed_f1']}")
+    print(f"  adaptive  windowed F1: {adaptive['windowed_f1']}")
+    print(
+        f"  pre-drift {recovery['f1_pre_drift']:.3f}  trough "
+        f"{recovery['f1_trough']:.3f}  post-recovery {recovery['f1_post_recovery']:.3f}"
+    )
+    print(
+        f"  {adaptive['n_drift_events']} drift event(s) -> {adaptive['n_retrains']} "
+        f"retrain(s) -> {adaptive['n_swaps']} swap(s) at ticks {adaptive['swap_ticks']}"
+    )
+    latency = adaptive["latency"]
+    print(
+        f"  retrain {latency['retrain_seconds_mean'] * 1000:.0f} ms mean, "
+        f"swap {latency['swap_seconds_mean'] * 1000:.0f} ms mean"
+    )
+
+
+def test_adapt_drift_recovery():
+    """Benchmark entry point for ``pytest benchmarks/bench_adapt.py`` (small sweep)."""
+    report = run_bench_adapt(devices=64, arrival_rate=1.0, min_retrain_windows=32)
+    path = write_report(report, name="adapt_smoke")
+    _print_report(report)
+    print(f"\nadapt report written to {path}")
+    _assert_report(report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--devices", type=int, default=DEFAULT_DEVICES)
+    parser.add_argument("--arrival-rate", type=float, default=DEFAULT_ARRIVAL_RATE)
+    parser.add_argument("--min-retrain-windows", type=int, default=None)
+    parser.add_argument(
+        "--name", default="adapt",
+        help="results file stem (benchmarks/results/<name>.json)",
+    )
+    args = parser.parse_args()
+    report = run_bench_adapt(
+        devices=args.devices,
+        arrival_rate=args.arrival_rate,
+        min_retrain_windows=args.min_retrain_windows,
+    )
+    path = write_report(report, name=args.name)
+    _print_report(report)
+    print(f"\nwritten to {path}")
+    _assert_report(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,9 @@ from repro.fleet.engine import FleetEngine, ShardedFleetEngine
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Stable schema tag for CI consumers (see benchmarks/compare_results.py).
+SCHEMA_VERSION = 1
+
 #: The scenario whose fleet workload is streamed.
 SCENARIO = "fleet-1k-drift"
 #: Training is shrunk to seconds: the bench measures streaming, not fitting.
@@ -114,6 +117,7 @@ def run_bench_fleet(
     kwargs = _trained_engine_kwargs(devices, ticks)
 
     report: dict = {
+        "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_fleet.py",
         "scenario": SCENARIO,
         "cpus": _available_cpus(),

@@ -1,0 +1,135 @@
+"""Diff two benchmark results files; exit nonzero on regression.
+
+CI-consumable: compares the numeric leaves two ``benchmarks/results/*.json``
+files share (matched by dotted path) and fails when a *quality or throughput*
+metric dropped — or a *cost* metric rose — by more than the threshold
+(default 10%).  Which direction counts as a regression is decided by the leaf
+key: ``seconds``/``latency``/``error``-like keys are costs (lower is
+better), everything else (``windows_per_second``, ``f1``, ``accuracy``,
+``speedup`` ...) is a benefit (higher is better).  Structural keys — counts,
+ids, config echoes, ``schema_version``/``cpus`` — are reported only when they
+differ, never as regressions.
+
+Usage::
+
+    python benchmarks/compare_results.py old.json new.json [--threshold 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Leaf-key substrings marking a benefit metric (a drop is a regression).
+BENEFIT_MARKERS = (
+    "per_second", "speedup", "f1", "accuracy", "precision", "recall",
+    "compression_ratio", "throughput",
+)
+#: Leaf-key substrings marking a cost metric (an increase is a regression).
+COST_MARKERS = ("seconds", "latency", "delay", "error", "bytes")
+
+
+def numeric_leaves(payload, prefix: str = "") -> dict:
+    """Flatten a JSON document into ``{dotted.path: float}`` numeric leaves."""
+    leaves: dict = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(numeric_leaves(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            leaves.update(numeric_leaves(value, f"{prefix}.{index}"))
+    elif isinstance(payload, bool):
+        pass  # booleans are flags, not metrics
+    elif isinstance(payload, (int, float)):
+        leaves[prefix] = float(payload)
+    return leaves
+
+
+def classify(path: str) -> str:
+    """``"context"``, ``"cost"`` or ``"benefit"`` for one dotted leaf path.
+
+    Benefit markers are checked first (so ``windows_per_second`` is a benefit
+    even though a sibling ``n_windows`` is context); anything matching
+    neither list is context — counts, ids, config echoes and the like are
+    never compared, only metrics with a known better-direction are.
+    """
+    leaf = path.rsplit(".", 1)[-1]
+    if any(marker in leaf for marker in BENEFIT_MARKERS):
+        return "benefit"
+    if any(marker in leaf for marker in COST_MARKERS):
+        return "cost"
+    return "context"
+
+
+def compare(old: dict, new: dict, threshold: float, ignore=()) -> list:
+    """Regressions between two flattened leaf maps: ``(path, old, new, ratio)``.
+
+    ``ignore`` holds substrings; any leaf path containing one is skipped —
+    how CI masks machine-dependent leaves (wall-clock seconds) when comparing
+    results produced on different hosts.
+    """
+    regressions = []
+    for path in sorted(set(old) & set(new)):
+        if any(marker in path for marker in ignore):
+            continue
+        kind = classify(path)
+        if kind == "context":
+            continue
+        old_value, new_value = old[path], new[path]
+        if old_value == 0.0:
+            continue  # no meaningful ratio
+        ratio = new_value / old_value
+        if kind == "benefit" and ratio < 1.0 - threshold:
+            regressions.append((path, old_value, new_value, ratio))
+        elif kind == "cost" and ratio > 1.0 + threshold:
+            regressions.append((path, old_value, new_value, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline results JSON")
+    parser.add_argument("new", type=Path, help="candidate results JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative change that counts as a regression (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="SUBSTRING",
+        help="skip leaves whose dotted path contains SUBSTRING (repeatable); "
+        "use --ignore seconds when old and new ran on different machines",
+    )
+    args = parser.parse_args(argv)
+
+    old = numeric_leaves(json.loads(args.old.read_text(encoding="utf-8")))
+    new = numeric_leaves(json.loads(args.new.read_text(encoding="utf-8")))
+    shared = set(old) & set(new)
+    if not shared:
+        print(f"error: {args.old} and {args.new} share no numeric leaves", file=sys.stderr)
+        return 2
+
+    regressions = compare(old, new, args.threshold, ignore=args.ignore)
+    print(
+        f"compared {len(shared)} shared leaves "
+        f"({args.old.name} -> {args.new.name}, threshold {args.threshold:.0%})"
+    )
+    for path in sorted(shared):
+        if old[path] != new[path] and classify(path) == "context":
+            print(f"  note: {path}: {old[path]:g} -> {new[path]:g} (context, ignored)")
+    if not regressions:
+        print("no regressions")
+        return 0
+    for path, old_value, new_value, ratio in regressions:
+        print(
+            f"  REGRESSION {path}: {old_value:g} -> {new_value:g} "
+            f"({(ratio - 1.0):+.1%})"
+        )
+    print(f"{len(regressions)} regression(s) beyond the {args.threshold:.0%} threshold")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

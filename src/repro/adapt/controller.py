@@ -1,0 +1,324 @@
+"""The adaptation controller: monitor -> retrain -> gate -> swap, per tick.
+
+:class:`AdaptationController` is the object the streaming engine talks to.
+Per tick it ingests every detected batch (windows, predictions, labels and
+anomaly scores, per tier), feeds the drift monitors and the retraining
+reservoirs, and at the tick boundary runs the lifecycle state machine:
+
+1. a monitor fires -> the tier is marked *pending*;
+2. a pending tier outside its cooldown, with enough reservoir fill, gets a
+   drift-triggered fine-tune on the recent clean-window sample;
+3. the candidate must beat the incumbent's F1 on the labelled holdout slice
+   (the shadow gate) — rejected candidates are recorded and discarded;
+4. an accepted candidate is quantised like its tier's original deployment,
+   committed to the registry, promoted and hot-swapped into the live system;
+   the tier's monitors reset so the new model gets a fresh baseline.
+
+Everything the controller does is recorded in an
+:class:`~repro.adapt.events.AdaptationTimeline`; wall-clock retrain/swap
+latencies are kept separately in :attr:`AdaptationController.timings` so the
+timeline (and the fleet report carrying it) stays timing-free and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.adapt.deployer import HotSwapDeployer
+from repro.adapt.events import AdaptationTimeline, DriftEvent, RetrainEvent
+from repro.adapt.monitors import ScoreMonitor, build_monitor
+from repro.adapt.registry import ModelRegistry
+from repro.adapt.retrainer import OnlineRetrainer, WindowReservoir
+from repro.adapt.spec import AdaptSpec
+from repro.hec.simulation import HECSystem
+
+#: SeedSequence entropy tags separating the train/holdout reservoir streams.
+_TRAIN_TAG = 0xAD01
+_HOLDOUT_TAG = 0xAD02
+
+
+@dataclass
+class RetrainTiming:
+    """Wall-clock cost of one retrain attempt (kept out of the timeline)."""
+
+    tick: int
+    tier: str
+    retrain_seconds: float
+    swap_seconds: float
+    accepted: bool
+
+
+class AdaptationController:
+    """Drive the model lifecycle against a live HEC system."""
+
+    def __init__(
+        self,
+        spec: AdaptSpec,
+        system: HECSystem,
+        tier_names: Sequence[str],
+        metrics_window: int,
+        master_seed: int = 0,
+        registry_root: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.system = system
+        self.tier_names = tuple(tier_names)
+        self.metrics_window = int(metrics_window)
+        self.master_seed = int(master_seed)
+        root = registry_root or spec.registry_dir
+        self._tmpdir = None
+        if root is None:
+            # Genuinely run-scoped: the directory (and its checkpoint
+            # archives) is removed when the controller is garbage collected
+            # or the interpreter exits, so anonymous runs do not leak weights
+            # into the system temp dir.
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-model-registry-")
+            root = self._tmpdir.name
+        self.registry = ModelRegistry(root)
+        self.deployer = HotSwapDeployer(
+            system, self.registry, quantize_swapped=spec.quantize_swapped
+        )
+        self.deployer.register_incumbents(self.tier_names)
+        self.retrainer = OnlineRetrainer(
+            epochs=spec.retrain_epochs,
+            batch_size=spec.retrain_batch_size,
+            learning_rate=spec.retrain_learning_rate,
+            min_improvement=spec.min_improvement,
+        )
+
+        n_layers = len(self.tier_names)
+        entropy = (self.master_seed, spec.seed)
+        self.train_reservoirs = [
+            WindowReservoir(spec.reservoir_size, (*entropy, _TRAIN_TAG, layer))
+            for layer in range(n_layers)
+        ]
+        self.holdout_reservoirs = [
+            WindowReservoir(spec.holdout_size, (*entropy, _HOLDOUT_TAG, layer))
+            for layer in range(n_layers)
+        ]
+        # Per-tier score/F1 monitors ("f1-floor" consumes windowed confusion
+        # blocks; the others consume the per-tick mean score stream).
+        self.score_monitors: List[List[ScoreMonitor]] = []
+        self.f1_monitors: List[List[ScoreMonitor]] = []
+        for layer, tier in enumerate(self.tier_names):
+            per_tick: List[ScoreMonitor] = []
+            per_window: List[ScoreMonitor] = []
+            for kind in spec.monitors:
+                monitor = self._build_monitor(kind, layer, tier)
+                (per_window if kind == "f1-floor" else per_tick).append(monitor)
+            self.score_monitors.append(per_tick)
+            self.f1_monitors.append(per_window)
+
+        #: Per-tier [tp, fp, tn, fn] counts of the metrics window in progress.
+        self._window_confusion = np.zeros((n_layers, 4), dtype=np.int64)
+        #: Tick range (start, end) covered by each tier's train reservoir.
+        self._train_ranges: List[Optional[List[int]]] = [None] * n_layers
+        self._pending: set = set()
+        self._cooldown_until = [0] * n_layers
+
+        self.drifts: List[DriftEvent] = []
+        self.retrains: List[RetrainEvent] = []
+        self.swaps: List = []
+        self.timings: List[RetrainTiming] = []
+
+    def _build_monitor(self, kind: str, layer: int, tier: str) -> ScoreMonitor:
+        spec = self.spec
+        if kind == "page-hinkley":
+            return build_monitor(
+                kind, layer, tier, delta=spec.ph_delta, threshold=spec.ph_threshold
+            )
+        if kind == "adwin":
+            return build_monitor(
+                kind, layer, tier,
+                capacity=spec.adwin_capacity, sensitivity=spec.adwin_sensitivity,
+            )
+        return build_monitor(
+            kind, layer, tier,
+            floor_fraction=spec.f1_floor_fraction,
+            baseline_windows=spec.f1_baseline_windows,
+        )
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def observe_batch(
+        self,
+        tick: int,
+        layer: int,
+        windows: np.ndarray,
+        predictions: np.ndarray,
+        labels: np.ndarray,
+        scores: np.ndarray,
+    ) -> None:
+        """Fold one detected batch (one tier within one tick) into the loop.
+
+        ``scores`` are the per-window anomaly scores (minimum logPD — lower
+        means the window reconstructs worse); their negated mean is the
+        tier's per-tick "reconstruction badness" stream the Page–Hinkley and
+        ADWIN monitors watch.  Labels play the delayed-label audit role:
+        label-0 windows feed the clean retraining reservoir, every labelled
+        window feeds the holdout slice the shadow gate scores against.
+        """
+        predictions = np.asarray(predictions, dtype=int)
+        labels = np.asarray(labels, dtype=int)
+        self._window_confusion[layer] += np.array(
+            [
+                np.sum((predictions == 1) & (labels == 1)),
+                np.sum((predictions == 1) & (labels == 0)),
+                np.sum((predictions == 0) & (labels == 0)),
+                np.sum((predictions == 0) & (labels == 1)),
+            ],
+            dtype=np.int64,
+        )
+
+        clean = np.flatnonzero(labels == 0)
+        if clean.size:
+            self.train_reservoirs[layer].extend(windows[clean], labels[clean])
+            tick_range = self._train_ranges[layer]
+            if tick_range is None:
+                self._train_ranges[layer] = [int(tick), int(tick)]
+            else:
+                tick_range[1] = int(tick)
+        self.holdout_reservoirs[layer].extend(windows, labels)
+
+        if scores.size:
+            badness = float(-np.mean(scores))
+            for monitor in self.score_monitors[layer]:
+                self._record(tick, monitor.update(tick, badness))
+
+    def _record(self, tick: int, event: Optional[DriftEvent]) -> None:
+        if event is None or tick < self.spec.warmup_ticks:
+            return
+        self.drifts.append(event)
+        self._pending.add(event.layer)
+
+    # -- tick boundary -----------------------------------------------------------
+
+    def end_tick(self, tick: int) -> None:
+        """Run the lifecycle state machine at the tick boundary."""
+        self._feed_f1_monitors(tick)
+        for layer in sorted(self._pending):
+            if tick < self._cooldown_until[layer]:
+                continue
+            if len(self.train_reservoirs[layer]) < self.spec.min_retrain_windows:
+                continue
+            self._pending.discard(layer)
+            self._cooldown_until[layer] = tick + 1 + self.spec.cooldown_ticks
+            self._retrain(tick, layer)
+
+    def _feed_f1_monitors(self, tick: int) -> None:
+        if (tick + 1) % self.metrics_window != 0:
+            return
+        from repro.fleet.metrics import rates_from_confusion
+
+        for layer in range(len(self.tier_names)):
+            counts = self._window_confusion[layer]
+            if counts.sum():
+                f1 = rates_from_confusion(counts)["f1"]
+                for monitor in self.f1_monitors[layer]:
+                    self._record(tick, monitor.update(tick, f1))
+        self._window_confusion[:] = 0
+
+    def _retrain(self, tick: int, layer: int) -> None:
+        tier = self.tier_names[layer]
+        incumbent = self.system.deployment_at(layer).detector
+        train_windows, _ = self.train_reservoirs[layer].snapshot()
+        holdout_windows, holdout_labels = self.holdout_reservoirs[layer].snapshot()
+
+        started = time.perf_counter()
+        # Fine-tune, then put the candidate into its deployable form (FP16 on
+        # quantised tiers) *before* the gate — the gate must judge exactly
+        # the model that would serve traffic.
+        candidate = self.retrainer.fine_tune(incumbent, train_windows)
+        quantization = self.deployer.prepare_candidate(layer, candidate)
+        outcome = self.retrainer.evaluate(
+            candidate,
+            incumbent,
+            holdout_windows,
+            holdout_labels,
+            n_train_windows=train_windows.shape[0],
+        )
+        retrain_seconds = time.perf_counter() - started
+
+        candidate_version = None
+        swap_seconds = 0.0
+        if outcome.accepted:
+            started = time.perf_counter()
+            tick_range = self._train_ranges[layer]
+            swap = self.deployer.swap(
+                tick=tick,
+                layer=layer,
+                tier=tier,
+                candidate=outcome.candidate,
+                quantization=quantization,
+                training_window=tuple(tick_range) if tick_range else None,
+                n_train_windows=outcome.n_train_windows,
+            )
+            swap_seconds = time.perf_counter() - started
+            candidate_version = swap.to_version
+            self.swaps.append(swap)
+            # The new model gets fresh monitor baselines.
+            for monitor in self.score_monitors[layer] + self.f1_monitors[layer]:
+                monitor.reset()
+
+        self.retrains.append(
+            RetrainEvent(
+                tick=int(tick),
+                layer=int(layer),
+                tier=tier,
+                n_train_windows=outcome.n_train_windows,
+                n_holdout_windows=outcome.n_holdout_windows,
+                incumbent_f1=outcome.incumbent_f1,
+                candidate_f1=outcome.candidate_f1,
+                accepted=outcome.accepted,
+                candidate_version=candidate_version,
+            )
+        )
+        self.timings.append(
+            RetrainTiming(
+                tick=int(tick),
+                tier=tier,
+                retrain_seconds=retrain_seconds,
+                swap_seconds=swap_seconds,
+                accepted=outcome.accepted,
+            )
+        )
+
+    # -- result ------------------------------------------------------------------
+
+    @property
+    def registry_is_ephemeral(self) -> bool:
+        """Whether the registry lives in the run-scoped temporary directory."""
+        return self._tmpdir is not None
+
+    def timeline(self) -> AdaptationTimeline:
+        """The (deterministic, timing-free) record of what the loop did."""
+        return AdaptationTimeline(
+            drifts=tuple(self.drifts),
+            retrains=tuple(self.retrains),
+            swaps=tuple(self.swaps),
+        )
+
+
+def build_controller(
+    spec: AdaptSpec,
+    system: HECSystem,
+    tier_names: Sequence[str],
+    metrics_window: int,
+    master_seed: int = 0,
+    registry_root: Optional[str] = None,
+) -> AdaptationController:
+    """Construct the controller for one streaming run (convenience factory)."""
+    return AdaptationController(
+        spec=spec,
+        system=system,
+        tier_names=tier_names,
+        metrics_window=metrics_window,
+        master_seed=master_seed,
+        registry_root=registry_root,
+    )

@@ -1,0 +1,121 @@
+"""The adaptation timeline: what the lifecycle machinery did, and when.
+
+Three event kinds flow out of the adaptation loop — a monitor detecting drift
+(:class:`DriftEvent`), a drift-triggered retraining attempt passing or failing
+the shadow-evaluation gate (:class:`RetrainEvent`), and a gated candidate
+being hot-swapped into the running system (:class:`SwapEvent`).  They are
+collected into an :class:`AdaptationTimeline` that rides on the
+:class:`~repro.fleet.report.FleetReport`, so a streaming run's self-healing
+behaviour is part of its serialisable result.
+
+Wall-clock timing deliberately stays *out* of these records (mirroring the
+fleet report): two runs of the same spec must produce equal timelines, so the
+benchmark harness measures retrain/swap latency separately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.utils.serialization import to_jsonable
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One monitor deciding that a tier's score stream has shifted."""
+
+    tick: int
+    layer: int
+    tier: str
+    monitor: str
+    #: The statistic that crossed the monitor's threshold.
+    statistic: float
+    threshold: float
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DriftEvent":
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class RetrainEvent:
+    """One drift-triggered fine-tuning attempt and its gate decision."""
+
+    tick: int
+    layer: int
+    tier: str
+    #: Windows the candidate was fine-tuned on (reservoir snapshot size).
+    n_train_windows: int
+    #: Labelled holdout windows the shadow gate scored both models on.
+    n_holdout_windows: int
+    incumbent_f1: float
+    candidate_f1: float
+    #: Whether the candidate beat the incumbent and was promoted.
+    accepted: bool
+    #: Registry version of the candidate (``None`` when the gate rejected it).
+    candidate_version: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RetrainEvent":
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """A promoted checkpoint atomically replacing a tier's detector."""
+
+    tick: int
+    layer: int
+    tier: str
+    from_version: str
+    to_version: str
+    #: Whether the deployed candidate was FP16-quantised (IoT/edge tiers).
+    quantized: bool
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SwapEvent":
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class AdaptationTimeline:
+    """Everything the adaptation loop did during one streaming run."""
+
+    drifts: Tuple[DriftEvent, ...] = ()
+    retrains: Tuple[RetrainEvent, ...] = ()
+    swaps: Tuple[SwapEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "drifts", tuple(self.drifts))
+        object.__setattr__(self, "retrains", tuple(self.retrains))
+        object.__setattr__(self, "swaps", tuple(self.swaps))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready nested dictionary."""
+        return to_jsonable(dataclasses.asdict(self))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AdaptationTimeline":
+        kwargs = dict(payload)
+        unknown = sorted(set(kwargs) - {f.name for f in dataclasses.fields(cls)})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown key(s) {unknown} in adaptation timeline payload"
+            )
+        return cls(
+            drifts=tuple(
+                e if isinstance(e, DriftEvent) else DriftEvent.from_dict(e)
+                for e in kwargs.get("drifts", ())
+            ),
+            retrains=tuple(
+                e if isinstance(e, RetrainEvent) else RetrainEvent.from_dict(e)
+                for e in kwargs.get("retrains", ())
+            ),
+            swaps=tuple(
+                e if isinstance(e, SwapEvent) else SwapEvent.from_dict(e)
+                for e in kwargs.get("swaps", ())
+            ),
+        )

@@ -1,0 +1,243 @@
+"""Drift monitors: bounded-memory online change tests over streaming scores.
+
+Each monitor watches one tier's score stream (per-tick mean reconstruction
+badness, or windowed detection F1) and emits a
+:class:`~repro.adapt.events.DriftEvent` when the stream shifts.  Three tests
+are implemented:
+
+* :class:`PageHinkleyMonitor` — the classic Page–Hinkley cumulative-deviation
+  test: O(1) memory, sensitive to sustained mean increases;
+* :class:`AdwinMonitor` — an ADWIN-style adaptive-window mean-shift test: a
+  bounded window of recent values, every split point checked against a
+  Hoeffding-like cut; detects both abrupt and gradual shifts and drops the
+  stale half on detection;
+* :class:`F1FloorMonitor` — a detection-quality floor over the engine's
+  windowed confusion blocks: fires when windowed F1 drops below a fraction of
+  the baseline established over the first healthy blocks.
+
+Monitors are deliberately free of any retraining logic — they only *observe*
+and *signal*; the :class:`~repro.adapt.controller.AdaptationController`
+decides what to do with a signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.adapt.events import DriftEvent
+from repro.exceptions import ConfigurationError
+
+#: Monitor kinds understood by :func:`build_monitor` and the adapt spec.
+MONITOR_KINDS = ("page-hinkley", "adwin", "f1-floor")
+
+
+class ScoreMonitor:
+    """Base class: consume one score per update, maybe emit a drift event."""
+
+    #: Kind string used in emitted events (set by subclasses).
+    kind = "score-monitor"
+
+    def __init__(self, layer: int, tier: str) -> None:
+        self.layer = int(layer)
+        self.tier = str(tier)
+
+    def update(self, tick: int, value: float) -> Optional[DriftEvent]:
+        """Fold one observation in; returns an event when drift is detected."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all state (called after the tier's detector is swapped)."""
+        raise NotImplementedError
+
+    def _event(self, tick: int, statistic: float, threshold: float) -> DriftEvent:
+        return DriftEvent(
+            tick=int(tick),
+            layer=self.layer,
+            tier=self.tier,
+            monitor=self.kind,
+            statistic=float(statistic),
+            threshold=float(threshold),
+        )
+
+
+class PageHinkleyMonitor(ScoreMonitor):
+    """Page–Hinkley test for a sustained increase of the stream mean.
+
+    Maintains the running mean and the cumulative deviation
+    ``m_t = sum(x_i - mean_i - delta)``; drift is signalled when
+    ``m_t - min(m_1..m_t)`` exceeds ``threshold``.  ``min_observations``
+    updates must accumulate before the test can fire, so the baseline mean
+    forms on healthy traffic.
+    """
+
+    kind = "page-hinkley"
+
+    def __init__(
+        self,
+        layer: int,
+        tier: str,
+        delta: float = 0.005,
+        threshold: float = 1.0,
+        min_observations: int = 8,
+    ) -> None:
+        super().__init__(layer, tier)
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        if min_observations < 2:
+            raise ConfigurationError(
+                f"min_observations must be at least 2, got {min_observations}"
+            )
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_observations = int(min_observations)
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.cumulative = 0.0
+        self.minimum = 0.0
+
+    def update(self, tick: int, value: float) -> Optional[DriftEvent]:
+        value = float(value)
+        self.n += 1
+        self.mean += (value - self.mean) / self.n
+        self.cumulative += value - self.mean - self.delta
+        self.minimum = min(self.minimum, self.cumulative)
+        statistic = self.cumulative - self.minimum
+        if self.n >= self.min_observations and statistic > self.threshold:
+            event = self._event(tick, statistic, self.threshold)
+            self.reset()
+            return event
+        return None
+
+
+class AdwinMonitor(ScoreMonitor):
+    """ADWIN-style adaptive-window mean-shift test over a bounded deque.
+
+    Keeps the most recent ``capacity`` values; on every update each split of
+    the window into (old, recent) halves with at least ``min_split`` values on
+    both sides is tested: drift is signalled when the absolute difference of
+    the sub-window means exceeds an (epsilon-cut) bound derived from the
+    pooled variance, scaled by ``sensitivity``.  On detection the stale prefix
+    is dropped, so the window re-adapts to the new regime.
+    """
+
+    kind = "adwin"
+
+    def __init__(
+        self,
+        layer: int,
+        tier: str,
+        capacity: int = 64,
+        sensitivity: float = 3.0,
+        min_split: int = 6,
+    ) -> None:
+        super().__init__(layer, tier)
+        if capacity < 2 * min_split:
+            raise ConfigurationError(
+                f"capacity ({capacity}) must be at least twice min_split ({min_split})"
+            )
+        if sensitivity <= 0:
+            raise ConfigurationError(f"sensitivity must be positive, got {sensitivity}")
+        self.capacity = int(capacity)
+        self.sensitivity = float(sensitivity)
+        self.min_split = int(min_split)
+        self.window: Deque[float] = deque(maxlen=self.capacity)
+
+    def reset(self) -> None:
+        self.window.clear()
+
+    def update(self, tick: int, value: float) -> Optional[DriftEvent]:
+        self.window.append(float(value))
+        n = len(self.window)
+        if n < 2 * self.min_split:
+            return None
+        values = np.asarray(self.window, dtype=float)
+        variance = float(values.var())
+        if variance == 0.0:
+            return None
+        prefix = np.cumsum(values)
+        total = prefix[-1]
+        for cut in range(self.min_split, n - self.min_split + 1):
+            n_old, n_new = cut, n - cut
+            mean_old = prefix[cut - 1] / n_old
+            mean_new = (total - prefix[cut - 1]) / n_new
+            harmonic = 1.0 / (1.0 / n_old + 1.0 / n_new)
+            epsilon = self.sensitivity * np.sqrt(variance / harmonic)
+            gap = abs(mean_new - mean_old)
+            if gap > epsilon:
+                event = self._event(tick, gap, float(epsilon))
+                # Drop the stale prefix: the window keeps only the new regime.
+                for _ in range(cut):
+                    self.window.popleft()
+                return event
+        return None
+
+
+class F1FloorMonitor(ScoreMonitor):
+    """Detection-quality floor over windowed F1 blocks.
+
+    The first ``baseline_windows`` F1 values establish the healthy baseline
+    (their mean); every later block whose F1 falls below
+    ``floor_fraction * baseline`` signals drift.  Updates are per *metrics
+    window*, not per tick, so this monitor reuses the engine's existing
+    windowed confusion blocks.
+    """
+
+    kind = "f1-floor"
+
+    def __init__(
+        self,
+        layer: int,
+        tier: str,
+        floor_fraction: float = 0.7,
+        baseline_windows: int = 2,
+    ) -> None:
+        super().__init__(layer, tier)
+        if not 0.0 < floor_fraction < 1.0:
+            raise ConfigurationError(
+                f"floor_fraction must lie in (0, 1), got {floor_fraction}"
+            )
+        if baseline_windows < 1:
+            raise ConfigurationError(
+                f"baseline_windows must be positive, got {baseline_windows}"
+            )
+        self.floor_fraction = float(floor_fraction)
+        self.baseline_windows = int(baseline_windows)
+        self.reset()
+
+    def reset(self) -> None:
+        self._baseline_values: List[float] = []
+        self.baseline: Optional[float] = None
+
+    def update(self, tick: int, value: float) -> Optional[DriftEvent]:
+        value = float(value)
+        if self.baseline is None:
+            self._baseline_values.append(value)
+            if len(self._baseline_values) >= self.baseline_windows:
+                self.baseline = float(np.mean(self._baseline_values))
+            return None
+        floor = self.floor_fraction * self.baseline
+        if value < floor:
+            event = self._event(tick, value, floor)
+            # Keep the baseline: repeated sub-floor blocks keep signalling
+            # until the controller's cooldown gives a retrain a chance to land.
+            return event
+        return None
+
+
+def build_monitor(kind: str, layer: int, tier: str, **kwargs) -> ScoreMonitor:
+    """Construct one monitor by kind string (see :data:`MONITOR_KINDS`)."""
+    if kind == "page-hinkley":
+        return PageHinkleyMonitor(layer, tier, **kwargs)
+    if kind == "adwin":
+        return AdwinMonitor(layer, tier, **kwargs)
+    if kind == "f1-floor":
+        return F1FloorMonitor(layer, tier, **kwargs)
+    raise ConfigurationError(
+        f"monitor kind must be one of {MONITOR_KINDS}, got {kind!r}"
+    )

@@ -17,6 +17,14 @@ spec as JSON, which doubles as the reference for valid ``--set`` keys.
 ``repro fleet`` trains a scenario and streams its fleet workload through the
 trained system (see :mod:`repro.fleet`); ``--seed`` on both ``run`` and
 ``fleet`` reseeds the whole experiment without dotted ``--set`` syntax.
+``repro fleet --adapt`` closes the model-lifecycle loop during the stream
+(drift monitoring, gated online retraining, hot-swap deployment — see
+:mod:`repro.adapt`), and ``repro models list/show/rollback`` inspects and
+manages the versioned checkpoint registry those runs write::
+
+    python -m repro.cli fleet adapt-1k-drift-recovery --output-dir reports/
+    python -m repro.cli models list --registry reports/registry
+    python -m repro.cli models rollback iot --registry reports/registry
 
 The legacy subcommands ``univariate`` / ``multivariate`` / ``both`` are kept
 as deprecated aliases over the corresponding scenarios; each prints a pointer
@@ -33,6 +41,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
+from repro.adapt import AdaptSpec, ModelRegistry
 from repro.data.mhealth import MHealthConfig
 from repro.data.power import PowerDatasetConfig
 from repro.evaluation.reporting import write_report
@@ -105,11 +114,39 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--shards", type=int, default=None,
                        help="partition the fleet across this many worker processes "
                        "(overrides fleet.n_shards)")
+    fleet.add_argument("--adapt", action="store_true",
+                       help="stream with the adaptation loop (drift monitoring, "
+                       "online retraining, hot-swap deployment); scenarios with "
+                       "an 'adapt' spec node adapt by default")
+    fleet.add_argument("--registry", type=str, default=None,
+                       help="model-registry directory for adaptation checkpoints "
+                       "(default: <output-dir>/registry, or a temporary directory)")
     fleet.add_argument("--output-dir", type=str, default=None,
                        help="directory for the JSON fleet report")
     fleet.add_argument("--quiet", action="store_true", help="suppress summary output")
     fleet.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
+
+    # -- model registry ---------------------------------------------------------
+
+    models = subparsers.add_parser(
+        "models",
+        help="inspect and manage the versioned model registry "
+        "(checkpoints written by adaptive fleet runs)",
+    )
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+    for name, help_text in (
+        ("list", "list committed checkpoint versions and per-tier lineage"),
+        ("show", "show one checkpoint version's lineage metadata as JSON"),
+        ("rollback", "demote a tier's current version to its predecessor"),
+    ):
+        sub = models_sub.add_parser(name, help=help_text)
+        sub.add_argument("--registry", type=str, default="model-registry",
+                        help="model-registry directory (default: ./model-registry)")
+        if name == "show":
+            sub.add_argument("version", help="checkpoint version id, e.g. v-0123abcd4567")
+        if name == "rollback":
+            sub.add_argument("tier", help="tier name whose current version to demote")
 
     list_parser = subparsers.add_parser("list", help="list the registered scenarios")
     list_parser.add_argument(
@@ -217,11 +254,18 @@ def _report(result, args: argparse.Namespace, report_name: Optional[str] = None)
             print(f"Wrote {paths['json']} and {paths['markdown']}")
 
 
-def _resolve_spec(args: argparse.Namespace):
-    """The scenario spec with ``--seed`` and ``--set`` overrides applied."""
+def _resolve_spec(args: argparse.Namespace, default_adapt: bool = False):
+    """The scenario spec with ``--seed`` and ``--set`` overrides applied.
+
+    ``default_adapt`` honours the ``fleet --adapt`` flag: a default
+    :class:`AdaptSpec` is attached *before* the dotted overrides, so
+    ``--set adapt.*`` lands on the node the flag just created.
+    """
     spec = get_scenario(args.scenario)
     if args.seed is not None:
         spec = spec.with_seed(args.seed)
+    if default_adapt and getattr(args, "adapt", False) and spec.adapt is None:
+        spec = replace(spec, adapt=AdaptSpec())
     overrides = parse_set_arguments(args.overrides)
     if overrides:
         spec = apply_overrides(spec, overrides)
@@ -239,7 +283,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
 
 
 def _run_fleet(args: argparse.Namespace) -> int:
-    spec = _resolve_spec(args)
+    spec = _resolve_spec(args, default_adapt=True)
     if spec.fleet is None:
         fleet_names = ", ".join(SCENARIOS.names(tags=("fleet",))) or "none registered"
         raise ReproError(
@@ -251,14 +295,74 @@ def _run_fleet(args: argparse.Namespace) -> int:
     if args.spec_only:
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
-    report = ExperimentRunner(spec).run_fleet()
+    registry_root = args.registry
+    if (
+        registry_root is None
+        and args.output_dir
+        and spec.adapt is not None
+        and spec.adapt.registry_dir is None
+        # An explicit adapt.registry_dir on the spec wins over the
+        # --output-dir-derived default (only --registry outranks it).
+    ):
+        registry_root = str(Path(args.output_dir) / "registry")
+    runner = ExperimentRunner(spec)
+    report = runner.run_fleet(registry_root=registry_root)
     if not args.quiet:
         print(report.summary())
+        controller = runner.state.adaptation_controller
+        if controller is not None:
+            if controller.registry_is_ephemeral:
+                print(
+                    "Model registry: run-scoped (discarded on exit; pass "
+                    "--registry or --output-dir to keep the checkpoints)"
+                )
+            else:
+                print(f"Model registry: {controller.registry.root}")
     if args.output_dir:
         path = Path(args.output_dir) / f"fleet_{args.scenario}.json"
         report.to_json(path)
         if not args.quiet:
             print(f"Wrote {path}")
+    return 0
+
+
+def _run_models(args: argparse.Namespace) -> int:
+    if not Path(args.registry).is_dir():
+        raise ReproError(
+            f"no model registry at {args.registry!r} (adaptive fleet runs create "
+            "one; point --registry at it)"
+        )
+    registry = ModelRegistry(args.registry)
+    if args.models_command == "show":
+        print(json.dumps(registry.show(args.version).to_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.models_command == "rollback":
+        current = registry.rollback(args.tier)
+        print(f"tier {args.tier}: rolled back to {current}")
+        return 0
+    versions = registry.versions()
+    if not versions:
+        print(f"No checkpoints in registry {registry.root}")
+        return 0
+    tiers = sorted({meta.tier for meta in versions})
+    print(f"Registry {registry.root}: {len(versions)} checkpoint(s)")
+    for tier in tiers:
+        current = registry.current(tier)
+        print(f"  tier {tier} (lineage: {' -> '.join(registry.lineage(tier)) or 'none'})")
+        for meta in versions:
+            if meta.tier != tier:
+                continue
+            marker = "*" if meta.version == current else " "
+            quantized = "fp16" if meta.quantization else "fp32"
+            window = (
+                f"ticks {meta.training_window[0]}-{meta.training_window[1]}"
+                if meta.training_window else "offline"
+            )
+            print(
+                f"   {marker} {meta.version}  parent={meta.parent or '-':<15s} "
+                f"{quantized}  {meta.parameter_count} params  {window}"
+            )
+    print("\n(* = currently promoted)")
     return 0
 
 
@@ -279,6 +383,8 @@ def _list_scenarios(verbose: bool = False) -> int:
                 workload += (
                     f"  fleet={spec.fleet.n_devices} devices x {spec.fleet.ticks} ticks"
                 )
+            if spec.adapt is not None:
+                workload += f"  adapt={'/'.join(spec.adapt.monitors)}"
             print(f"      {workload}")
         else:
             tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
@@ -290,16 +396,30 @@ def _list_scenarios(verbose: bool = False) -> int:
 
 
 def _describe_scenario(args: argparse.Namespace) -> int:
-    entry = SCENARIOS.entry(args.scenario)
-    spec = SCENARIOS.spec(args.scenario)
-    print(f"Scenario: {entry.name}")
-    if entry.description:
-        print(f"Description: {entry.description}")
-    if entry.tags:
-        print(f"Tags: {', '.join(entry.tags)}")
+    described = SCENARIOS.describe(args.scenario)
+    print(f"Scenario: {described['name']}")
+    if described["description"]:
+        print(f"Description: {described['description']}")
+    if described["tags"]:
+        print(f"Tags: {', '.join(described['tags'])}")
+    # The optional nodes get an explicit one-line summary each, so fleet and
+    # adapt scenarios are recognisable without reading the full spec dump.
+    fleet = described["fleet"]
+    if fleet is not None:
+        mutators = ", ".join(m["kind"] for m in fleet["mutators"]) or "none"
+        print(
+            f"Fleet: {fleet['n_devices']} devices x {fleet['ticks']} ticks "
+            f"(mutators: {mutators})"
+        )
+    adapt = described["adapt"]
+    if adapt is not None:
+        print(
+            f"Adapt: monitors {', '.join(adapt['monitors'])}; retrain "
+            f"{adapt['retrain_epochs']} epochs behind the shadow gate"
+        )
     print()
     print("Spec (valid --set keys are the dotted paths into this document):")
-    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    print(json.dumps(described["spec"], indent=2, sort_keys=True))
     return 0
 
 
@@ -322,6 +442,8 @@ def run_command(args: argparse.Namespace) -> int:
         return _run_scenario(args)
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "models":
+        return _run_models(args)
     if args.command == "list":
         return _list_scenarios(verbose=getattr(args, "verbose", False))
     if args.command == "describe":

@@ -33,6 +33,7 @@ from repro.experiments.spec import (
     apply_overrides,
     parse_set_arguments,
 )
+from repro.adapt.spec import AdaptSpec
 from repro.fleet.spec import FleetSpec, MutatorSpec
 from repro.experiments.stages import (
     PipelineResult,
@@ -56,6 +57,7 @@ from repro.experiments.registry import (
 )
 import repro.experiments.scenarios  # noqa: F401  (registers the built-ins)
 import repro.fleet.scenarios  # noqa: F401  (registers the fleet scenarios)
+import repro.adapt.scenarios  # noqa: F401  (registers the adaptation scenarios)
 
 __all__ = [
     # specs
@@ -69,6 +71,7 @@ __all__ = [
     "EvaluationSpec",
     "FleetSpec",
     "MutatorSpec",
+    "AdaptSpec",
     "ExperimentSpec",
     "apply_overrides",
     "parse_set_arguments",

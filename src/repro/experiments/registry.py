@@ -98,6 +98,26 @@ class ScenarioRegistry:
             )
         return spec
 
+    def describe(self, name: str) -> dict:
+        """A JSON-ready description of one scenario: metadata plus full spec.
+
+        The payload always carries the spec's *optional* nodes explicitly —
+        ``fleet`` and ``adapt`` appear as top-level keys (``None`` when the
+        scenario has none), so fleet/adapt scenarios are fully described and
+        consumers need not know which nested nodes are optional.
+        """
+        entry = self.entry(name)
+        spec = self.spec(name)
+        payload = spec.to_dict()
+        return {
+            "name": entry.name,
+            "description": entry.description,
+            "tags": list(entry.tags),
+            "fleet": payload.get("fleet"),
+            "adapt": payload.get("adapt"),
+            "spec": payload,
+        }
+
     def names(
         self,
         tags: Optional[Sequence[str]] = None,

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.adapt.controller import build_controller
 from repro.bandit.context import (
     ContextExtractor,
     EncoderContextExtractor,
@@ -100,6 +101,9 @@ class ExperimentState:
     result: Optional[PipelineResult] = None
     # stream
     fleet_report: Optional[FleetReport] = None
+    #: The adaptation controller of the last ``stream`` call (``None`` for
+    #: frozen-detector runs); exposes the registry and wall-clock timings.
+    adaptation_controller: Optional[object] = None
 
     def clone_for_fork(self) -> "ExperimentState":
         """A copy sharing data/detector/deployment state, with the policy and
@@ -114,6 +118,7 @@ class ExperimentState:
         clone.reward_fn = None
         clone.result = None
         clone.fleet_report = None
+        clone.adaptation_controller = None
         return clone
 
 
@@ -445,7 +450,7 @@ class ExperimentRunner:
         self._done("evaluate")
         return state.result
 
-    def stream(self) -> FleetReport:
+    def stream(self, registry_root: Optional[str] = None) -> FleetReport:
         """Stream the spec's fleet workload through the trained system.
 
         An *optional* sixth stage (not part of :attr:`STAGES`, so :meth:`run`
@@ -453,6 +458,12 @@ class ExperimentRunner:
         on the spec.  ``fleet.n_shards > 1`` partitions the devices across
         :class:`~repro.fleet.engine.ShardedFleetEngine` workers; a single
         shard runs in-process and is bit-identical to the unsharded engine.
+
+        A spec with an ``adapt`` node streams under an
+        :class:`~repro.adapt.controller.AdaptationController` — drift
+        monitoring, gated online retraining and hot-swap deployment —
+        checkpointing into ``registry_root`` (or ``adapt.registry_dir``, or a
+        run-scoped temporary directory).
         """
         self._require("train_policy")
         fleet_spec = self.spec.fleet
@@ -463,6 +474,17 @@ class ExperimentRunner:
             )
         state = self.state
         pool = WindowPool.from_labeled(state.standardized_all)
+        controller = None
+        if self.spec.adapt is not None:
+            controller = build_controller(
+                self.spec.adapt,
+                system=state.system,
+                tier_names=self.tier_names,
+                metrics_window=fleet_spec.metrics_window,
+                master_seed=self.spec.seed,
+                registry_root=registry_root,
+            )
+        state.adaptation_controller = controller
         engine_kwargs = dict(
             system=state.system,
             policy=state.policy,
@@ -472,6 +494,7 @@ class ExperimentRunner:
             master_seed=self.spec.seed,
             name=self.spec.name,
             tier_names=self.tier_names,
+            controller=controller,
         )
         if fleet_spec.n_shards > 1:
             engine = ShardedFleetEngine(**engine_kwargs)
@@ -490,18 +513,19 @@ class ExperimentRunner:
                 getattr(self, stage)()
         return self.state.result
 
-    def run_fleet(self) -> FleetReport:
+    def run_fleet(self, registry_root: Optional[str] = None) -> FleetReport:
         """Train (through ``train_policy``) and stream the fleet workload.
 
         The offline ``evaluate`` stage is skipped — fleet runs judge the
         system by its online metrics — but an already-evaluated runner can
-        call this too (completed stages never re-run).
+        call this too (completed stages never re-run).  ``registry_root``
+        places the adaptation model registry (specs with an ``adapt`` node).
         """
         for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
             if stage not in self.state.completed:
                 getattr(self, stage)()
         if "stream" not in self.state.completed:
-            self.stream()
+            self.stream(registry_root=registry_root)
         return self.state.fleet_report
 
     def fork(self, **replacements) -> "ExperimentRunner":

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from repro.adapt.spec import AdaptSpec
 from repro.exceptions import ConfigurationError
 from repro.fleet.spec import FleetSpec
 from repro.utils.serialization import load_json, save_json, to_jsonable
@@ -347,6 +348,10 @@ class ExperimentSpec:
     #: Streaming fleet workload for the runner's ``stream`` stage; ``None``
     #: for purely offline experiments (see :mod:`repro.fleet`).
     fleet: Optional[FleetSpec] = None
+    #: Model-lifecycle loop (drift monitoring, online retraining, hot-swap
+    #: deployment) attached to the streaming run; ``None`` streams with the
+    #: detectors frozen (see :mod:`repro.adapt`).
+    adapt: Optional[AdaptSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -388,10 +393,12 @@ class ExperimentSpec:
             "policy": PolicySpec,
             "evaluation": EvaluationSpec,
             "fleet": FleetSpec,
+            "adapt": AdaptSpec,
         }
-        # ``fleet`` is the only nested node that may be null (offline specs);
-        # a null required node must keep raising the clean mapping error.
-        optional = {"fleet"}
+        # ``fleet`` and ``adapt`` are the only nested nodes that may be null
+        # (offline / frozen-detector specs); a null required node must keep
+        # raising the clean mapping error.
+        optional = {"fleet", "adapt"}
         for key, sub_cls in nested.items():
             if key not in kwargs:
                 continue

@@ -13,11 +13,20 @@ merges the per-shard aggregators in shard order.  Because every device owns
 an RNG derived from its id (not from its shard), the merged counts are
 independent of the partitioning, and a single-shard run is bit-identical to
 the unsharded engine — a property pinned by the equivalence tests.
+
+Both engines accept an optional adaptation ``controller`` (see
+:mod:`repro.adapt.controller`): per tick the engine feeds it every detected
+batch and calls its ``end_tick`` hook at the tick boundary, which is where
+drift-triggered retrains and atomic detector hot-swaps happen.  With no
+controller the streaming loop is unchanged — not a single extra RNG draw —
+so a run with adaptation disabled stays bit-identical to the pre-adaptation
+engine (pinned by test).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,6 +59,7 @@ class FleetEngine:
         name: str = "fleet",
         tier_names: Optional[Sequence[str]] = None,
         device_ids: Optional[Sequence[int]] = None,
+        controller=None,
     ) -> None:
         if policy.n_actions != system.n_layers:
             raise ConfigurationError(
@@ -73,6 +83,10 @@ class FleetEngine:
         self.device_ids = (
             tuple(int(d) for d in device_ids) if device_ids is not None else None
         )
+        #: Optional :class:`~repro.adapt.controller.AdaptationController`.
+        #: ``None`` keeps the streaming loop bit-identical to the
+        #: pre-adaptation engine (no extra draws, no extra branches taken).
+        self.controller = controller
 
     @property
     def n_devices(self) -> int:
@@ -108,24 +122,42 @@ class FleetEngine:
             for tick in range(spec.ticks):
                 arrivals, online = fleet.arrivals(tick)
                 metrics.record_uptime(online, len(fleet) - online)
-                if not arrivals:
-                    continue
-                windows = np.stack([arrival.window for arrival in arrivals])
-                labels = np.asarray([arrival.label for arrival in arrivals], dtype=int)
-                contexts = self.context_extractor.extract(windows)
-                actions = self.policy.select_actions(contexts, greedy=True)
-                for action in np.unique(actions):
-                    chosen = np.flatnonzero(actions == action)
-                    records = system.detect_batch(
-                        int(action), windows[chosen], ground_truths=labels[chosen]
+                if arrivals:
+                    windows = np.stack([arrival.window for arrival in arrivals])
+                    labels = np.asarray(
+                        [arrival.label for arrival in arrivals], dtype=int
                     )
-                    metrics.observe(
-                        tick,
-                        int(action),
-                        predictions=np.asarray([r.prediction for r in records]),
-                        labels=labels[chosen],
-                        delays_ms=np.asarray([r.delay_ms for r in records]),
-                    )
+                    contexts = self.context_extractor.extract(windows)
+                    actions = self.policy.select_actions(contexts, greedy=True)
+                    for action in np.unique(actions):
+                        chosen = np.flatnonzero(actions == action)
+                        records = system.detect_batch(
+                            int(action), windows[chosen], ground_truths=labels[chosen]
+                        )
+                        predictions = np.asarray([r.prediction for r in records])
+                        metrics.observe(
+                            tick,
+                            int(action),
+                            predictions=predictions,
+                            labels=labels[chosen],
+                            delays_ms=np.asarray([r.delay_ms for r in records]),
+                        )
+                        if self.controller is not None:
+                            self.controller.observe_batch(
+                                tick,
+                                int(action),
+                                windows=windows[chosen],
+                                predictions=predictions,
+                                labels=labels[chosen],
+                                scores=np.asarray(
+                                    [r.anomaly_score for r in records]
+                                ),
+                            )
+                if self.controller is not None:
+                    # The tick boundary: drift decisions, gated retrains and
+                    # atomic detector swaps happen between ticks, never
+                    # inside one, so no batch sees a half-updated model.
+                    self.controller.end_tick(tick)
         finally:
             system.record_log = previous_record_log
         return metrics
@@ -133,8 +165,13 @@ class FleetEngine:
     def run(self) -> FleetReport:
         """Stream the fleet and assemble the :class:`FleetReport`."""
         metrics = self.run_metrics()
+        timeline = self.controller.timeline() if self.controller is not None else None
         return report_from_metrics(
-            self.name, metrics, self.tier_names, n_devices=self.n_devices
+            self.name,
+            metrics,
+            self.tier_names,
+            n_devices=self.n_devices,
+            adaptation=timeline,
         )
 
 
@@ -164,6 +201,7 @@ class ShardedFleetEngine:
         tier_names: Optional[Sequence[str]] = None,
         n_shards: Optional[int] = None,
         parallel: bool = True,
+        controller=None,
     ) -> None:
         self.n_shards = int(n_shards) if n_shards is not None else spec.n_shards
         if self.n_shards <= 0:
@@ -183,6 +221,7 @@ class ShardedFleetEngine:
             system.n_layers
         )
         self.parallel = bool(parallel)
+        self.controller = controller
         if self.n_shards > 1 and any(
             link.jitter_ms > 0.0 for link in system.topology.links
         ):
@@ -231,6 +270,33 @@ class ShardedFleetEngine:
 
     def run(self) -> FleetReport:
         """Run every shard, merge in shard order and assemble the report."""
+        if self.controller is not None:
+            # Adaptation is tick-synchronous global state (monitors, a shared
+            # registry, live detector swaps), so an adaptive run streams the
+            # whole fleet through one in-process engine.  Device streams are
+            # partition-independent, so every count matches what a sharded
+            # merge would have produced; only the delay-reservoir subsampling
+            # (which sharded merges re-draw) uses the unsharded path.
+            if self.n_shards > 1:
+                warnings.warn(
+                    f"adaptive streaming is tick-synchronous; running the "
+                    f"{self.n_shards}-shard fleet through one in-process "
+                    "engine (counts are partition-independent and identical; "
+                    "delay percentiles use the unsharded reservoir)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return FleetEngine(
+                system=self.system,
+                policy=self.policy,
+                context_extractor=self.context_extractor,
+                spec=self.spec,
+                pool=self.pool,
+                master_seed=self.master_seed,
+                name=self.name,
+                tier_names=self.tier_names,
+                controller=self.controller,
+            ).run()
         parts = self._run_shards()
         metrics = StreamingMetrics.merge(
             parts, seed_entropy=(self.master_seed, self.spec.seed)

@@ -151,15 +151,7 @@ class StreamingMetrics:
         delays_ms = np.asarray(delays_ms, dtype=float)
         if not 0 <= tick < self.ticks:
             raise ConfigurationError(f"tick must lie in [0, {self.ticks}), got {tick}")
-        counts = np.array(
-            [
-                np.sum((predictions == 1) & (labels == 1)),
-                np.sum((predictions == 1) & (labels == 0)),
-                np.sum((predictions == 0) & (labels == 0)),
-                np.sum((predictions == 0) & (labels == 1)),
-            ],
-            dtype=np.int64,
-        )
+        counts = confusion_counts(predictions, labels)
         window = tick // self.metrics_window
         self.confusion += counts
         self.windowed_confusion[window] += counts
@@ -218,6 +210,26 @@ class StreamingMetrics:
             list(seed_entropy) + [_MERGE_TAG],
         )
         return merged
+
+
+def confusion_counts(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """The ``[tp, fp, tn, fn]`` count vector for one batch of binary outcomes.
+
+    The single source of the count ordering :func:`rates_from_confusion`
+    expects — shared by the streaming aggregator and the adaptation loop's
+    windowed-F1 and shadow-gate computations.
+    """
+    predictions = np.asarray(predictions, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    return np.array(
+        [
+            np.sum((predictions == 1) & (labels == 1)),
+            np.sum((predictions == 1) & (labels == 0)),
+            np.sum((predictions == 0) & (labels == 0)),
+            np.sum((predictions == 0) & (labels == 1)),
+        ],
+        dtype=np.int64,
+    )
 
 
 def rates_from_confusion(counts: np.ndarray) -> dict:

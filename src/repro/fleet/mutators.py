@@ -64,8 +64,11 @@ class ConceptDrift(StreamMutator):
     and shows up in the windowed online metrics.
     """
 
-    def __init__(self, drift_per_tick: float = 0.01) -> None:
+    def __init__(self, drift_per_tick: float = 0.01, saturation_tick: int = 0) -> None:
         self.drift_per_tick = float(drift_per_tick)
+        #: Tick after which the drift amplitude stops growing (the stream has
+        #: settled into a new regime); 0 means the drift never saturates.
+        self.saturation_tick = int(saturation_tick)
 
     def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
         direction = rng.normal(size=window_shape)
@@ -75,6 +78,8 @@ class ConceptDrift(StreamMutator):
         return {"drift_direction": direction}
 
     def transform(self, window, state, tick, rng):
+        if self.saturation_tick > 0:
+            tick = min(tick, self.saturation_tick)
         return window + self.drift_per_tick * tick * state["drift_direction"]
 
 

@@ -17,8 +17,9 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Mapping, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from repro.adapt.events import AdaptationTimeline
 from repro.exceptions import ConfigurationError
 from repro.fleet.metrics import StreamingMetrics, rates_from_confusion
 from repro.utils.serialization import load_json, save_json, to_jsonable
@@ -95,6 +96,10 @@ class FleetReport:
     delay: DelaySummary
     online_device_ticks: int
     offline_device_ticks: int
+    #: What the adaptation loop did during the run (``None`` when the run
+    #: streamed without a controller — reports from such runs stay equal to
+    #: pre-adaptation reports, field for field).
+    adaptation: Optional[AdaptationTimeline] = None
 
     # -- serialization -----------------------------------------------------------
 
@@ -121,6 +126,9 @@ class FleetReport:
         delay = kwargs.get("delay")
         if delay is not None and not isinstance(delay, DelaySummary):
             kwargs["delay"] = DelaySummary.from_dict(delay)
+        adaptation = kwargs.get("adaptation")
+        if adaptation is not None and not isinstance(adaptation, AdaptationTimeline):
+            kwargs["adaptation"] = AdaptationTimeline.from_dict(adaptation)
         return cls(**kwargs)
 
     def to_json(self, path: PathLike) -> Path:
@@ -156,6 +164,18 @@ class FleetReport:
                 f"  tier {tier.tier:<8s} {tier.requests:>8d} requests "
                 f"({100 * tier.fraction:5.1f}%)  mean delay {tier.mean_delay_ms:8.1f} ms"
             )
+        if self.adaptation is not None:
+            timeline = self.adaptation
+            lines.append(
+                f"  adaptation: {len(timeline.drifts)} drift signal(s), "
+                f"{len(timeline.retrains)} retrain(s), {len(timeline.swaps)} swap(s)"
+            )
+            for swap in timeline.swaps:
+                lines.append(
+                    f"    tick {swap.tick:>4d}  {swap.tier}: {swap.from_version} -> "
+                    f"{swap.to_version}"
+                    + ("  [fp16]" if swap.quantized else "")
+                )
         return "\n".join(lines)
 
 
@@ -164,6 +184,7 @@ def report_from_metrics(
     metrics: StreamingMetrics,
     tier_names: Tuple[str, ...],
     n_devices: int,
+    adaptation: Optional[AdaptationTimeline] = None,
 ) -> FleetReport:
     """Assemble the immutable :class:`FleetReport` from a finished aggregator."""
     if len(tier_names) != metrics.n_layers:
@@ -235,4 +256,5 @@ def report_from_metrics(
         delay=delay,
         online_device_ticks=int(metrics.online_device_ticks),
         offline_device_ticks=int(metrics.offline_device_ticks),
+        adaptation=adaptation,
     )

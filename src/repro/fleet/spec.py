@@ -35,8 +35,10 @@ class MutatorSpec:
 
     kind: str
     # concept-drift: every device's windows drift along a per-device random
-    # direction, ``drift_per_tick`` units of standardised amplitude per tick.
+    # direction, ``drift_per_tick`` units of standardised amplitude per tick,
+    # plateauing at ``drift_saturation_tick`` (0 = the drift never saturates).
     drift_per_tick: float = 0.01
+    drift_saturation_tick: int = 0
     # anomaly-burst: every ``burst_period`` ticks the fleet-wide anomaly
     # probability is raised to ``burst_anomaly_rate`` for ``burst_ticks`` ticks.
     burst_period: int = 20
@@ -59,6 +61,11 @@ class MutatorSpec:
         if self.drift_per_tick < 0:
             raise ConfigurationError(
                 f"drift_per_tick must be non-negative, got {self.drift_per_tick}"
+            )
+        if self.drift_saturation_tick < 0:
+            raise ConfigurationError(
+                f"drift_saturation_tick must be non-negative, "
+                f"got {self.drift_saturation_tick}"
             )
         if self.burst_period <= 0 or self.burst_ticks < 0:
             raise ConfigurationError(
@@ -91,7 +98,10 @@ class MutatorSpec:
         )
 
         if self.kind == "concept-drift":
-            return ConceptDrift(drift_per_tick=self.drift_per_tick)
+            return ConceptDrift(
+                drift_per_tick=self.drift_per_tick,
+                saturation_tick=self.drift_saturation_tick,
+            )
         if self.kind == "anomaly-burst":
             return AnomalyBurst(
                 period=self.burst_period,

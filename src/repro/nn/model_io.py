@@ -28,7 +28,10 @@ def _flatten_weights(tree: dict, prefix: str = "") -> Dict[str, np.ndarray]:
         if isinstance(value, dict):
             flat.update(_flatten_weights(value, path))
         else:
-            flat[path] = np.asarray(value, dtype=float)
+            # Preserve the stored dtype: coercing through ``dtype=float`` would
+            # silently upcast FP16-quantised checkpoints to float64 on save,
+            # breaking the model registry's dtype round-trip guarantee.
+            flat[path] = np.asarray(value)
     return flat
 
 

@@ -246,3 +246,76 @@ class TestModelIO:
         model.build(3)
         with pytest.raises(SerializationError):
             load_weights_into(model, tmp_path, name="missing")
+
+
+class _RawWeightsModel:
+    """Minimal save_model target holding a raw weight tree (no coercion)."""
+
+    def __init__(self, weights):
+        self.weights = weights
+
+    def get_config(self):
+        return {"type": "RawWeightsModel"}
+
+    def get_weights(self):
+        return self.weights
+
+    def set_weights(self, weights):
+        self.weights = weights
+
+
+class TestDtypeRoundTrip:
+    """save_model/load_weights_into must preserve stored dtypes (no float64
+    upcast), which the adapt model registry's FP16 checkpoints rely on."""
+
+    @pytest.mark.parametrize("dtype", ["float16", "float32", "float64"])
+    def test_dtype_preserved(self, tmp_path, dtype):
+        weights = {
+            "layer": {
+                "kernel": np.arange(12, dtype=dtype).reshape(3, 4),
+                "bias": np.ones(4, dtype=dtype),
+            }
+        }
+        model = _RawWeightsModel(weights)
+        save_model(model, tmp_path, name="raw")
+        clone = _RawWeightsModel({})
+        load_weights_into(clone, tmp_path, name="raw")
+        for key in ("kernel", "bias"):
+            assert clone.weights["layer"][key].dtype == np.dtype(dtype)
+            np.testing.assert_array_equal(
+                clone.weights["layer"][key], weights["layer"][key]
+            )
+
+    def test_quantize_save_load_restore_round_trip(self, tmp_path):
+        """quantize -> save -> load -> restore: values exact, error bound holds."""
+        model = Sequential([Dense(8, activation="tanh"), Dense(4)], seed=0)
+        model.build(4)
+        pristine = model.get_weights()["0:dense"]["kernel"].copy()
+        report = quantize_model(model)
+        quantized = model.get_weights()
+
+        save_model(model, tmp_path, name="q")
+        clone = Sequential([Dense(8, activation="tanh"), Dense(4)], seed=9)
+        clone.build(4)
+        load_weights_into(clone, tmp_path, name="q")
+        restored = clone.get_weights()
+
+        for layer in quantized:
+            for key in quantized[layer]:
+                np.testing.assert_array_equal(restored[layer][key], quantized[layer][key])
+        # The reloaded weights still honour the reported FP16 error bound
+        # against the pristine originals, and stay FP16-representable.
+        kernel = restored["0:dense"]["kernel"]
+        assert np.max(np.abs(kernel - pristine)) <= report.max_absolute_error
+        np.testing.assert_array_equal(kernel, kernel.astype(np.float16).astype(float))
+
+    def test_float16_npz_reload_is_lossless(self, tmp_path):
+        rng = np.random.default_rng(0)
+        half = rng.normal(size=(5, 7)).astype(np.float16)
+        model = _RawWeightsModel({"m": {"w": half}})
+        save_model(model, tmp_path, name="half")
+        clone = _RawWeightsModel({})
+        load_weights_into(clone, tmp_path, name="half")
+        reloaded = clone.weights["m"]["w"]
+        assert reloaded.dtype == np.float16
+        assert np.max(np.abs(reloaded.astype(float) - half.astype(float))) == 0.0
