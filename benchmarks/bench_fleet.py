@@ -1,23 +1,31 @@
-"""Fleet streaming benchmark — throughput and shard scaling.
+"""Fleet streaming benchmark — columnar fast path, throughput, shard scaling.
 
 Trains a small pipeline once, then streams the ``fleet-1k-drift`` workload
-(1000 drifting devices by default) through the trained HEC system with the
-:class:`~repro.fleet.engine.ShardedFleetEngine` at increasing shard counts,
-recording **windows/sec** per configuration into
-``benchmarks/results/fleet.json`` so future PRs have a scaling trajectory to
-regress against.
+(1000 drifting devices by default) through the trained HEC system, recording
+**windows/sec** per configuration into ``benchmarks/results/fleet.json`` so
+future PRs have a trajectory to regress against:
 
-Two properties are asserted on top of the timings:
+* **legacy** — the per-window reference path (``columnar=False``), the
+  committed baseline the fast path is measured against;
+* **columnar** — the struct-of-arrays fast path, timed cold (first run
+  generates the device streams) and warm (subsequent runs replay them from
+  the bounded stream cache — the steady state of repeated experiments);
+* **sharded** — :class:`~repro.fleet.engine.ShardedFleetEngine` at
+  increasing shard counts under the default ``parallel="auto"`` policy, plus
+  a forced fork-pool measurement when auto resolves to serial, so the
+  worker-pool path is always exercised.
 
-* **equivalence** — ``ShardedFleetEngine(n_shards=1)`` must produce a
-  bit-identical :class:`~repro.fleet.report.FleetReport` to the unsharded
-  :class:`~repro.fleet.engine.FleetEngine` (the subsystem's acceptance pin);
-* **scaling** — on a multi-core host, the largest shard count of a
-  full-sized sweep (>= ``MIN_SCALING_WINDOWS`` windows) must beat one shard
-  (>1x windows/sec).  The report always records ``cpus`` and whether the
-  floor was enforced; single-core containers (workers can only time-slice
-  one core) and small smoke sweeps (fork/pickle overhead dominates) record
-  their measured numbers without asserting.
+Three properties are asserted on top of the timings:
+
+* **columnar equivalence** — the fast path's
+  :class:`~repro.fleet.report.FleetReport` must equal the legacy path's bit
+  for bit (counts, confusions, utilisation, delay statistics);
+* **sharded equivalence** — ``ShardedFleetEngine(n_shards=1)`` must equal
+  the unsharded engine (the PR 3 acceptance pin);
+* **columnar speedup** — on a full-sized sweep the columnar path must reach
+  at least ``MIN_COLUMNAR_SPEEDUP``× the legacy windows/sec measured in the
+  same run (small smoke sweeps record their ratio without asserting); and
+  the multi-core >1× shard-scaling floor from PR 3 still applies.
 
 Standalone usage::
 
@@ -29,18 +37,20 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import time
 from pathlib import Path
 
 from repro.experiments import ExperimentRunner, apply_overrides, get_scenario
+from repro.fleet import sharding, stream_cache
 from repro.fleet.devices import WindowPool
 from repro.fleet.engine import FleetEngine, ShardedFleetEngine
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Stable schema tag for CI consumers (see benchmarks/compare_results.py).
-SCHEMA_VERSION = 1
+#: v2: legacy/columnar split replaces the single "unsharded" entry; sharded
+#: entries record their execution mode.
+SCHEMA_VERSION = 2
 
 #: The scenario whose fleet workload is streamed.
 SCENARIO = "fleet-1k-drift"
@@ -55,24 +65,22 @@ TRAIN_OVERRIDES = {
 #: Default shard sweep (1 -> 4, the acceptance range).
 DEFAULT_SHARDS = (1, 2, 4)
 #: Streaming defaults (overridable from the command line).  Ticks are sized so
-#: per-shard compute dwarfs the worker fork/pickle overhead, which is what
-#: makes the multi-core scaling measurement stable.
+#: per-shard compute dwarfs the worker dispatch overhead, which is what makes
+#: the multi-core scaling measurement stable.
 DEFAULT_DEVICES = 1000
 DEFAULT_TICKS = 40
 #: Timings take the best of this many runs.
-REPEATS = 2
-#: The >1x scaling floor is only enforced on sweeps at least this large:
-#: below it, worker fork/pickle overhead dwarfs the per-shard compute and the
-#: measurement says nothing about scaling (small CI smoke sweeps record their
-#: numbers without asserting).
+REPEATS = 3
+#: Floors are only enforced on sweeps at least this large: below it, fixed
+#: per-run costs dominate and the measurement says nothing about the paths
+#: (small CI smoke sweeps record their numbers without asserting).
 MIN_SCALING_WINDOWS = 5_000
+#: Acceptance floor: columnar windows/sec vs same-run legacy windows/sec.
+MIN_COLUMNAR_SPEEDUP = 3.0
 
 
 def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return os.cpu_count() or 1
+    return sharding.available_cpus()
 
 
 def _trained_engine_kwargs(devices: int, ticks: int) -> dict:
@@ -97,14 +105,15 @@ def _trained_engine_kwargs(devices: int, ticks: int) -> dict:
     )
 
 
-def _best_of(fn, repeats: int):
-    best = float("inf")
+def _timed_runs(fn, repeats: int):
+    """``(per-run seconds, last result)`` for ``repeats`` runs of ``fn``."""
+    seconds = []
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        seconds.append(time.perf_counter() - start)
+    return seconds, result
 
 
 def run_bench_fleet(
@@ -113,7 +122,7 @@ def run_bench_fleet(
     shards=DEFAULT_SHARDS,
     repeats: int = REPEATS,
 ) -> dict:
-    """Time the shard sweep; returns the JSON-ready report."""
+    """Time the legacy/columnar/sharded sweep; returns the JSON-ready report."""
     kwargs = _trained_engine_kwargs(devices, ticks)
 
     report: dict = {
@@ -129,34 +138,60 @@ def run_bench_fleet(
         },
     }
 
-    # -- equivalence: one shard must be bit-identical to the unsharded engine --
-    unsharded_seconds, unsharded_report = _best_of(
-        lambda: FleetEngine(**kwargs).run(), repeats
+    # -- legacy reference path (the committed baseline) -----------------------
+    stream_cache.clear()
+    legacy_seconds, legacy_report = _timed_runs(
+        lambda: FleetEngine(**kwargs, columnar=False).run(), repeats
     )
+    legacy_best = min(legacy_seconds)
+    n_windows = legacy_report.n_windows
+    report["legacy"] = {
+        "seconds": legacy_best,
+        "windows_per_second": n_windows / legacy_best,
+    }
+
+    # -- columnar fast path: cold (stream generation) and warm (cache replay) --
+    stream_cache.clear()
+    columnar_seconds, columnar_report = _timed_runs(
+        lambda: FleetEngine(**kwargs, columnar=True).run(), max(2, repeats)
+    )
+    columnar_best = min(columnar_seconds)
+    report["columnar"] = {
+        "seconds": columnar_best,
+        "cold_seconds": columnar_seconds[0],
+        "windows_per_second": n_windows / columnar_best,
+        "cold_windows_per_second": n_windows / columnar_seconds[0],
+        "speedup_vs_legacy": legacy_best / columnar_best,
+    }
+
+    # -- equivalence: columnar == legacy, one shard == unsharded, bit for bit --
     one_shard_report = ShardedFleetEngine(**kwargs, n_shards=1).run()
     report["equivalence"] = {
-        "one_shard_bit_identical": one_shard_report == unsharded_report,
-        "n_windows": unsharded_report.n_windows,
-        "accuracy": unsharded_report.accuracy,
-        "f1": unsharded_report.f1,
-    }
-    report["unsharded"] = {
-        "seconds": unsharded_seconds,
-        "windows_per_second": unsharded_report.n_windows / unsharded_seconds,
+        "columnar_bit_identical_to_legacy": columnar_report == legacy_report,
+        "one_shard_bit_identical": one_shard_report == columnar_report,
+        "n_windows": n_windows,
+        "accuracy": columnar_report.accuracy,
+        "f1": columnar_report.f1,
     }
 
     # -- scaling: windows/sec per shard count ---------------------------------
     entries = []
     for n_shards in shards:
-        seconds, sharded_report = _best_of(
-            lambda n=n_shards: ShardedFleetEngine(**kwargs, n_shards=n).run(), repeats
+        engine = ShardedFleetEngine(**kwargs, n_shards=n_shards)
+        mode = (
+            sharding.parallel_transport()
+            if n_shards > 1 and engine._resolve_parallel()
+            else "serial"
         )
+        seconds, sharded_report = _timed_runs(lambda e=engine: e.run(), repeats)
+        best = min(seconds)
         entries.append(
             {
                 "n_shards": n_shards,
-                "seconds": seconds,
+                "mode": mode,
+                "seconds": best,
                 "n_windows": sharded_report.n_windows,
-                "windows_per_second": sharded_report.n_windows / seconds,
+                "windows_per_second": sharded_report.n_windows / best,
                 "speedup_vs_1_shard": None,  # filled below once baseline known
             }
         )
@@ -166,19 +201,38 @@ def run_bench_fleet(
             entry["windows_per_second"] / one_shard["windows_per_second"]
         )
     report["sharded"] = entries
+
+    # The persistent fork pool is always measured, even where parallel="auto"
+    # resolves to serial (single-core hosts), so its overhead stays visible.
+    max_shards = max(shards)
+    if max_shards > 1 and sharding.fork_available():
+        forked_engine = ShardedFleetEngine(**kwargs, n_shards=max_shards, parallel=True)
+        forked_seconds, forked_report = _timed_runs(
+            lambda: forked_engine.run(), repeats
+        )
+        forked_best = min(forked_seconds)
+        report["forked"] = {
+            "n_shards": max_shards,
+            "seconds": forked_best,
+            "windows_per_second": forked_report.n_windows / forked_best,
+            "speedup_vs_1_shard": (
+                forked_report.n_windows / forked_best
+            ) / one_shard["windows_per_second"],
+        }
+
+    floors_enforced = n_windows >= MIN_SCALING_WINDOWS
     report["scaling"] = {
         "max_shards": max(e["n_shards"] for e in entries),
         "max_speedup_vs_1_shard": max(e["speedup_vs_1_shard"] for e in entries),
-        "floor_enforced": (
-            report["cpus"] > 1
-            and unsharded_report.n_windows >= MIN_SCALING_WINDOWS
-        ),
+        "floor_enforced": report["cpus"] > 1 and floors_enforced,
+        "columnar_floor_enforced": floors_enforced,
         "min_scaling_windows": MIN_SCALING_WINDOWS,
+        "min_columnar_speedup": MIN_COLUMNAR_SPEEDUP,
         "note": (
-            "speedups are wall-clock; the >1x floor is enforced only with "
-            "more than one available CPU (see 'cpus') and a sweep of at "
-            "least min_scaling_windows windows (fork/pickle overhead "
-            "dominates smaller sweeps)"
+            "speedups are wall-clock; the >1x shard floor is enforced only "
+            "with more than one available CPU (see 'cpus') and a sweep of at "
+            "least min_scaling_windows windows, the columnar floor on any "
+            "full-sized sweep (fixed per-run costs dominate smaller sweeps)"
         ),
     }
     return report
@@ -192,9 +246,18 @@ def write_report(report: dict, name: str = "fleet") -> Path:
 
 
 def _assert_report(report: dict) -> None:
+    assert report["equivalence"]["columnar_bit_identical_to_legacy"], (
+        "the columnar fast path diverged from the legacy per-window path"
+    )
     assert report["equivalence"]["one_shard_bit_identical"], (
         "ShardedFleetEngine(n_shards=1) diverged from the unsharded FleetEngine"
     )
+    if report["scaling"]["columnar_floor_enforced"]:
+        speedup = report["columnar"]["speedup_vs_legacy"]
+        assert speedup >= MIN_COLUMNAR_SPEEDUP, (
+            f"columnar path reached only {speedup:.2f}x the legacy baseline "
+            f"(floor: {MIN_COLUMNAR_SPEEDUP}x)"
+        )
     if report["scaling"]["floor_enforced"]:
         top = max(report["sharded"], key=lambda e: e["n_shards"])
         assert top["speedup_vs_1_shard"] > 1.0, (
@@ -209,13 +272,25 @@ def _print_report(report: dict) -> None:
         f"{report['config']['ticks']} ticks, {report['cpus']} CPUs)"
     )
     print(
-        f"  unsharded      {report['unsharded']['windows_per_second']:10.0f} windows/s "
-        f"(equivalent to 1 shard: {report['equivalence']['one_shard_bit_identical']})"
+        f"  legacy         {report['legacy']['windows_per_second']:10.0f} windows/s "
+        f"(per-window reference path)"
+    )
+    print(
+        f"  columnar       {report['columnar']['windows_per_second']:10.0f} windows/s "
+        f"({report['columnar']['speedup_vs_legacy']:.2f}x legacy; cold "
+        f"{report['columnar']['cold_windows_per_second']:.0f} w/s; bit-identical: "
+        f"{report['equivalence']['columnar_bit_identical_to_legacy']})"
     )
     for entry in report["sharded"]:
         print(
             f"  {entry['n_shards']} shard(s)     {entry['windows_per_second']:10.0f} windows/s "
-            f"({entry['speedup_vs_1_shard']:.2f}x vs 1 shard)"
+            f"({entry['speedup_vs_1_shard']:.2f}x vs 1 shard, {entry['mode']})"
+        )
+    if "forked" in report:
+        forked = report["forked"]
+        print(
+            f"  {forked['n_shards']} shard(s)     {forked['windows_per_second']:10.0f} windows/s "
+            f"({forked['speedup_vs_1_shard']:.2f}x vs 1 shard, fork-pool forced)"
         )
 
 

@@ -163,18 +163,17 @@ class AdaptationController:
         ADWIN monitors watch.  Labels play the delayed-label audit role:
         label-0 windows feed the clean retraining reservoir, every labelled
         window feeds the holdout slice the shadow gate scores against.
+
+        The hook is array-in/array-out all the way down (the streaming fast
+        path hands it the engine's columnar arrays directly): confusion
+        folding, reservoir feeding and the monitor stream build no
+        intermediate per-window structures.
         """
+        from repro.fleet.metrics import confusion_counts
+
         predictions = np.asarray(predictions, dtype=int)
         labels = np.asarray(labels, dtype=int)
-        self._window_confusion[layer] += np.array(
-            [
-                np.sum((predictions == 1) & (labels == 1)),
-                np.sum((predictions == 1) & (labels == 0)),
-                np.sum((predictions == 0) & (labels == 0)),
-                np.sum((predictions == 0) & (labels == 1)),
-            ],
-            dtype=np.int64,
-        )
+        self._window_confusion[layer] += confusion_counts(predictions, labels)
 
         clean = np.flatnonzero(labels == 0)
         if clean.size:

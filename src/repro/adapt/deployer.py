@@ -111,6 +111,9 @@ class HotSwapDeployer:
         deployment.detector = candidate
         deployment.quantized = quantization is not None
         deployment.quantization = quantization
+        # Invalidate any snapshot keyed on the pre-swap model set (the
+        # sharded engine's forked worker pools hold copy-on-write state).
+        self.system.bump_state_version()
         return SwapEvent(
             tick=int(tick),
             layer=int(layer),

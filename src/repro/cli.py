@@ -16,7 +16,9 @@ replace and unknown keys are rejected.  ``repro describe`` prints the full
 spec as JSON, which doubles as the reference for valid ``--set`` keys.
 ``repro fleet`` trains a scenario and streams its fleet workload through the
 trained system (see :mod:`repro.fleet`); ``--seed`` on both ``run`` and
-``fleet`` reseeds the whole experiment without dotted ``--set`` syntax.
+``fleet`` reseeds the whole experiment without dotted ``--set`` syntax, and
+``repro fleet --profile`` prints the per-stage wall-clock breakdown of the
+stream (arrivals / context+policy / detect / metrics / adapt).
 ``repro fleet --adapt`` closes the model-lifecycle loop during the stream
 (drift monitoring, gated online retraining, hot-swap deployment — see
 :mod:`repro.adapt`), and ``repro models list/show/rollback`` inspects and
@@ -123,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default: <output-dir>/registry, or a temporary directory)")
     fleet.add_argument("--output-dir", type=str, default=None,
                        help="directory for the JSON fleet report")
+    fleet.add_argument("--profile", action="store_true",
+                       help="print a per-stage wall-clock breakdown of the stream "
+                       "(arrivals / context+policy / detect / metrics / adapt); "
+                       "sharded runs are profiled serially in-process")
     fleet.add_argument("--quiet", action="store_true", help="suppress summary output")
     fleet.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
@@ -306,7 +312,12 @@ def _run_fleet(args: argparse.Namespace) -> int:
     ):
         registry_root = str(Path(args.output_dir) / "registry")
     runner = ExperimentRunner(spec)
-    report = runner.run_fleet(registry_root=registry_root)
+    profiler = None
+    if args.profile:
+        from repro.fleet.profiling import StageProfiler
+
+        profiler = StageProfiler()
+    report = runner.run_fleet(registry_root=registry_root, profiler=profiler)
     if not args.quiet:
         print(report.summary())
         controller = runner.state.adaptation_controller
@@ -318,6 +329,10 @@ def _run_fleet(args: argparse.Namespace) -> int:
                 )
             else:
                 print(f"Model registry: {controller.registry.root}")
+    if profiler is not None:
+        # --quiet suppresses the report summary, not the breakdown the
+        # user explicitly asked for with --profile.
+        print(profiler.summary())
     if args.output_dir:
         path = Path(args.output_dir) / f"fleet_{args.scenario}.json"
         report.to_json(path)

@@ -88,6 +88,11 @@ class WindowReshapeAdapter(AnomalyDetector):
     def detect(self, windows: np.ndarray) -> List[DetectionResult]:
         return self.inner.detect(self.adapt(windows))
 
+    def detect_arrays(self, windows: np.ndarray, with_confidence: bool = True) -> tuple:
+        return self.inner.detect_arrays(
+            self.adapt(windows), with_confidence=with_confidence
+        )
+
     def predict(self, windows: np.ndarray) -> np.ndarray:
         return self.inner.predict(self.adapt(windows))
 

@@ -26,7 +26,12 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ShapeError
-from repro.detectors.base import AnomalyDetector, DetectionResult, results_from_point_scores
+from repro.detectors.base import (
+    AnomalyDetector,
+    DetectionResult,
+    arrays_from_point_scores,
+    results_from_point_scores,
+)
 from repro.detectors.confidence import ConfidencePolicy
 from repro.detectors.scoring import GaussianLogPDScorer
 from repro.nn.layers.dense import Dense
@@ -131,17 +136,29 @@ class AutoencoderDetector(AnomalyDetector):
         reconstruction = self.model.predict(windows, batch_size=64)
         return windows - reconstruction
 
-    def detect(self, windows: np.ndarray) -> List[DetectionResult]:
-        """Score all windows in one pass and apply the detection + confidence rules."""
+    def _point_score_matrix(self, windows: np.ndarray) -> np.ndarray:
+        """The ``(n_windows, n_points)`` logPD matrix behind both detect paths."""
         self._require_fitted()
         windows = self._check_windows(windows)
         errors = self._point_errors(windows)
         n_windows, n_points = errors.shape
         # Every point of every window is scored with a single vectorised call.
-        point_scores = self.scorer.log_probability_density(
+        return self.scorer.log_probability_density(
             errors.reshape(-1, 1)
         ).reshape(n_windows, n_points)
+
+    def detect(self, windows: np.ndarray) -> List[DetectionResult]:
+        """Score all windows in one pass and apply the detection + confidence rules."""
+        point_scores = self._point_score_matrix(windows)
         return results_from_point_scores(point_scores, self.scorer.threshold, self.confidence)
+
+    def detect_arrays(self, windows: np.ndarray, with_confidence: bool = True) -> tuple:
+        """Columnar detection: outcome arrays with no per-window objects."""
+        point_scores = self._point_score_matrix(windows)
+        return arrays_from_point_scores(
+            point_scores, self.scorer.threshold, self.confidence,
+            with_confidence=with_confidence,
+        )
 
     # -- introspection -----------------------------------------------------------------
 

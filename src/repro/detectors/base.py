@@ -44,6 +44,40 @@ class DetectionResult:
     anomalous_point_fraction: float
 
 
+def arrays_from_point_scores(
+    point_scores: np.ndarray,
+    threshold: float,
+    confidence,
+    with_confidence: bool = True,
+) -> tuple:
+    """``(is_anomaly, confident, window_scores, fractions)`` arrays for a batch.
+
+    The columnar tail of detection: the detection and confidence rules are
+    applied to the whole ``(n_windows, n_points)`` logPD matrix at once and
+    the per-window summaries come back as aligned arrays — no
+    :class:`DetectionResult` objects.  :func:`results_from_point_scores` (and
+    through it every detector's ``detect``) is a thin boxing layer over this.
+
+    ``with_confidence=False`` skips the confidence rules (and the fraction
+    pass) entirely, returning ``None`` in their slots — the streaming fast
+    path never consults them, and the detection rule itself
+    (any point's logPD strictly below the threshold) is unchanged.
+    """
+    point_scores = np.asarray(point_scores, dtype=float)
+    if not with_confidence:
+        # Same detection rule as ConfidencePolicy.evaluate_batch, minus the
+        # strong-score and anomalous-fraction passes nobody will read.
+        is_anomaly = (point_scores < threshold).any(axis=1)
+        return is_anomaly, None, point_scores.min(axis=1), None
+    is_anomaly, confident, fractions = confidence.evaluate_batch(point_scores, threshold)
+    return (
+        np.asarray(is_anomaly, dtype=bool),
+        np.asarray(confident, dtype=bool),
+        point_scores.min(axis=1),
+        np.asarray(fractions, dtype=float),
+    )
+
+
 def results_from_point_scores(
     point_scores: np.ndarray,
     threshold: float,
@@ -57,8 +91,9 @@ def results_from_point_scores(
     is the shared tail of every detector's batched ``detect``.
     """
     point_scores = np.asarray(point_scores, dtype=float)
-    is_anomaly, confident, fractions = confidence.evaluate_batch(point_scores, threshold)
-    window_scores = point_scores.min(axis=1)
+    is_anomaly, confident, window_scores, fractions = arrays_from_point_scores(
+        point_scores, threshold, confidence
+    )
     return [
         DetectionResult(
             is_anomaly=bool(anomaly),
@@ -95,6 +130,32 @@ class AnomalyDetector:
     def detect(self, windows: np.ndarray) -> List[DetectionResult]:
         """Run detection on a batch of windows (one result per window)."""
         raise NotImplementedError
+
+    def detect_arrays(self, windows: np.ndarray, with_confidence: bool = True) -> tuple:
+        """``(is_anomaly, confident, anomaly_scores, fractions)`` for a batch.
+
+        The columnar counterpart of :meth:`detect`: the same outcomes as
+        aligned arrays instead of per-window :class:`DetectionResult`
+        objects.  The base implementation tears apart :meth:`detect` (so any
+        subclass is automatically correct); the built-in detectors override
+        it to skip the object layer entirely, and to skip the confidence
+        rules too when ``with_confidence=False`` (the base fallback simply
+        returns them regardless — a correct superset).
+        """
+        del with_confidence
+        results = self.detect(windows)
+        return (
+            np.fromiter((r.is_anomaly for r in results), dtype=bool, count=len(results)),
+            np.fromiter((r.confident for r in results), dtype=bool, count=len(results)),
+            np.fromiter(
+                (r.anomaly_score for r in results), dtype=float, count=len(results)
+            ),
+            np.fromiter(
+                (r.anomalous_point_fraction for r in results),
+                dtype=float,
+                count=len(results),
+            ),
+        )
 
     def predict(self, windows: np.ndarray) -> np.ndarray:
         """Binary predictions (1 = anomaly) for a batch of windows."""

@@ -450,7 +450,11 @@ class ExperimentRunner:
         self._done("evaluate")
         return state.result
 
-    def stream(self, registry_root: Optional[str] = None) -> FleetReport:
+    def stream(
+        self,
+        registry_root: Optional[str] = None,
+        profiler=None,
+    ) -> FleetReport:
         """Stream the spec's fleet workload through the trained system.
 
         An *optional* sixth stage (not part of :attr:`STAGES`, so :meth:`run`
@@ -464,6 +468,11 @@ class ExperimentRunner:
         monitoring, gated online retraining and hot-swap deployment —
         checkpointing into ``registry_root`` (or ``adapt.registry_dir``, or a
         run-scoped temporary directory).
+
+        ``profiler`` attaches a :class:`~repro.fleet.profiling.StageProfiler`
+        recording the per-stage wall-clock breakdown; profiled sharded runs
+        execute their shards serially in-process (per-stage timings across
+        forked workers would not add up to anything meaningful).
         """
         self._require("train_policy")
         fleet_spec = self.spec.fleet
@@ -495,6 +504,7 @@ class ExperimentRunner:
             name=self.spec.name,
             tier_names=self.tier_names,
             controller=controller,
+            profiler=profiler,
         )
         if fleet_spec.n_shards > 1:
             engine = ShardedFleetEngine(**engine_kwargs)
@@ -513,19 +523,24 @@ class ExperimentRunner:
                 getattr(self, stage)()
         return self.state.result
 
-    def run_fleet(self, registry_root: Optional[str] = None) -> FleetReport:
+    def run_fleet(
+        self,
+        registry_root: Optional[str] = None,
+        profiler=None,
+    ) -> FleetReport:
         """Train (through ``train_policy``) and stream the fleet workload.
 
         The offline ``evaluate`` stage is skipped — fleet runs judge the
         system by its online metrics — but an already-evaluated runner can
         call this too (completed stages never re-run).  ``registry_root``
-        places the adaptation model registry (specs with an ``adapt`` node).
+        places the adaptation model registry (specs with an ``adapt`` node);
+        ``profiler`` is forwarded to :meth:`stream`.
         """
         for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
             if stage not in self.state.completed:
                 getattr(self, stage)()
         if "stream" not in self.state.completed:
-            self.stream(registry_root=registry_root)
+            self.stream(registry_root=registry_root, profiler=profiler)
         return self.state.fleet_report
 
     def fork(self, **replacements) -> "ExperimentRunner":

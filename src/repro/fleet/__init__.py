@@ -11,8 +11,16 @@ streaming sensor windows:
   per-device RNG streams;
 * :mod:`repro.fleet.mutators` — concept drift, bursty anomaly episodes,
   device churn and phase jitter;
-* :mod:`repro.fleet.engine` — the event-clocked :class:`FleetEngine` and the
-  ``multiprocessing``-sharded :class:`ShardedFleetEngine`;
+* :mod:`repro.fleet.engine` — the event-clocked :class:`FleetEngine` (with a
+  columnar struct-of-arrays fast path pinned bit-identical to the per-window
+  reference loop) and the ``multiprocessing``-sharded
+  :class:`ShardedFleetEngine`;
+* :mod:`repro.fleet.sharding` — persistent worker pools and zero-copy shard
+  payloads behind the sharded engine;
+* :mod:`repro.fleet.stream_cache` — bounded creation/arrival-stream caches
+  behind the columnar fast path;
+* :mod:`repro.fleet.profiling` — the per-stage :class:`StageProfiler` behind
+  ``repro fleet --profile``;
 * :mod:`repro.fleet.metrics` / :mod:`repro.fleet.report` — bounded-memory
   online evaluation and the serialisable :class:`FleetReport`.
 
@@ -21,9 +29,16 @@ shared scenario registry by :mod:`repro.experiments` (not imported here, to
 keep the import graph acyclic).
 """
 
-from repro.fleet.devices import DeviceFleet, VirtualDevice, WindowArrival, WindowPool
+from repro.fleet.devices import (
+    ColumnarArrivals,
+    DeviceFleet,
+    VirtualDevice,
+    WindowArrival,
+    WindowPool,
+)
 from repro.fleet.engine import FleetEngine, ShardedFleetEngine
 from repro.fleet.metrics import DelayReservoir, StreamingMetrics
+from repro.fleet.profiling import StageProfiler
 from repro.fleet.mutators import (
     AnomalyBurst,
     ConceptDrift,
@@ -41,10 +56,12 @@ from repro.fleet.report import (
 from repro.fleet.spec import MUTATOR_KINDS, FleetSpec, MutatorSpec
 
 __all__ = [
+    "ColumnarArrivals",
     "DeviceFleet",
     "VirtualDevice",
     "WindowArrival",
     "WindowPool",
+    "StageProfiler",
     "FleetEngine",
     "ShardedFleetEngine",
     "DelayReservoir",

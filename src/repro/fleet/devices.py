@@ -18,23 +18,41 @@ result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.datasets import LabeledWindows
 from repro.exceptions import ConfigurationError
-from repro.fleet.mutators import StreamMutator
+from repro.fleet import stream_cache
+from repro.fleet.mutators import (
+    AnomalyBurst,
+    ConceptDrift,
+    DeviceChurn,
+    PhaseJitter,
+    StreamMutator,
+)
 from repro.fleet.spec import FleetSpec
+from repro.fleet.stream_cache import StreamChunk
 
 #: Mask folding arbitrary (possibly negative) ints into SeedSequence entropy.
 _SEED_MASK = 0xFFFFFFFF
+
+#: Mutator types whose hooks are pure data the stream caches may snapshot.
+_BUILTIN_MUTATORS = (StreamMutator, ConceptDrift, AnomalyBurst, DeviceChurn, PhaseJitter)
 
 
 def device_rng(master_seed: int, fleet_seed: int, device_id: int) -> np.random.Generator:
     """The RNG owned by one device: a pure function of the three seeds."""
     entropy = (int(master_seed) & _SEED_MASK, int(fleet_seed) & _SEED_MASK, int(device_id))
     return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def _rng_from_state(state: dict) -> np.random.Generator:
+    """A PCG64 generator restored to a captured ``bit_generator.state``."""
+    bit_generator = np.random.PCG64(0)
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
 
 
 @dataclass(frozen=True)
@@ -47,6 +65,34 @@ class WindowArrival:
     timestamp: float
     window: np.ndarray
     label: int
+
+
+@dataclass(frozen=True)
+class ColumnarArrivals:
+    """One tick's arrivals as parallel arrays (the struct-of-arrays view).
+
+    The fast-path counterpart of a ``List[WindowArrival]``: windows arrive
+    pre-stacked (mutators applied) with labels, device ids and timestamps as
+    aligned arrays, so the engine never builds or tears down per-window
+    objects.  Arrays may be shared with the stream cache — treat them as
+    read-only.
+    """
+
+    #: ``(n, *window_shape)`` float64 stack, mutators applied, arrival order.
+    windows: np.ndarray
+    #: ``(n,)`` int64 labels (1 = drawn from the anomalous pool).
+    labels: np.ndarray
+    #: ``(n,)`` int64 emitting-device ids.
+    device_ids: np.ndarray
+    #: ``(n,)`` float64 simulated emission times.
+    timestamps: np.ndarray
+    #: Number of online devices at this tick.
+    online: int
+
+    @property
+    def n(self) -> int:
+        """Number of arrivals."""
+        return int(self.labels.shape[0])
 
 
 @dataclass(frozen=True)
@@ -96,12 +142,54 @@ class VirtualDevice:
         self.pool = pool
         self.mutators = tuple(mutators)
         self.spec = spec
-        self.rng = device_rng(master_seed, spec.seed, device_id)
+        self._rng: Optional[np.random.Generator] = device_rng(
+            master_seed, spec.seed, device_id
+        )
+        self._rng_state: Optional[dict] = None
         # Per-mutator device parameters, drawn from this device's own RNG in
         # mutator order (creation draws precede every emission draw).
         self.states = [
-            mutator.device_state(self.rng, pool.window_shape) for mutator in self.mutators
+            mutator.device_state(self._rng, pool.window_shape) for mutator in self.mutators
         ]
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        device_id: int,
+        pool: WindowPool,
+        mutators: Sequence[StreamMutator],
+        spec: FleetSpec,
+        states: List[dict],
+        rng_state: dict,
+    ) -> "VirtualDevice":
+        """Rebuild a device from cached creation draws (see the stream cache).
+
+        ``rng_state`` is the bit-generator state captured right after the
+        creation draws, so the restored emission stream is bit-identical to a
+        freshly constructed device's.  The generator itself materialises
+        lazily — a device whose whole stream comes from the cache never
+        builds one.
+        """
+        device = cls.__new__(cls)
+        device.device_id = int(device_id)
+        device.pool = pool
+        device.mutators = tuple(mutators)
+        device.spec = spec
+        device.states = states
+        device._rng = None
+        device._rng_state = rng_state
+        return device
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The device's emission RNG (restored from a snapshot on demand)."""
+        if self._rng is None:
+            self._rng = _rng_from_state(self._rng_state)
+        return self._rng
+
+    def creation_snapshot(self) -> Tuple[dict, List[dict]]:
+        """``(rng state, mutator states)`` right after the creation draws."""
+        return self.rng.bit_generator.state, self.states
 
     def online(self, tick: int) -> bool:
         """Whether the device emits at ``tick`` (pure, no RNG draws)."""
@@ -146,7 +234,20 @@ class VirtualDevice:
 
 
 class DeviceFleet:
-    """An ordered collection of virtual devices (optionally a shard subset)."""
+    """An ordered collection of virtual devices (optionally a shard subset).
+
+    Two arrival APIs share one determinism contract:
+
+    * :meth:`arrivals` — the per-window reference path, one
+      :class:`WindowArrival` object per emission;
+    * :meth:`arrivals_columnar` — the struct-of-arrays fast path, returning
+      a :class:`ColumnarArrivals` whose values (and the per-device RNG draw
+      order producing them) are bit-identical to stacking the reference
+      path's output.  It may serve repeated runs of the same configuration
+      from the module-level stream cache; call it with non-decreasing ticks
+      starting at 0 and do not interleave it with :meth:`arrivals` on the
+      same instance (the two paths consume the same device streams).
+    """
 
     def __init__(
         self,
@@ -154,16 +255,57 @@ class DeviceFleet:
         pool: WindowPool,
         master_seed: int = 0,
         device_ids: Optional[Sequence[int]] = None,
+        cache: bool = True,
     ) -> None:
         self.spec = spec
         self.pool = pool
         self.master_seed = int(master_seed)
-        ids = range(spec.n_devices) if device_ids is None else device_ids
+        ids = (
+            list(range(spec.n_devices))
+            if device_ids is None
+            else [int(device_id) for device_id in device_ids]
+        )
         mutators = spec.build_mutators()
-        self.devices = [
-            VirtualDevice(device_id, pool, mutators, spec, master_seed=master_seed)
-            for device_id in ids
-        ]
+        self.mutators = mutators
+        #: ``cache=False`` keeps this fleet away from the module-level
+        #: creation/stream caches entirely — the engine's legacy reference
+        #: path builds its fleets this way, so the oracle can never share
+        #: state (and thus a defect) with the fast path it validates.
+        self._cacheable = bool(cache) and all(
+            type(m) in _BUILTIN_MUTATORS for m in mutators
+        )
+        self._creation_key = (
+            self.master_seed,
+            spec,
+            tuple(ids),
+            pool.window_shape,
+        ) if self._cacheable else None
+        snapshots = (
+            stream_cache.creation_snapshots(self._creation_key)
+            if self._creation_key is not None
+            else None
+        )
+        if snapshots is not None:
+            self.devices = [
+                VirtualDevice.from_snapshot(
+                    device_id, pool, mutators, spec, states=states, rng_state=rng_state
+                )
+                for device_id, (rng_state, states) in zip(ids, snapshots)
+            ]
+        else:
+            self.devices = [
+                VirtualDevice(device_id, pool, mutators, spec, master_seed=master_seed)
+                for device_id in ids
+            ]
+            if self._creation_key is not None:
+                stream_cache.store_creation_snapshots(
+                    self._creation_key,
+                    [device.creation_snapshot() for device in self.devices],
+                )
+        #: Next tick whose draws this instance must generate (ticks below this
+        #: have consumed the device RNG streams; cache hits do not).
+        self._next_gen_tick = 0
+        self._columnar_setup_done = False
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -182,3 +324,247 @@ class DeviceFleet:
                 online += 1
                 batch.extend(device._emit_online(tick))
         return batch, online
+
+    # -- columnar fast path ------------------------------------------------------
+
+    def columnar_supported(self) -> bool:
+        """Whether every mutator provides a faithful batch transform.
+
+        A subclass that overrides :meth:`~repro.fleet.mutators.StreamMutator.
+        transform` without also overriding ``transform_batch`` cannot be
+        vectorised; :meth:`arrivals_columnar` then routes through the
+        per-window reference path.
+        """
+        for mutator in self.mutators:
+            kind = type(mutator)
+            if (
+                kind.transform is not StreamMutator.transform
+                and kind.transform_batch is StreamMutator.transform_batch
+            ):
+                return False
+        return True
+
+    def _ensure_columnar_setup(self) -> None:
+        if self._columnar_setup_done:
+            return
+        devices = self.devices
+        mutators = self.mutators
+        self._states_cols = [
+            [device.states[position] for device in devices]
+            for position in range(len(mutators))
+        ]
+        self._stacked = [
+            mutator.stack_states(states)
+            for mutator, states in zip(mutators, self._states_cols)
+        ]
+        base_online = StreamMutator.online
+        base_online_batch = StreamMutator.online_batch
+        self._online_positions = [
+            position
+            for position, mutator in enumerate(mutators)
+            if type(mutator).online is not base_online
+            or type(mutator).online_batch is not base_online_batch
+        ]
+        base_rate = StreamMutator.anomaly_rate
+        base_rate_batch = StreamMutator.anomaly_rate_batch
+        self._rate_positions = [
+            position
+            for position, mutator in enumerate(mutators)
+            if type(mutator).anomaly_rate is not base_rate
+            or type(mutator).anomaly_rate_batch is not base_rate_batch
+        ]
+        self._draw_mutators = [
+            (position, mutator)
+            for position, mutator in enumerate(mutators)
+            if type(mutator).transform_draw is not StreamMutator.transform_draw
+        ]
+        self._id_array = np.fromiter(
+            (device.device_id for device in devices), dtype=np.int64, count=len(devices)
+        )
+        self._stream_key = (
+            (*self._creation_key, self.pool.normal.shape[0], self.pool.anomalous.shape[0])
+            if self._creation_key is not None
+            else None
+        )
+        self._columnar_setup_done = True
+
+    def arrivals_columnar(self, tick: int) -> ColumnarArrivals:
+        """All arrivals for ``tick`` as a :class:`ColumnarArrivals`.
+
+        Bit-identical to :meth:`arrivals` (same per-device RNG streams, same
+        draw order, same values in the same arrival order) but without
+        per-window objects: draws are collected as arrays, windows are
+        gathered from the pool in one fancy-indexing pass, and mutators apply
+        through their batch hooks.  Cached fleet configurations replay their
+        draws from the stream cache without consuming any RNG.
+        """
+        tick = int(tick)
+        if not self.columnar_supported():
+            batch, online = self.arrivals(tick)
+            return self._columnar_from_arrivals(batch, online)
+        self._ensure_columnar_setup()
+        entry = (
+            stream_cache.stream_entry(self._stream_key)
+            if self._stream_key is not None
+            else None
+        )
+        if entry is None:
+            if tick != self._next_gen_tick:
+                raise ConfigurationError(
+                    f"uncached columnar arrivals must be drawn sequentially from "
+                    f"tick 0 (expected tick {self._next_gen_tick}, got {tick})"
+                )
+            chunk = self._generate_chunk(tick)
+            self._next_gen_tick += 1
+        else:
+            chunk = entry.chunks.get(tick)
+            if chunk is None:
+                if tick < self._next_gen_tick:  # pragma: no cover - re-request
+                    raise ConfigurationError(
+                        f"tick {tick} is behind this fleet's stream cursor and "
+                        "not cached (evicted or beyond the cache budget); "
+                        "re-create the fleet to replay from tick 0"
+                    )
+                # Devices whose earlier ticks were cache hits have virgin RNG
+                # streams, so generation can always replay from the cursor.
+                # store() may decline chunks beyond the entry's memory budget,
+                # so the freshly generated chunk is used directly.
+                while self._next_gen_tick <= tick:
+                    pending = self._next_gen_tick
+                    chunk = self._generate_chunk(pending)
+                    entry.store(pending, chunk)
+                    self._next_gen_tick += 1
+        return self._assemble(chunk, tick)
+
+    def _columnar_from_arrivals(
+        self, batch: List[WindowArrival], online: int
+    ) -> ColumnarArrivals:
+        """Pack reference-path arrivals into the columnar layout (fallback)."""
+        if not batch:
+            return self._empty_columnar(online)
+        return ColumnarArrivals(
+            windows=np.stack([arrival.window for arrival in batch]),
+            labels=np.fromiter(
+                (arrival.label for arrival in batch), dtype=np.int64, count=len(batch)
+            ),
+            device_ids=np.fromiter(
+                (arrival.device_id for arrival in batch), dtype=np.int64, count=len(batch)
+            ),
+            timestamps=np.fromiter(
+                (arrival.timestamp for arrival in batch), dtype=float, count=len(batch)
+            ),
+            online=online,
+        )
+
+    def _empty_columnar(self, online: int) -> ColumnarArrivals:
+        return ColumnarArrivals(
+            windows=np.empty((0, *self.pool.window_shape)),
+            labels=np.empty(0, dtype=np.int64),
+            device_ids=np.empty(0, dtype=np.int64),
+            timestamps=np.empty(0, dtype=float),
+            online=online,
+        )
+
+    def _generate_chunk(self, tick: int) -> StreamChunk:
+        """Draw one tick's arrivals from the device RNG streams.
+
+        The draw order per device is exactly the reference path's: one
+        Poisson count, then per arrival the anomaly uniform, the pool index,
+        any mutator transform draws (in mutator order), and the timestamp
+        offset.  Devices are visited in fleet order, as :meth:`arrivals`
+        does.
+        """
+        devices = self.devices
+        n_devices = len(devices)
+        mask: Optional[np.ndarray] = None
+        for position in self._online_positions:
+            sub = self.mutators[position].online_batch(
+                self._stacked[position], self._states_cols[position], tick
+            )
+            mask = sub if mask is None else mask & sub
+        if mask is None:
+            online_rows = range(n_devices)
+            online = n_devices
+        else:
+            online_rows = np.flatnonzero(mask).tolist()
+            online = len(online_rows)
+
+        base_rate = self.spec.anomaly_rate
+        rates_list = None
+        if self._rate_positions:
+            rates = np.full(n_devices, base_rate, dtype=float)
+            for position in self._rate_positions:
+                rates = self.mutators[position].anomaly_rate_batch(
+                    rates, self._stacked[position], self._states_cols[position], tick
+                )
+            rates_list = np.asarray(rates, dtype=float).tolist()
+
+        arrival_rate = self.spec.arrival_rate
+        n_normal = self.pool.normal.shape[0]
+        n_anomalous = self.pool.anomalous.shape[0]
+        has_anomalies = n_anomalous > 0
+        drawing = self._draw_mutators
+        draws: Dict[int, List] = {position: [] for position, _ in drawing}
+        rows: List[int] = []
+        flags: List[bool] = []
+        indices: List[int] = []
+        stamps: List[float] = []
+        for row in online_rows:
+            device = devices[row]
+            rng = device.rng
+            count = rng.poisson(arrival_rate)
+            if not count:
+                continue
+            rate = rates_list[row] if rates_list is not None else base_rate
+            random = rng.random
+            integers = rng.integers
+            states = device.states
+            for _ in range(count):
+                anomalous = (random() < rate) and has_anomalies
+                index = integers(n_anomalous) if anomalous else integers(n_normal)
+                for position, mutator in drawing:
+                    draws[position].append(mutator.transform_draw(states[position], rng))
+                stamps.append(tick + random())
+                rows.append(row)
+                flags.append(anomalous)
+                indices.append(index)
+        return StreamChunk(
+            rows=np.array(rows, dtype=np.int64),
+            anomalous=np.array(flags, dtype=bool),
+            pool_indices=np.array(indices, dtype=np.int64),
+            timestamps=np.array(stamps, dtype=float),
+            draws=draws,
+            online=online,
+        )
+
+    def _assemble(self, chunk: StreamChunk, tick: int) -> ColumnarArrivals:
+        """Gather the chunk's pool windows and apply the batch transforms."""
+        n = chunk.rows.shape[0]
+        if n == 0:
+            return self._empty_columnar(chunk.online)
+        pool = self.pool
+        anomalous = chunk.anomalous
+        if not anomalous.any():
+            windows = pool.normal[chunk.pool_indices]
+        elif anomalous.all():
+            windows = pool.anomalous[chunk.pool_indices]
+        else:
+            windows = np.empty((n, *pool.window_shape))
+            normal = ~anomalous
+            windows[normal] = pool.normal[chunk.pool_indices[normal]]
+            windows[anomalous] = pool.anomalous[chunk.pool_indices[anomalous]]
+        for position, mutator in enumerate(self.mutators):
+            windows = mutator.transform_batch(
+                windows,
+                self._stacked[position],
+                chunk.rows,
+                tick,
+                chunk.draws.get(position),
+            )
+        return ColumnarArrivals(
+            windows=windows,
+            labels=anomalous.astype(np.int64),
+            device_ids=self._id_array[chunk.rows],
+            timestamps=chunk.timestamps,
+            online=chunk.online,
+        )

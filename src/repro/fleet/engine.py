@@ -2,17 +2,34 @@
 
 :class:`FleetEngine` drains per-tick arrival queues from a
 :class:`~repro.fleet.devices.DeviceFleet` through the trained bandit policy
-and :meth:`~repro.hec.simulation.HECSystem.detect_batch` — one context
-extraction and one policy forward per tick, one batched detector call per
-selected layer — feeding a :class:`~repro.fleet.metrics.StreamingMetrics`
-aggregator so the full trace is never materialised.
+and the HEC system — one context extraction and one policy forward per tick,
+one batched detector call per selected layer — feeding a
+:class:`~repro.fleet.metrics.StreamingMetrics` aggregator so the full trace
+is never materialised.
 
-:class:`ShardedFleetEngine` partitions the device ids across
-``multiprocessing`` workers, runs one :class:`FleetEngine` per shard and
-merges the per-shard aggregators in shard order.  Because every device owns
-an RNG derived from its id (not from its shard), the merged counts are
-independent of the partitioning, and a single-shard run is bit-identical to
-the unsharded engine — a property pinned by the equivalence tests.
+Two streaming paths share one determinism contract:
+
+* the **columnar fast path** (default) — struct-of-arrays end to end:
+  :meth:`~repro.fleet.devices.DeviceFleet.arrivals_columnar` arrays in,
+  :meth:`~repro.hec.simulation.HECSystem.detect_batch_columnar` arrays out,
+  tick-batched metric/controller feeds, zero per-window objects;
+* the **legacy per-window path** (``columnar=False``) — the reference
+  implementation the fast path is pinned bit-identical against (same
+  per-device RNG streams, same per-tick forward batches, same counts,
+  confusions, utilisation and delay sums, hence an equal
+  :class:`~repro.fleet.report.FleetReport`).
+
+:class:`ShardedFleetEngine` partitions the device ids across worker
+processes, runs one :class:`FleetEngine` per shard and merges the per-shard
+aggregators in shard order.  Because every device owns an RNG derived from
+its id (not from its shard), the merged counts are independent of the
+partitioning, and a single-shard run is bit-identical to the unsharded
+engine — a property pinned by the equivalence tests.  Worker pools persist
+across runs and shard payloads ship zero-copy (see
+:mod:`repro.fleet.sharding`); with ``parallel="auto"`` the engine only forks
+when more than one CPU is actually available — on a single-core host the
+shards run serially in-process, which is strictly cheaper than time-slicing
+workers plus IPC.
 
 Both engines accept an optional adaptation ``controller`` (see
 :mod:`repro.adapt.controller`): per tick the engine feeds it every detected
@@ -27,15 +44,18 @@ from __future__ import annotations
 
 import multiprocessing
 import warnings
-from typing import List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.bandit.context import ContextExtractor
 from repro.bandit.policy_network import PolicyNetwork
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ReproError
+from repro.fleet import sharding
 from repro.fleet.devices import DeviceFleet, WindowPool
 from repro.fleet.metrics import StreamingMetrics
+from repro.fleet.profiling import StageProfiler
 from repro.fleet.report import FleetReport, report_from_metrics
 from repro.fleet.spec import FleetSpec
 from repro.hec.simulation import HECSystem
@@ -43,6 +63,26 @@ from repro.hec.simulation import HECSystem
 
 def _default_tier_names(n_layers: int) -> Tuple[str, ...]:
     return tuple(f"layer-{layer}" for layer in range(n_layers))
+
+
+#: Whether the degraded-parallelism warning already fired this process.
+_pool_fallback_warned = False
+
+
+def _warn_pool_fallback_once(exc: BaseException) -> None:
+    """Satellite contract: a silent serial fallback hides broken parallelism
+    from benchmarks and CI logs, so name the failure — once per process."""
+    global _pool_fallback_warned
+    if _pool_fallback_warned:
+        return
+    _pool_fallback_warned = True
+    warnings.warn(
+        f"sharded fleet worker pool failed ({type(exc).__name__}: {exc}); "
+        "falling back to serial in-process shards — throughput numbers from "
+        "this run do not measure parallel scaling",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class FleetEngine:
@@ -60,6 +100,8 @@ class FleetEngine:
         tier_names: Optional[Sequence[str]] = None,
         device_ids: Optional[Sequence[int]] = None,
         controller=None,
+        columnar: bool = True,
+        profiler: Optional[StageProfiler] = None,
     ) -> None:
         if policy.n_actions != system.n_layers:
             raise ConfigurationError(
@@ -87,6 +129,11 @@ class FleetEngine:
         #: ``None`` keeps the streaming loop bit-identical to the
         #: pre-adaptation engine (no extra draws, no extra branches taken).
         self.controller = controller
+        #: Whether to stream through the columnar fast path (bit-identical to
+        #: the legacy per-window path; ``False`` runs the reference loop).
+        self.columnar = bool(columnar)
+        #: Optional :class:`~repro.fleet.profiling.StageProfiler`.
+        self.profiler = profiler
 
     @property
     def n_devices(self) -> int:
@@ -99,6 +146,7 @@ class FleetEngine:
         """The core streaming loop; returns the filled metrics aggregator."""
         spec = self.spec
         system = self.system
+        started = perf_counter()
         system.reset()
         # Streams run against a warmed system: keep-alive connections are
         # established up front, so every request sees steady-state delays and
@@ -109,8 +157,15 @@ class FleetEngine:
         previous_record_log = system.record_log
         system.record_log = False
         try:
+            # The legacy reference path builds its fleet cold (cache=False):
+            # the oracle must not share creation/stream-cache state with the
+            # fast path it is the oracle *for*.
             fleet = DeviceFleet(
-                spec, self.pool, master_seed=self.master_seed, device_ids=self.device_ids
+                spec,
+                self.pool,
+                master_seed=self.master_seed,
+                device_ids=self.device_ids,
+                cache=self.columnar,
             )
             metrics = StreamingMetrics(
                 ticks=spec.ticks,
@@ -119,48 +174,159 @@ class FleetEngine:
                 reservoir_size=spec.reservoir_size,
                 seed_entropy=(self.master_seed, spec.seed),
             )
-            for tick in range(spec.ticks):
-                arrivals, online = fleet.arrivals(tick)
-                metrics.record_uptime(online, len(fleet) - online)
-                if arrivals:
-                    windows = np.stack([arrival.window for arrival in arrivals])
-                    labels = np.asarray(
-                        [arrival.label for arrival in arrivals], dtype=int
-                    )
-                    contexts = self.context_extractor.extract(windows)
-                    actions = self.policy.select_actions(contexts, greedy=True)
-                    for action in np.unique(actions):
-                        chosen = np.flatnonzero(actions == action)
-                        records = system.detect_batch(
-                            int(action), windows[chosen], ground_truths=labels[chosen]
-                        )
-                        predictions = np.asarray([r.prediction for r in records])
-                        metrics.observe(
-                            tick,
-                            int(action),
-                            predictions=predictions,
-                            labels=labels[chosen],
-                            delays_ms=np.asarray([r.delay_ms for r in records]),
-                        )
-                        if self.controller is not None:
-                            self.controller.observe_batch(
-                                tick,
-                                int(action),
-                                windows=windows[chosen],
-                                predictions=predictions,
-                                labels=labels[chosen],
-                                scores=np.asarray(
-                                    [r.anomaly_score for r in records]
-                                ),
-                            )
-                if self.controller is not None:
-                    # The tick boundary: drift decisions, gated retrains and
-                    # atomic detector swaps happen between ticks, never
-                    # inside one, so no batch sees a half-updated model.
-                    self.controller.end_tick(tick)
+            if self.columnar:
+                self._stream_columnar(fleet, metrics)
+            else:
+                self._stream_legacy(fleet, metrics)
         finally:
             system.record_log = previous_record_log
+        if self.profiler is not None:
+            # Accumulate: serial shard engines share one profiler, so totals
+            # and window counts add up across shards.
+            self.profiler.total_seconds = (
+                self.profiler.total_seconds or 0.0
+            ) + (perf_counter() - started)
+            self.profiler.n_windows += metrics.n_windows
+            self.profiler.ticks = spec.ticks
         return metrics
+
+    def _stream_columnar(self, fleet: DeviceFleet, metrics: StreamingMetrics) -> None:
+        """The struct-of-arrays loop: arrays in, arrays out, no objects."""
+        system = self.system
+        controller = self.controller
+        profiler = self.profiler
+        extract = self.context_extractor.extract
+        select_actions = self.policy.select_actions
+        n_fleet = len(fleet)
+        for tick in range(self.spec.ticks):
+            if profiler is not None:
+                mark = perf_counter()
+            batch = fleet.arrivals_columnar(tick)
+            if profiler is not None:
+                profiler.add("arrivals", perf_counter() - mark)
+            metrics.record_uptime(batch.online, n_fleet - batch.online)
+            if batch.n:
+                windows = batch.windows
+                labels = batch.labels
+                if profiler is not None:
+                    mark = perf_counter()
+                contexts = extract(windows)
+                actions = select_actions(contexts, greedy=True)
+                if profiler is not None:
+                    profiler.add("context_policy", perf_counter() - mark)
+                for action in np.unique(actions):
+                    chosen = np.flatnonzero(actions == action)
+                    if chosen.size == actions.shape[0]:
+                        # One tier took the whole tick — skip the re-index
+                        # copies (the arrays are already exactly the batch).
+                        tier_windows, tier_labels = windows, labels
+                    else:
+                        tier_windows = windows[chosen]
+                        tier_labels = labels[chosen]
+                    if profiler is not None:
+                        mark = perf_counter()
+                    detected = system.detect_batch_columnar(int(action), tier_windows)
+                    if profiler is not None:
+                        now = perf_counter()
+                        profiler.add("detect", now - mark)
+                        mark = now
+                    metrics.observe(
+                        tick,
+                        int(action),
+                        predictions=detected.predictions,
+                        labels=tier_labels,
+                        delays_ms=detected.delays_ms,
+                    )
+                    if profiler is not None:
+                        profiler.add("metrics", perf_counter() - mark)
+                    if controller is not None:
+                        if profiler is not None:
+                            mark = perf_counter()
+                        controller.observe_batch(
+                            tick,
+                            int(action),
+                            windows=tier_windows,
+                            predictions=detected.predictions,
+                            labels=tier_labels,
+                            scores=detected.anomaly_scores,
+                        )
+                        if profiler is not None:
+                            profiler.add("adapt", perf_counter() - mark)
+            if controller is not None:
+                # The tick boundary: drift decisions, gated retrains and
+                # atomic detector swaps happen between ticks, never inside
+                # one, so no batch sees a half-updated model.
+                if profiler is not None:
+                    mark = perf_counter()
+                controller.end_tick(tick)
+                if profiler is not None:
+                    profiler.add("adapt", perf_counter() - mark)
+
+    def _stream_legacy(self, fleet: DeviceFleet, metrics: StreamingMetrics) -> None:
+        """The per-window reference loop (the fast path's oracle)."""
+        system = self.system
+        controller = self.controller
+        profiler = self.profiler
+        for tick in range(self.spec.ticks):
+            if profiler is not None:
+                mark = perf_counter()
+            arrivals, online = fleet.arrivals(tick)
+            if profiler is not None:
+                profiler.add("arrivals", perf_counter() - mark)
+            metrics.record_uptime(online, len(fleet) - online)
+            if arrivals:
+                if profiler is not None:
+                    mark = perf_counter()
+                windows = np.stack([arrival.window for arrival in arrivals])
+                labels = np.asarray(
+                    [arrival.label for arrival in arrivals], dtype=int
+                )
+                contexts = self.context_extractor.extract(windows)
+                actions = self.policy.select_actions(contexts, greedy=True)
+                if profiler is not None:
+                    profiler.add("context_policy", perf_counter() - mark)
+                for action in np.unique(actions):
+                    chosen = np.flatnonzero(actions == action)
+                    if profiler is not None:
+                        mark = perf_counter()
+                    records = system.detect_batch(
+                        int(action), windows[chosen], ground_truths=labels[chosen]
+                    )
+                    predictions = np.asarray([r.prediction for r in records])
+                    if profiler is not None:
+                        now = perf_counter()
+                        profiler.add("detect", now - mark)
+                        mark = now
+                    metrics.observe(
+                        tick,
+                        int(action),
+                        predictions=predictions,
+                        labels=labels[chosen],
+                        delays_ms=np.asarray([r.delay_ms for r in records]),
+                    )
+                    if profiler is not None:
+                        profiler.add("metrics", perf_counter() - mark)
+                    if self.controller is not None:
+                        if profiler is not None:
+                            mark = perf_counter()
+                        self.controller.observe_batch(
+                            tick,
+                            int(action),
+                            windows=windows[chosen],
+                            predictions=predictions,
+                            labels=labels[chosen],
+                            scores=np.asarray(
+                                [r.anomaly_score for r in records]
+                            ),
+                        )
+                        if profiler is not None:
+                            profiler.add("adapt", perf_counter() - mark)
+            if controller is not None:
+                if profiler is not None:
+                    mark = perf_counter()
+                controller.end_tick(tick)
+                if profiler is not None:
+                    profiler.add("adapt", perf_counter() - mark)
 
     def run(self) -> FleetReport:
         """Stream the fleet and assemble the :class:`FleetReport`."""
@@ -176,7 +342,7 @@ class FleetEngine:
 
 
 def _run_shard_worker(payload: dict) -> StreamingMetrics:
-    """Module-level shard entry point (must be picklable for the pool)."""
+    """In-process shard entry point (serial shards and the pool fallback)."""
     engine = FleetEngine(**payload)
     return engine.run_metrics()
 
@@ -187,6 +353,14 @@ class ShardedFleetEngine:
     Multi-shard runs require jitter-free links (the paper's configuration):
     per-transfer jitter draws would come from each shard's own link replicas
     and so depend on the partitioning, which would break the merge contract.
+
+    ``parallel`` accepts ``True`` (always fork the worker pool), ``False``
+    (always run shards serially in-process) and ``"auto"`` (the default:
+    fork only when the host actually has more than one CPU to run workers
+    on — a single-core host pays fork/IPC overhead for pure time-slicing,
+    which is exactly what made multi-shard runs *slower* than one shard).
+    Attaching a profiler forces serial shards (per-stage wall-clock across
+    forked workers would not add up to anything meaningful).
     """
 
     def __init__(
@@ -200,8 +374,10 @@ class ShardedFleetEngine:
         name: str = "fleet",
         tier_names: Optional[Sequence[str]] = None,
         n_shards: Optional[int] = None,
-        parallel: bool = True,
+        parallel: Union[bool, str] = "auto",
         controller=None,
+        columnar: bool = True,
+        profiler: Optional[StageProfiler] = None,
     ) -> None:
         self.n_shards = int(n_shards) if n_shards is not None else spec.n_shards
         if self.n_shards <= 0:
@@ -209,6 +385,10 @@ class ShardedFleetEngine:
         if self.n_shards > spec.n_devices:
             raise ConfigurationError(
                 f"n_shards ({self.n_shards}) cannot exceed n_devices ({spec.n_devices})"
+            )
+        if parallel not in (True, False, "auto"):
+            raise ConfigurationError(
+                f"parallel must be True, False or 'auto', got {parallel!r}"
             )
         self.system = system
         self.policy = policy
@@ -220,8 +400,10 @@ class ShardedFleetEngine:
         self.tier_names = tuple(tier_names) if tier_names else _default_tier_names(
             system.n_layers
         )
-        self.parallel = bool(parallel)
+        self.parallel = parallel
         self.controller = controller
+        self.columnar = bool(columnar)
+        self.profiler = profiler
         if self.n_shards > 1 and any(
             link.jitter_ms > 0.0 for link in system.topology.links
         ):
@@ -234,39 +416,62 @@ class ShardedFleetEngine:
                 "partitioning); set link jitter_ms=0 or use n_shards=1"
             )
 
-    def _shard_payloads(self) -> List[dict]:
-        partitions = np.array_split(np.arange(self.spec.n_devices), self.n_shards)
+    def _resolve_parallel(self) -> bool:
+        if self.parallel is False or self.profiler is not None:
+            return False
+        if self.parallel == "auto":
+            # Only the CPU count matters: run_sharded itself picks the
+            # transport (fork-shared state where fork exists, SharedMemory
+            # pool shipping on spawn-only platforms).
+            return sharding.available_cpus() > 1
+        return True
+
+    def _shared_kwargs(self) -> dict:
+        return {
+            "system": self.system,
+            "policy": self.policy,
+            "context_extractor": self.context_extractor,
+            "spec": self.spec,
+            "pool": self.pool,
+            "master_seed": self.master_seed,
+            "name": self.name,
+            "tier_names": self.tier_names,
+            "columnar": self.columnar,
+        }
+
+    def _partitions(self) -> List[List[int]]:
         return [
-            {
-                "system": self.system,
-                "policy": self.policy,
-                "context_extractor": self.context_extractor,
-                "spec": self.spec,
-                "pool": self.pool,
-                "master_seed": self.master_seed,
-                "name": self.name,
-                "tier_names": self.tier_names,
-                "device_ids": partition.tolist(),
-            }
-            for partition in partitions
+            partition.tolist()
+            for partition in np.array_split(np.arange(self.spec.n_devices), self.n_shards)
         ]
 
+    def _shard_payloads(self) -> List[dict]:
+        shared = self._shared_kwargs()
+        payloads = [
+            {**shared, "device_ids": partition, "profiler": self.profiler}
+            for partition in self._partitions()
+        ]
+        return payloads
+
     def _run_shards(self) -> List[StreamingMetrics]:
-        payloads = self._shard_payloads()
-        if self.n_shards == 1 or not self.parallel:
+        if self.n_shards == 1 or not self._resolve_parallel():
             # In-process path: FleetEngine.run_metrics resets the shared
             # system before each shard, so sequential shards stay isolated.
-            return [_run_shard_worker(payload) for payload in payloads]
+            return [_run_shard_worker(payload) for payload in self._shard_payloads()]
         try:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else methods[0]
+            return sharding.run_sharded(
+                self._shared_kwargs(), self._partitions(), self.n_shards
             )
-            with context.Pool(processes=self.n_shards) as worker_pool:
-                # map() preserves shard order, which the merge relies on.
-                return worker_pool.map(_run_shard_worker, payloads)
-        except (OSError, ValueError, multiprocessing.ProcessError):
-            return [_run_shard_worker(payload) for payload in payloads]
+        except ReproError:
+            # Application errors raised inside a worker (configuration/shape
+            # problems) are not pool failures: re-running them serially would
+            # double the wall-clock only to raise the same error, behind a
+            # warning blaming parallelism.  ConfigurationError/ShapeError also
+            # subclass ValueError, so this re-raise must precede the catch.
+            raise
+        except (OSError, ValueError, multiprocessing.ProcessError) as exc:
+            _warn_pool_fallback_once(exc)
+            return [_run_shard_worker(payload) for payload in self._shard_payloads()]
 
     def run(self) -> FleetReport:
         """Run every shard, merge in shard order and assemble the report."""
@@ -296,6 +501,8 @@ class ShardedFleetEngine:
                 name=self.name,
                 tier_names=self.tier_names,
                 controller=self.controller,
+                columnar=self.columnar,
+                profiler=self.profiler,
             ).run()
         parts = self._run_shards()
         metrics = StreamingMetrics.merge(

@@ -26,38 +26,90 @@ _MERGE_TAG = 0x5EED
 
 
 class DelayReservoir:
-    """Bounded uniform sample of a delay stream (Vitter's algorithm R)."""
+    """Bounded uniform sample of a delay stream (Vitter's algorithm R).
+
+    The replacement slot for the ``i``-th overflow sample is drawn as
+    ``floor(u * seen)`` from one uniform ``u`` — a formulation chosen because
+    a batch of uniforms is stream-equivalent to the same scalar draws, which
+    lets :meth:`extend` vectorise the whole replacement phase while staying
+    draw-for-draw identical to repeated :meth:`add` calls (pinned by test).
+    The samples live in a preallocated array; :attr:`values` presents them as
+    a list for the merge/serialisation API.
+    """
 
     def __init__(self, capacity: int, seed_entropy: Sequence[int]) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"reservoir capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
-        self.values: List[float] = []
+        self._store = np.empty(self.capacity, dtype=float)
+        self._size = 0
         self.seen = 0
         self._rng = np.random.default_rng(
             np.random.SeedSequence([int(e) & 0xFFFFFFFF for e in seed_entropy])
         )
 
+    @property
+    def values(self) -> List[float]:
+        """The sampled delays, in slot order."""
+        return self._store[: self._size].tolist()
+
+    @values.setter
+    def values(self, new_values) -> None:
+        new_values = np.asarray(list(new_values), dtype=float)
+        if new_values.size > self.capacity:
+            raise ConfigurationError(
+                f"cannot hold {new_values.size} samples in a reservoir of "
+                f"capacity {self.capacity}"
+            )
+        self._size = int(new_values.size)
+        self._store[: self._size] = new_values
+
     def add(self, value: float) -> None:
         """Offer one sample to the reservoir."""
         self.seen += 1
-        if len(self.values) < self.capacity:
-            self.values.append(float(value))
+        if self._size < self.capacity:
+            self._store[self._size] = value
+            self._size += 1
             return
-        slot = int(self._rng.integers(self.seen))
+        slot = int(self._rng.random() * self.seen)
         if slot < self.capacity:
-            self.values[slot] = float(value)
+            self._store[slot] = value
 
     def extend(self, values) -> None:
-        """Offer a batch of samples in order."""
-        for value in values:
-            self.add(value)
+        """Offer a batch of samples in order.
+
+        Draw-for-draw identical to calling :meth:`add` per value: the fill
+        phase is bulk-copied (no RNG), and the replacement phase draws one
+        uniform batch (stream-equivalent to the scalar draws) and applies the
+        slot writes with NumPy's last-write-wins fancy assignment — the same
+        final state as sequential overwrites.
+        """
+        values = np.asarray(values, dtype=float)
+        if not values.size:
+            return
+        free = self.capacity - self._size
+        if free > 0:
+            head = values[:free]
+            self._store[self._size: self._size + head.size] = head
+            self._size += int(head.size)
+            self.seen += int(head.size)
+            values = values[free:]
+        overflow = int(values.size)
+        if not overflow:
+            return
+        draws = self._rng.random(overflow)
+        bounds = self.seen + 1 + np.arange(overflow)
+        slots = (draws * bounds).astype(np.int64)
+        self.seen += overflow
+        hits = slots < self.capacity
+        if hits.any():
+            self._store[slots[hits]] = values[hits]
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile of the sampled delays (0 when empty)."""
-        if not self.values:
+        if not self._size:
             return 0.0
-        return float(np.percentile(np.asarray(self.values), q))
+        return float(np.percentile(self._store[: self._size], q))
 
     @classmethod
     def merge(cls, parts: Sequence["DelayReservoir"], seed_entropy: Sequence[int]
@@ -170,6 +222,66 @@ class StreamingMetrics:
     def n_windows(self) -> int:
         """Total number of windows evaluated so far."""
         return int(self.confusion.sum())
+
+    # -- transport ---------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A compact, picklable snapshot of the aggregated counts.
+
+        What a shard worker ships back instead of the whole aggregator: the
+        count arrays plus the reservoir's sample — everything
+        :meth:`merge` reads — and nothing else (in particular no RNG state,
+        which the merge re-derives from its own seed entropy).
+        """
+        return {
+            "ticks": self.ticks,
+            "metrics_window": self.metrics_window,
+            "n_layers": self.n_layers,
+            "confusion": self.confusion,
+            "windowed_confusion": self.windowed_confusion,
+            "windowed_delay_sum": self.windowed_delay_sum,
+            "layer_requests": self.layer_requests,
+            "layer_delay_sum": self.layer_delay_sum,
+            "layer_anomalies": self.layer_anomalies,
+            "delay_sum": self.delay_sum,
+            "delay_max": self.delay_max,
+            "online_device_ticks": self.online_device_ticks,
+            "offline_device_ticks": self.offline_device_ticks,
+            "reservoir_capacity": self.reservoir.capacity,
+            "reservoir_seen": self.reservoir.seen,
+            "reservoir_values": list(self.reservoir.values),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StreamingMetrics":
+        """Rebuild an aggregator from :meth:`to_payload` (for merging).
+
+        The reconstructed reservoir carries the shard's sample and ``seen``
+        count but a fresh placeholder RNG — it exists to be merged, not to
+        keep sampling.
+        """
+        metrics = cls(
+            ticks=int(payload["ticks"]),
+            metrics_window=int(payload["metrics_window"]),
+            n_layers=int(payload["n_layers"]),
+            reservoir_size=int(payload["reservoir_capacity"]),
+            seed_entropy=(0,),
+        )
+        metrics.confusion = np.asarray(payload["confusion"], dtype=np.int64)
+        metrics.windowed_confusion = np.asarray(
+            payload["windowed_confusion"], dtype=np.int64
+        )
+        metrics.windowed_delay_sum = np.asarray(payload["windowed_delay_sum"], dtype=float)
+        metrics.layer_requests = np.asarray(payload["layer_requests"], dtype=np.int64)
+        metrics.layer_delay_sum = np.asarray(payload["layer_delay_sum"], dtype=float)
+        metrics.layer_anomalies = np.asarray(payload["layer_anomalies"], dtype=np.int64)
+        metrics.delay_sum = float(payload["delay_sum"])
+        metrics.delay_max = float(payload["delay_max"])
+        metrics.online_device_ticks = int(payload["online_device_ticks"])
+        metrics.offline_device_ticks = int(payload["offline_device_ticks"])
+        metrics.reservoir.seen = int(payload["reservoir_seen"])
+        metrics.reservoir.values = [float(v) for v in payload["reservoir_values"]]
+        return metrics
 
     @classmethod
     def merge(

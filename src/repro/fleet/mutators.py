@@ -16,11 +16,24 @@ The four concrete mutators are the scenarios the paper's fleet premise
 implies but the offline replay could never exercise: gradual concept drift,
 bursty fleet-wide anomaly episodes, device churn/dropout, and per-device
 phase jitter.
+
+Each hook also has a *columnar* counterpart consumed by the streaming fast
+path (:meth:`~repro.fleet.devices.DeviceFleet.arrivals_columnar`):
+:meth:`StreamMutator.online_batch` / :meth:`StreamMutator.anomaly_rate_batch`
+evaluate the pure per-device hooks over the whole fleet at once,
+:meth:`StreamMutator.transform_draw` makes exactly the RNG draws
+:meth:`StreamMutator.transform` would make for one window (so the per-device
+streams stay bit-identical), and :meth:`StreamMutator.transform_batch`
+applies the window math to a stacked ``(n, *window_shape)`` batch.  The
+columnar hooks must mirror the per-window hooks element for element — the
+built-ins do, and the fast path falls back to the per-window reference for
+subclasses that override :meth:`StreamMutator.transform` without providing a
+batch counterpart.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -49,6 +62,64 @@ class StreamMutator:
     ) -> np.ndarray:
         """The emitted view of a sampled pool window."""
         return window
+
+    # -- columnar counterparts (the streaming fast path) -------------------------
+
+    def stack_states(self, states: Sequence[Dict[str, Any]]):
+        """A columnar view of the per-device states (``None`` when not needed).
+
+        Computed once per fleet and handed back to every
+        :meth:`online_batch` / :meth:`anomaly_rate_batch` /
+        :meth:`transform_batch` call, so batch hooks never re-stack per tick.
+        """
+        return None
+
+    def online_batch(self, stacked, states: Sequence[Dict[str, Any]], tick: int) -> np.ndarray:
+        """Per-device online mask at ``tick`` (mirrors :meth:`online` row-wise)."""
+        return np.fromiter(
+            (self.online(state, tick) for state in states), dtype=bool, count=len(states)
+        )
+
+    def anomaly_rate_batch(
+        self, base_rates: np.ndarray, stacked, states: Sequence[Dict[str, Any]], tick: int
+    ) -> np.ndarray:
+        """Per-device anomaly rates at ``tick`` (mirrors :meth:`anomaly_rate`)."""
+        return np.fromiter(
+            (
+                self.anomaly_rate(float(rate), state, tick)
+                for rate, state in zip(base_rates, states)
+            ),
+            dtype=float,
+            count=len(states),
+        )
+
+    def transform_draw(self, state: Dict[str, Any], rng: np.random.Generator):
+        """The RNG values :meth:`transform` would draw for one window.
+
+        Called at the exact stream position where :meth:`transform` would have
+        drawn, keeping a device's RNG stream bit-identical between the
+        per-window and columnar paths.  ``None`` means the transform draws
+        nothing (the base class and every built-in except phase jitter).
+        """
+        return None
+
+    def transform_batch(
+        self,
+        windows: np.ndarray,
+        stacked,
+        rows: np.ndarray,
+        tick: int,
+        draws: Optional[List],
+    ) -> np.ndarray:
+        """Apply this mutator to a stacked batch (mirrors :meth:`transform`).
+
+        ``windows`` is the ``(n, *window_shape)`` float batch (safe to modify
+        in place — the fast path owns it), ``rows`` maps each window to its
+        device's position in the fleet, and ``draws`` carries the per-window
+        :meth:`transform_draw` results in arrival order.  The base transform
+        is the identity, so the base batch hook is too.
+        """
+        return windows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -82,6 +153,17 @@ class ConceptDrift(StreamMutator):
             tick = min(tick, self.saturation_tick)
         return window + self.drift_per_tick * tick * state["drift_direction"]
 
+    def stack_states(self, states):
+        return np.stack([state["drift_direction"] for state in states])
+
+    def transform_batch(self, windows, stacked, rows, tick, draws):
+        if self.saturation_tick > 0:
+            tick = min(tick, self.saturation_tick)
+        # Same per-element float ops as transform(): (drift * tick) scales the
+        # unit direction, then one elementwise add — bit-identical per window.
+        windows += self.drift_per_tick * tick * stacked[rows]
+        return windows
+
 
 class AnomalyBurst(StreamMutator):
     """Fleet-wide bursty anomaly episodes.
@@ -108,6 +190,11 @@ class AnomalyBurst(StreamMutator):
 
     def anomaly_rate(self, base_rate, state, tick):
         return self.burst_anomaly_rate if self.in_burst(tick) else base_rate
+
+    def anomaly_rate_batch(self, base_rates, stacked, states, tick):
+        if self.in_burst(tick):
+            return np.full(len(states), self.burst_anomaly_rate)
+        return np.asarray(base_rates, dtype=float)
 
 
 class DeviceChurn(StreamMutator):
@@ -139,6 +226,17 @@ class DeviceChurn(StreamMutator):
             return True
         return (tick + state["churn_phase"]) % self.period >= self.offline_ticks
 
+    def stack_states(self, states):
+        return {
+            "churns": np.array([state["churns"] for state in states], dtype=bool),
+            "phases": np.array([state["churn_phase"] for state in states], dtype=np.int64),
+        }
+
+    def online_batch(self, stacked, states, tick):
+        return ~stacked["churns"] | (
+            (tick + stacked["phases"]) % self.period >= self.offline_ticks
+        )
+
 
 class PhaseJitter(StreamMutator):
     """Per-device phase misalignment: windows arrive circularly shifted.
@@ -162,3 +260,25 @@ class PhaseJitter(StreamMutator):
         if shift == 0:
             return window
         return np.roll(window, shift, axis=0)
+
+    def stack_states(self, states):
+        return np.array([state["base_shift"] for state in states], dtype=np.int64)
+
+    def transform_draw(self, state, rng):
+        if self.max_shift:
+            return int(rng.integers(-1, 2))
+        return None
+
+    def transform_batch(self, windows, stacked, rows, tick, draws):
+        shifts = stacked[rows]
+        if self.max_shift:
+            shifts = shifts + np.asarray(draws, dtype=np.int64)
+        length = windows.shape[1]
+        shifts = shifts % length
+        moved = np.flatnonzero(shifts)
+        if moved.size:
+            # result[i] = window[(i - shift) % length] is exactly np.roll along
+            # axis 0 — a pure permutation, so the values stay bit-identical.
+            gather = (np.arange(length)[None, :] - shifts[moved, None]) % length
+            windows[moved] = windows[moved][np.arange(moved.size)[:, None], gather]
+        return windows

@@ -1,0 +1,68 @@
+"""Per-stage wall-clock profiling for the streaming engines.
+
+A :class:`StageProfiler` splits a fleet run's wall-clock into the five
+streaming stages — arrivals, context+policy, detect, metrics, adapt — so a
+perf investigation starts from a measured breakdown instead of guesses
+(``repro fleet --profile`` prints it).  The engine only touches the profiler
+through :meth:`StageProfiler.add`, and only when one is attached, so the
+unprofiled hot loop pays a single ``is None`` check per stage per tick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: The streaming stages, in loop order.
+STAGES = ("arrivals", "context_policy", "detect", "metrics", "adapt")
+
+_LABELS = {
+    "arrivals": "arrivals (device draws + window assembly)",
+    "context_policy": "context + policy (extract, select actions)",
+    "detect": "detect (detector forward, scoring, delays)",
+    "metrics": "metrics (online aggregation)",
+    "adapt": "adapt (controller feed + tick boundary)",
+}
+
+
+class StageProfiler:
+    """Accumulates wall-clock seconds per streaming stage."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {stage: 0.0 for stage in STAGES}
+        #: Wall-clock of the whole run (set by the engine; includes fleet
+        #: construction and everything the stages do not cover).
+        self.total_seconds: Optional[float] = None
+        self.n_windows = 0
+        self.ticks = 0
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Fold ``seconds`` into ``stage`` (unknown stages are an error)."""
+        self.seconds[stage] += float(seconds)
+
+    @property
+    def accounted_seconds(self) -> float:
+        """Seconds attributed to a stage (the rest is engine overhead)."""
+        return float(sum(self.seconds.values()))
+
+    def summary(self) -> str:
+        """A printable per-stage breakdown."""
+        total = self.total_seconds if self.total_seconds else self.accounted_seconds
+        lines = ["per-stage wall-clock breakdown:"]
+        for stage in STAGES:
+            seconds = self.seconds[stage]
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(f"  {_LABELS[stage]:<50s} {seconds:8.3f} s  ({share:5.1f}%)")
+        if self.total_seconds is not None:
+            other = max(0.0, self.total_seconds - self.accounted_seconds)
+            share = 100.0 * other / total if total else 0.0
+            lines.append(
+                f"  {'other (fleet construction, engine glue)':<50s} "
+                f"{other:8.3f} s  ({share:5.1f}%)"
+            )
+            lines.append(f"  {'total':<50s} {self.total_seconds:8.3f} s")
+        if self.total_seconds and self.n_windows:
+            lines.append(
+                f"  throughput: {self.n_windows / self.total_seconds:,.0f} windows/s "
+                f"({self.n_windows} windows over {self.ticks} ticks)"
+            )
+        return "\n".join(lines)

@@ -29,6 +29,51 @@ from repro.hec.topology import HECTopology
 from repro.utils.timer import SimulatedClock
 
 
+def _as_float64_batch(windows: np.ndarray) -> np.ndarray:
+    """``windows`` as a float64 ndarray, skipping the copy when it already is.
+
+    ``np.asarray`` is already a no-op for a C-contiguous float64 array, but
+    the streaming fast path hands freshly stacked float64 batches straight
+    back in — the explicit short-circuit documents (and tests pin) that the
+    hot path never re-copies what the engine just built.
+    """
+    if (
+        type(windows) is np.ndarray
+        and windows.dtype == np.float64
+        and windows.flags.c_contiguous
+    ):
+        return windows
+    return np.asarray(windows, dtype=float)
+
+
+@dataclass(frozen=True)
+class BatchDetectionResult:
+    """One batched detection outcome as aligned arrays (the columnar view).
+
+    What :meth:`HECSystem.detect_batch_columnar` returns instead of a list of
+    :class:`DetectionRecord` objects: exactly the per-window fields the
+    streaming metrics and the adaptation loop consume, with no delay
+    breakdowns, no per-window records and nothing to tear back apart.
+    """
+
+    layer: int
+    #: ``(n,)`` int64 binary predictions (1 = anomaly reported).
+    predictions: np.ndarray
+    #: ``(n,)`` float64 window anomaly scores (minimum logPD).
+    anomaly_scores: np.ndarray
+    #: ``(n,)`` float64 end-to-end delays.
+    delays_ms: np.ndarray
+    #: ``(n,)`` bool confidence-rule outcomes — ``None`` unless the caller
+    #: asked for them (streaming consumers never do; the Successive scheme's
+    #: escalation logic is the confidence rules' only customer).
+    confidents: Optional[np.ndarray] = None
+
+    @property
+    def n(self) -> int:
+        """Number of windows in the batch."""
+        return int(self.predictions.shape[0])
+
+
 @dataclass
 class DetectionRecord:
     """Everything known about one detection request handled by the HEC system."""
@@ -95,6 +140,16 @@ class HECSystem:
             layer: LayerCounters() for layer in range(topology.n_layers)
         }
         self._request_counter = 0
+        #: Monotone counter bumped whenever the deployed model set changes
+        #: (hot-swaps).  Consumers that snapshot the system — the sharded
+        #: engine's forked worker pools — key their snapshots on it so a
+        #: swap invalidates them (see :mod:`repro.fleet.sharding`).
+        self.state_version = 0
+
+    def bump_state_version(self) -> int:
+        """Mark the deployed model set as changed; returns the new version."""
+        self.state_version += 1
+        return self.state_version
 
     # -- introspection -------------------------------------------------------------
 
@@ -199,7 +254,7 @@ class HECSystem:
         spent at lower layers (the Successive scheme's batched escalation).
         """
         deployment = self.deployment_at(layer)
-        windows = np.asarray(windows, dtype=float)
+        windows = _as_float64_batch(windows)
         if windows.ndim < 2:
             raise ShapeError(
                 f"detect_batch expects a batch of windows (n, ...), got shape {windows.shape}"
@@ -248,20 +303,117 @@ class HECSystem:
             counters.anomalies_reported += record.prediction
         return records
 
-    def _batch_delay_breakdowns(
+    def detect_batch_columnar(
+        self,
+        layer: int,
+        windows: np.ndarray,
+        with_confidence: bool = False,
+    ) -> BatchDetectionResult:
+        """Handle a batch of detection requests, returning arrays not records.
+
+        The streaming fast path: one detector forward (identical batching to
+        :meth:`detect_batch`, so predictions/scores are bit-identical to the
+        record path's), per-window delays as one array, and bulk bookkeeping.
+        Per-window values — predictions, anomaly scores, delays — match
+        :meth:`detect_batch` element for element, including the per-transfer
+        jitter draw order on jittery links.  Only the float *accumulation*
+        order of the clock and the per-layer counters differs (one batched
+        advance instead of ``n`` sequential ones), which is why the streaming
+        metrics consume the returned arrays rather than those counters.
+
+        ``with_confidence`` opts into the confidence-rule outcomes
+        (``result.confidents``); streaming consumers never read them, so the
+        default skips those detector passes entirely.
+
+        With :attr:`record_log` enabled the call routes through
+        :meth:`detect_batch` so the event log keeps its one-record-per-request
+        contract; the fast path engages only for log-free streaming.
+        """
+        if self.record_log:
+            records = self.detect_batch(layer, windows)
+            n = len(records)
+            return BatchDetectionResult(
+                layer=int(layer),
+                predictions=np.fromiter(
+                    (r.prediction for r in records), dtype=np.int64, count=n
+                ),
+                anomaly_scores=np.fromiter(
+                    (r.anomaly_score for r in records), dtype=float, count=n
+                ),
+                delays_ms=np.fromiter(
+                    (r.delay_ms for r in records), dtype=float, count=n
+                ),
+                confidents=np.fromiter(
+                    (r.confident for r in records), dtype=bool, count=n
+                ),
+            )
+        deployment = self.deployment_at(layer)
+        windows = _as_float64_batch(windows)
+        if windows.ndim < 2:
+            raise ShapeError(
+                f"detect_batch_columnar expects a batch of windows (n, ...), "
+                f"got shape {windows.shape}"
+            )
+        n = windows.shape[0]
+        if n == 0:
+            return BatchDetectionResult(
+                layer=int(layer),
+                predictions=np.empty(0, dtype=np.int64),
+                anomaly_scores=np.empty(0),
+                delays_ms=np.empty(0),
+                confidents=np.empty(0, dtype=bool) if with_confidence else None,
+            )
+
+        is_anomaly, confident, scores, _ = deployment.detector.detect_arrays(
+            windows, with_confidence=with_confidence
+        )
+        predictions = is_anomaly.astype(np.int64)
+
+        first, steady, jittery = self._batch_delay_profile(
+            layer, windows.shape[1:], n, deployment
+        )
+        delays = np.empty(n)
+        delays[0] = first.total_ms
+        if steady is not None:
+            delays[1:] = steady.total_ms
+        elif jittery:
+            delays[1:] = [breakdown.total_ms for breakdown in jittery]
+
+        total_delay = float(delays.sum())
+        self.clock.advance(total_delay)
+        self._request_counter += n
+        counters = self.layer_counters[layer]
+        counters.requests += n
+        counters.total_execution_ms += deployment.execution_time_ms * n
+        counters.total_delay_ms += total_delay
+        counters.anomalies_reported += int(predictions.sum())
+        return BatchDetectionResult(
+            layer=int(layer),
+            predictions=predictions,
+            confidents=confident,
+            anomaly_scores=scores,
+            delays_ms=delays,
+        )
+
+    def _batch_delay_profile(
         self,
         layer: int,
         window_shape: tuple,
         n: int,
         deployment: ModelDeployment,
-    ) -> List[DelayBreakdown]:
-        """Per-window delay breakdowns for ``n`` same-shaped requests at ``layer``.
+    ):
+        """The single source of per-batch delay computation and link accounting.
 
-        The first request may pay connection setup; from the second request on,
-        jitter-free links make every breakdown identical, so the remaining ones
-        are copies of a single steady-state computation and the link traffic
-        counters are advanced in bulk.  Jittery links fall back to computing
-        each breakdown (this preserves the per-transfer RNG draws).
+        Returns ``(first, steady, jittery)``: the first request's breakdown
+        (which may pay connection setup), then either a steady-state
+        breakdown the remaining ``n - 1`` requests replicate (jitter-free
+        links — the traffic counters for the ``n - 2`` uncomputed transfers
+        are advanced in bulk here) or, on jittery links, the per-window
+        breakdowns for requests ``1..n-1`` computed in order (``steady`` is
+        ``None``) so the per-transfer RNG draws match sequential handling.
+        Both the record path (:meth:`detect_batch`) and the columnar path
+        (:meth:`detect_batch_columnar`) consume this profile, so the
+        invariant cannot drift between them.
         """
         payload = window_payload_bytes(window_shape)
         links = self.topology.links_to(layer)
@@ -274,28 +426,48 @@ class HECSystem:
                 payload_bytes=payload,
             )
 
-        breakdowns = [one_breakdown()]
+        first = one_breakdown()
         if n == 1:
-            return breakdowns
+            return first, None, []
         if any(link.jitter_ms > 0.0 for link in links):
-            breakdowns.extend(one_breakdown() for _ in range(n - 1))
-            return breakdowns
-
+            return first, None, [one_breakdown() for _ in range(n - 1)]
         steady = one_breakdown()
-        breakdowns.append(steady)
-        for _ in range(n - 2):
-            breakdowns.append(
-                DelayBreakdown(
-                    layer=steady.layer,
-                    uplink_ms=steady.uplink_ms,
-                    execution_ms=steady.execution_ms,
-                    downlink_ms=steady.downlink_ms,
-                    hops=list(steady.hops),
-                )
-            )
         for link in links:
             link.record_transfers(payload, n - 2)
             link.record_transfers(RESULT_PAYLOAD_BYTES, n - 2)
+        return first, steady, None
+
+    def _batch_delay_breakdowns(
+        self,
+        layer: int,
+        window_shape: tuple,
+        n: int,
+        deployment: ModelDeployment,
+    ) -> List[DelayBreakdown]:
+        """Per-window delay breakdowns for ``n`` same-shaped requests at ``layer``.
+
+        Materialises one :class:`DelayBreakdown` per request from
+        :meth:`_batch_delay_profile` (steady-state breakdowns are replicated
+        as copies so escalation merging never aliases).
+        """
+        first, steady, jittery = self._batch_delay_profile(
+            layer, window_shape, n, deployment
+        )
+        breakdowns = [first]
+        if steady is not None:
+            breakdowns.append(steady)
+            for _ in range(n - 2):
+                breakdowns.append(
+                    DelayBreakdown(
+                        layer=steady.layer,
+                        uplink_ms=steady.uplink_ms,
+                        execution_ms=steady.execution_ms,
+                        downlink_ms=steady.downlink_ms,
+                        hops=list(steady.hops),
+                    )
+                )
+        elif jittery:
+            breakdowns.extend(jittery)
         return breakdowns
 
     # -- bookkeeping -----------------------------------------------------------------------

@@ -1,0 +1,217 @@
+"""Equivalence tests for the columnar detection path.
+
+``HECSystem.detect_batch_columnar`` and the detectors' ``detect_arrays``
+must reproduce the record-based ``detect_batch``/``detect`` outcomes element
+for element — predictions, confidence flags, anomaly scores, delays and the
+integer bookkeeping — including the per-transfer jitter draw order on
+jittery links.  Only the float *accumulation* order of the clock and the
+per-layer counters is allowed to differ (one batched advance instead of
+``n`` sequential ones), which the tests pin with ``approx``.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.hec.simulation import BatchDetectionResult, _as_float64_batch
+
+
+def _columnar_from_records(records):
+    return (
+        np.array([r.prediction for r in records], dtype=np.int64),
+        np.array([r.confident for r in records], dtype=bool),
+        np.array([r.anomaly_score for r in records]),
+        np.array([r.delay_ms for r in records]),
+    )
+
+
+class TestDetectBatchColumnar:
+    @pytest.mark.parametrize("layer", [0, 1, 2])
+    def test_matches_detect_batch(self, univariate_hec, layer):
+        system, _deployments, _detectors, windows, labels = univariate_hec
+        batch = windows[:10]
+
+        reference = copy.deepcopy(system)
+        reference.reset()
+        reference.record_log = False
+        records = reference.detect_batch(layer, batch)
+
+        system.reset()
+        system.record_log = False
+        try:
+            result = system.detect_batch_columnar(layer, batch, with_confidence=True)
+        finally:
+            system.record_log = True
+
+        predictions, confidents, scores, delays = _columnar_from_records(records)
+        assert isinstance(result, BatchDetectionResult)
+        assert result.layer == layer
+        assert np.array_equal(result.predictions, predictions)
+        assert np.array_equal(result.confidents, confidents)
+        assert np.array_equal(result.anomaly_scores, scores)
+        assert np.array_equal(result.delays_ms, delays)
+        # Integer bookkeeping is exact; float accumulation order may differ.
+        ref_counters = reference.layer_counters[layer]
+        col_counters = system.layer_counters[layer]
+        assert col_counters.requests == ref_counters.requests
+        assert col_counters.anomalies_reported == ref_counters.anomalies_reported
+        assert col_counters.total_delay_ms == pytest.approx(ref_counters.total_delay_ms)
+        assert col_counters.total_execution_ms == pytest.approx(
+            ref_counters.total_execution_ms
+        )
+        assert system.clock.now_ms == pytest.approx(reference.clock.now_ms)
+        for link_a, link_b in zip(
+            reference.topology.links, system.topology.links
+        ):
+            assert link_a.transfer_count == link_b.transfer_count
+            assert link_a.transferred_bytes == pytest.approx(link_b.transferred_bytes)
+
+    def test_matches_detect_batch_on_jittery_links(self, univariate_hec):
+        system, _deployments, _detectors, windows, _labels = univariate_hec
+        jittery = copy.deepcopy(system)
+        for link in jittery.topology.links:
+            link.jitter_ms = 0.25
+        reference = copy.deepcopy(jittery)
+
+        reference.reset()
+        reference.record_log = False
+        records = reference.detect_batch(2, windows[:8])
+
+        jittery.reset()
+        jittery.record_log = False
+        result = jittery.detect_batch_columnar(2, windows[:8])
+
+        _, _, _, delays = _columnar_from_records(records)
+        # Per-window jitter draws happen in the same order, so the delay
+        # stream is bit-identical, not merely statistically equal.
+        assert np.array_equal(result.delays_ms, delays)
+        assert len(set(result.delays_ms)) > 1  # jitter actually varied
+
+    def test_record_log_routes_through_detect_batch(self, univariate_hec):
+        system, _deployments, _detectors, windows, _labels = univariate_hec
+        system.reset()
+        assert system.record_log
+        result = system.detect_batch_columnar(0, windows[:4])
+        # The event log keeps its one-record-per-request contract.
+        assert len(system.records) == 4
+        assert np.array_equal(
+            result.predictions, [r.prediction for r in system.records]
+        )
+        system.reset()
+
+    def test_confidence_skipped_by_default(self, univariate_hec):
+        """Streaming never reads confidence, so the default skips computing it."""
+        system, _deployments, _detectors, windows, _labels = univariate_hec
+        reference = copy.deepcopy(system)
+        reference.reset()
+        reference.record_log = False
+        records = reference.detect_batch(1, windows[:6])
+
+        system.reset()
+        system.record_log = False
+        try:
+            lean = system.detect_batch_columnar(1, windows[:6])
+        finally:
+            system.record_log = True
+        assert lean.confidents is None
+        # The detection rule itself is unchanged by the lean path.
+        assert np.array_equal(lean.predictions, [r.prediction for r in records])
+        assert np.array_equal(lean.anomaly_scores, [r.anomaly_score for r in records])
+
+    def test_empty_batch(self, univariate_hec):
+        system, _deployments, _detectors, windows, _labels = univariate_hec
+        system.reset()
+        system.record_log = False
+        try:
+            result = system.detect_batch_columnar(0, windows[:0])
+        finally:
+            system.record_log = True
+        assert result.n == 0
+        assert result.predictions.shape == (0,)
+        assert system.layer_counters[0].requests == 0
+
+    def test_shape_validation(self, univariate_hec):
+        system, _deployments, _detectors, windows, _labels = univariate_hec
+        system.record_log = False
+        try:
+            with pytest.raises(ShapeError):
+                system.detect_batch_columnar(0, windows[0])  # not a batch
+        finally:
+            system.record_log = True
+
+
+class TestDetectArrays:
+    def test_matches_detect_for_fitted_detector(self, univariate_hec):
+        _system, _deployments, detectors, windows, _labels = univariate_hec
+        for detector in detectors.values():
+            results = detector.detect(windows[:12])
+            is_anomaly, confident, scores, fractions = detector.detect_arrays(
+                windows[:12]
+            )
+            assert np.array_equal(is_anomaly, [r.is_anomaly for r in results])
+            assert np.array_equal(confident, [r.confident for r in results])
+            assert np.array_equal(scores, [r.anomaly_score for r in results])
+            assert np.array_equal(
+                fractions, [r.anomalous_point_fraction for r in results]
+            )
+
+    def test_base_fallback_agrees_with_detect(self, univariate_hec):
+        """A subclass overriding only detect() still gets correct arrays."""
+        from repro.detectors.base import AnomalyDetector
+
+        _system, _deployments, detectors, windows, _labels = univariate_hec
+        inner = next(iter(detectors.values()))
+
+        class OnlyDetect(AnomalyDetector):
+            def __init__(self):
+                super().__init__(name="only-detect")
+
+            def detect(self, batch):
+                return inner.detect(batch)
+
+        wrapped = OnlyDetect()
+        is_anomaly, confident, scores, fractions = wrapped.detect_arrays(windows[:6])
+        results = inner.detect(windows[:6])
+        assert np.array_equal(is_anomaly, [r.is_anomaly for r in results])
+        assert np.array_equal(confident, [r.confident for r in results])
+        assert np.array_equal(scores, [r.anomaly_score for r in results])
+        assert np.array_equal(
+            fractions, [r.anomalous_point_fraction for r in results]
+        )
+
+
+class TestNoCopyFastPath:
+    """Satellite: float64 batches the engine just stacked are never re-copied."""
+
+    def test_float64_contiguous_passes_through(self):
+        batch = np.random.default_rng(0).normal(size=(5, 8))
+        assert _as_float64_batch(batch) is batch
+
+    def test_other_dtypes_are_converted(self):
+        batch = np.arange(10, dtype=np.float32).reshape(2, 5)
+        converted = _as_float64_batch(batch)
+        assert converted.dtype == np.float64
+        assert not np.shares_memory(converted, batch)
+        assert np.array_equal(converted, batch)
+
+    def test_detect_batch_does_not_copy_float64_input(self, univariate_hec):
+        system, _deployments, detectors, windows, _labels = univariate_hec
+        batch = np.ascontiguousarray(windows[:3], dtype=np.float64)
+        seen = {}
+        detector = system.deployment_at(0).detector
+        original = detector.detect
+
+        def spy(arg):
+            seen["windows"] = arg
+            return original(arg)
+
+        detector.detect = spy
+        try:
+            system.reset()
+            system.detect_batch(0, batch)
+        finally:
+            detector.detect = original
+            system.reset()
+        assert np.shares_memory(seen["windows"], batch)

@@ -244,3 +244,181 @@ class TestPhaseJitter:
         device = _device(pool, spec)
         for arrival in device.emit(0):
             assert any(np.array_equal(arrival.window, w) for w in pool.normal)
+
+
+class TestColumnarArrivals:
+    """The struct-of-arrays fast path is bit-identical to the object path."""
+
+    MUTATOR_SETS = {
+        "plain": (),
+        "drift": (MutatorSpec(kind="concept-drift", drift_per_tick=0.05,
+                              drift_saturation_tick=3),),
+        "burst": (MutatorSpec(kind="anomaly-burst", burst_period=4, burst_ticks=2),),
+        "churn": (MutatorSpec(kind="device-churn", churn_fraction=0.5,
+                              offline_ticks=3, churn_period=5),),
+        "jitter": (MutatorSpec(kind="phase-jitter", max_shift=5),),
+        "all": (
+            MutatorSpec(kind="concept-drift", drift_per_tick=0.05),
+            MutatorSpec(kind="device-churn"),
+            MutatorSpec(kind="phase-jitter", max_shift=3),
+            MutatorSpec(kind="anomaly-burst"),
+        ),
+    }
+
+    def _spec(self, mutators):
+        return FleetSpec(
+            n_devices=24, ticks=5, arrival_rate=1.2, anomaly_rate=0.2, seed=3,
+            mutators=mutators,
+        )
+
+    def _assert_equivalent(self, spec, pool, device_ids=None):
+        legacy = DeviceFleet(spec, pool, master_seed=7, device_ids=device_ids)
+        fast = DeviceFleet(spec, pool, master_seed=7, device_ids=device_ids)
+        for tick in range(spec.ticks):
+            batch, online = legacy.arrivals(tick)
+            columnar = fast.arrivals_columnar(tick)
+            assert columnar.online == online
+            assert columnar.n == len(batch)
+            if batch:
+                assert np.array_equal(
+                    columnar.windows, np.stack([a.window for a in batch])
+                )
+                assert np.array_equal(columnar.labels, [a.label for a in batch])
+                assert np.array_equal(
+                    columnar.device_ids, [a.device_id for a in batch]
+                )
+                assert np.array_equal(
+                    columnar.timestamps, [a.timestamp for a in batch]
+                )
+
+    @pytest.mark.parametrize("name", sorted(MUTATOR_SETS))
+    @pytest.mark.parametrize("cached", [True, False])
+    def test_bit_identical_to_reference_path(self, pool, name, cached):
+        from repro.fleet import stream_cache
+
+        stream_cache.clear()
+        previous = stream_cache.set_enabled(cached)
+        try:
+            self._assert_equivalent(self._spec(self.MUTATOR_SETS[name]), pool)
+        finally:
+            stream_cache.set_enabled(previous)
+            stream_cache.clear()
+
+    def test_shard_subset_is_equivalent(self, pool):
+        from repro.fleet import stream_cache
+
+        stream_cache.clear()
+        try:
+            self._assert_equivalent(
+                self._spec(self.MUTATOR_SETS["all"]), pool, device_ids=[2, 9, 17]
+            )
+        finally:
+            stream_cache.clear()
+
+    def test_cached_replay_never_materialises_generators(self, pool):
+        """A full cache hit replays the stream without touching any RNG."""
+        from repro.fleet import stream_cache
+
+        stream_cache.clear()
+        spec = self._spec(self.MUTATOR_SETS["drift"])
+        try:
+            first = DeviceFleet(spec, pool, master_seed=7)
+            generated = [first.arrivals_columnar(tick) for tick in range(spec.ticks)]
+            second = DeviceFleet(spec, pool, master_seed=7)
+            replayed = [second.arrivals_columnar(tick) for tick in range(spec.ticks)]
+            for a, b in zip(generated, replayed):
+                assert np.array_equal(a.windows, b.windows)
+                assert np.array_equal(a.labels, b.labels)
+            # Snapshot-restored devices never needed their generators.
+            assert all(device._rng is None for device in second.devices)
+        finally:
+            stream_cache.clear()
+
+    def test_uncached_access_must_be_sequential(self, pool):
+        from repro.exceptions import ConfigurationError
+        from repro.fleet import stream_cache
+
+        previous = stream_cache.set_enabled(False)
+        try:
+            fleet = DeviceFleet(self._spec(()), pool, master_seed=7)
+            fleet.arrivals_columnar(0)
+            with pytest.raises(ConfigurationError, match="sequentially"):
+                fleet.arrivals_columnar(2)
+        finally:
+            stream_cache.set_enabled(previous)
+
+    def test_custom_transform_mutator_falls_back_to_reference(self, pool):
+        """Overriding transform() without transform_batch() stays correct."""
+        from repro.fleet.mutators import StreamMutator
+
+        class Doubler(StreamMutator):
+            def transform(self, window, state, tick, rng):
+                return window * 2.0
+
+        spec = self._spec(())
+        legacy = DeviceFleet(spec, pool, master_seed=7)
+        fast = DeviceFleet(spec, pool, master_seed=7)
+        mutators = (Doubler(),)
+        for fleet in (legacy, fast):
+            fleet.mutators = mutators
+            for device in fleet.devices:
+                device.mutators = mutators
+                device.states = [m.device_state(device.rng, pool.window_shape)
+                                 for m in mutators]
+        assert not fast.columnar_supported()
+        for tick in range(spec.ticks):
+            batch, online = legacy.arrivals(tick)
+            columnar = fast.arrivals_columnar(tick)
+            assert columnar.online == online
+            assert columnar.n == len(batch)
+            if batch:
+                assert np.array_equal(
+                    columnar.windows, np.stack([a.window for a in batch])
+                )
+
+    def test_custom_batch_aware_mutator_uses_fast_path(self, pool):
+        """A subclass providing both hooks is accepted by the fast path."""
+        from repro.fleet.mutators import StreamMutator
+
+        class Shifter(StreamMutator):
+            def transform(self, window, state, tick, rng):
+                return window + 1.0
+
+            def transform_batch(self, windows, stacked, rows, tick, draws):
+                windows += 1.0
+                return windows
+
+        fleet = DeviceFleet(self._spec(()), pool, master_seed=7)
+        fleet.mutators = (Shifter(),)
+        assert fleet.columnar_supported()
+
+    def test_stream_cache_budget_bounds_memory_not_correctness(self, pool, monkeypatch):
+        """Ticks beyond the per-entry budget stay correct, just uncached."""
+        from repro.fleet import stream_cache
+
+        stream_cache.clear()
+        monkeypatch.setattr(stream_cache, "STREAM_CACHE_MAX_ARRIVALS", 20)
+        spec = self._spec(self.MUTATOR_SETS["drift"])
+        try:
+            reference = DeviceFleet(spec, pool, master_seed=7)
+            expected = [reference.arrivals(tick) for tick in range(spec.ticks)]
+
+            first = DeviceFleet(spec, pool, master_seed=7)
+            for tick in range(spec.ticks):
+                first.arrivals_columnar(tick)
+            entry = stream_cache.stream_entry(first._stream_key)
+            assert entry.cached_arrivals <= 20
+            assert len(entry.chunks) < spec.ticks  # budget actually bit
+
+            # A replaying fleet crosses the budget edge and regenerates.
+            second = DeviceFleet(spec, pool, master_seed=7)
+            for tick, (batch, online) in enumerate(expected):
+                columnar = second.arrivals_columnar(tick)
+                assert columnar.online == online
+                assert columnar.n == len(batch)
+                if batch:
+                    assert np.array_equal(
+                        columnar.windows, np.stack([a.window for a in batch])
+                    )
+        finally:
+            stream_cache.clear()

@@ -228,3 +228,208 @@ class TestRunnerStreamStage:
         )
         report = ExperimentRunner(spec).run_fleet()
         assert report.n_windows > 0
+
+
+class TestColumnarEngine:
+    """The columnar fast path is pinned bit-identical to the legacy loop."""
+
+    def test_columnar_report_equals_legacy_report(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        legacy = FleetEngine(**kwargs, columnar=False).run()
+        columnar = FleetEngine(**kwargs, columnar=True).run()
+        assert columnar == legacy
+
+    def test_columnar_is_the_default(self, trained):
+        spec, runner = trained
+        engine = FleetEngine(**_engine_kwargs(spec, runner))
+        assert engine.columnar
+
+    def test_uncached_columnar_equals_legacy(self, trained):
+        from repro.fleet import stream_cache
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        legacy = FleetEngine(**kwargs, columnar=False).run()
+        previous = stream_cache.set_enabled(False)
+        try:
+            uncached = FleetEngine(**kwargs, columnar=True).run()
+        finally:
+            stream_cache.set_enabled(previous)
+        assert uncached == legacy
+
+    def test_sharded_columnar_flag_propagates(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        fast = ShardedFleetEngine(**kwargs, n_shards=2, columnar=True).run()
+        reference = ShardedFleetEngine(**kwargs, n_shards=2, columnar=False).run()
+        assert fast == reference
+
+    def test_profiler_accounts_the_run(self, trained):
+        from repro.fleet.profiling import STAGES, StageProfiler
+
+        spec, runner = trained
+        profiler = StageProfiler()
+        report = FleetEngine(**_engine_kwargs(spec, runner), profiler=profiler).run()
+        assert profiler.total_seconds is not None
+        assert profiler.total_seconds > 0
+        assert profiler.n_windows == report.n_windows
+        assert profiler.ticks == spec.fleet.ticks
+        assert profiler.seconds["arrivals"] > 0
+        assert profiler.seconds["detect"] > 0
+        assert profiler.accounted_seconds <= profiler.total_seconds
+        summary = profiler.summary()
+        for stage in STAGES:
+            assert stage.split("_")[0] in summary
+        assert "windows/s" in summary
+
+    def test_profiled_sharded_run_is_serial(self, trained):
+        from repro.fleet.profiling import StageProfiler
+
+        spec, runner = trained
+        engine = ShardedFleetEngine(
+            **_engine_kwargs(spec, runner), n_shards=2,
+            parallel=True, profiler=StageProfiler(),
+        )
+        assert engine._resolve_parallel() is False
+
+    def test_invalid_parallel_value_rejected(self, trained):
+        spec, runner = trained
+        with pytest.raises(ConfigurationError, match="parallel"):
+            ShardedFleetEngine(
+                **_engine_kwargs(spec, runner), n_shards=2, parallel="always"
+            )
+
+
+class TestPoolFallbackWarning:
+    """Satellite: a degraded pool must be loud, and loud exactly once."""
+
+    def test_pool_failure_warns_once_and_falls_back(self, trained, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.fleet import engine as engine_module, sharding
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        reference = ShardedFleetEngine(**kwargs, n_shards=2, parallel=False).run()
+
+        def broken(*args, **kw):
+            raise OSError("fork refused for the test")
+
+        monkeypatch.setattr(sharding, "run_sharded", broken)
+        monkeypatch.setattr(engine_module, "_pool_fallback_warned", False)
+
+        with pytest.warns(RuntimeWarning, match="OSError: fork refused"):
+            degraded = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True).run()
+        assert degraded == reference
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            again = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True).run()
+        assert again == reference
+
+
+class TestShardingInfrastructure:
+    def test_worker_pool_persists_across_runs(self, trained):
+        from repro.fleet import sharding
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        sharding.shutdown()
+        first = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True).run()
+        pool_after_first = sharding._POOLS.get(2)
+        assert pool_after_first is not None
+        second = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True).run()
+        assert sharding._POOLS.get(2) is pool_after_first  # no re-fork
+        assert first == second
+
+    def test_shard_tasks_ship_tokens_not_state(self, trained):
+        """The per-task payload is (token, device ids) — state goes via fork."""
+        import pickle
+
+        from repro.fleet import sharding
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        engine = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True)
+        token = sharding._publish(engine._shared_kwargs())
+        task = (token, engine._partitions()[0])
+        assert len(pickle.dumps(task)) < 4096
+
+    def test_compact_metrics_payload_round_trips(self, trained):
+        from repro.fleet.metrics import StreamingMetrics
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        metrics = FleetEngine(**kwargs).run_metrics()
+        rebuilt = StreamingMetrics.from_payload(metrics.to_payload())
+        merged_a = StreamingMetrics.merge([metrics], seed_entropy=(1, 2))
+        merged_b = StreamingMetrics.merge([rebuilt], seed_entropy=(1, 2))
+        assert np.array_equal(merged_a.confusion, merged_b.confusion)
+        assert merged_a.reservoir.values == merged_b.reservoir.values
+        assert merged_a.delay_sum == merged_b.delay_sum
+
+    def test_shared_memory_round_trip(self):
+        from repro.fleet import sharding
+
+        array = np.random.default_rng(0).normal(size=(17, 9))
+        segment, spec = sharding.export_array(array)
+        try:
+            attached, view = sharding.attach_array(spec)
+            try:
+                assert np.array_equal(view, array)
+                assert not view.flags.writeable
+            finally:
+                attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_hot_swap_invalidates_published_fork_state(self, trained):
+        """A state_version bump re-keys the published snapshot (stale-fork guard)."""
+        from repro.fleet import sharding
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        engine = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True)
+        token_before = sharding._publish(engine._shared_kwargs())
+        assert sharding._publish(engine._shared_kwargs()) == token_before
+        kwargs["system"].bump_state_version()
+        try:
+            token_after = sharding._publish(engine._shared_kwargs())
+            assert token_after != token_before
+        finally:
+            kwargs["system"].state_version = 0
+            sharding.invalidate()
+
+    def test_worker_application_error_is_not_a_pool_failure(self, trained, monkeypatch):
+        """ConfigurationError from a worker propagates instead of warning+serial."""
+        from repro.fleet import engine as engine_module, sharding
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+
+        def broken(*args, **kw):
+            raise ConfigurationError("bad spec inside the worker")
+
+        monkeypatch.setattr(sharding, "run_sharded", broken)
+        monkeypatch.setattr(engine_module, "_pool_fallback_warned", False)
+        with pytest.raises(ConfigurationError, match="bad spec"):
+            ShardedFleetEngine(**kwargs, n_shards=2, parallel=True).run()
+        assert engine_module._pool_fallback_warned is False
+
+    def test_legacy_reference_path_stays_cold(self, trained):
+        """The oracle never touches the creation/stream caches it validates."""
+        from repro.fleet import stream_cache
+
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        stream_cache.clear()
+        try:
+            FleetEngine(**kwargs, columnar=False).run()
+            assert stream_cache.cache_stats() == (0, 0)
+            FleetEngine(**kwargs, columnar=True).run()
+            creation_entries, stream_entries = stream_cache.cache_stats()
+            assert creation_entries >= 1 and stream_entries >= 1
+        finally:
+            stream_cache.clear()

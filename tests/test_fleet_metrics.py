@@ -149,3 +149,100 @@ class TestReportAssembly:
 
         assert FleetReport.from_json(path) == report
         assert "Fleet report for unit" in report.summary()
+
+
+class TestStreamingMetricsEdgeCases:
+    """Satellite pins: corner shapes the columnar path must honour too."""
+
+    def _metrics(self, **overrides):
+        kwargs = dict(
+            ticks=8, metrics_window=4, n_layers=3, reservoir_size=16,
+            seed_entropy=(1, 2),
+        )
+        kwargs.update(overrides)
+        return StreamingMetrics(**kwargs)
+
+    def test_all_devices_offline_tick(self):
+        """A tick with zero online devices aggregates cleanly to zeros."""
+        metrics = self._metrics()
+        metrics.record_uptime(0, 10)
+        assert metrics.online_device_ticks == 0
+        assert metrics.offline_device_ticks == 10
+        assert metrics.n_windows == 0
+        report = report_from_metrics("idle", metrics, ("a", "b", "c"), n_devices=10)
+        assert report.n_windows == 0
+        assert report.accuracy == 0.0
+        assert report.delay.mean_ms == 0.0
+        assert all(tier.requests == 0 for tier in report.tiers)
+        assert all(block.n_windows == 0 for block in report.windowed)
+
+    def test_single_tier_takes_a_whole_tick(self):
+        """Every arrival routed to one tier: the other tiers stay untouched."""
+        metrics = self._metrics()
+        metrics.record_uptime(6, 0)
+        metrics.observe(
+            0, 1,
+            predictions=np.array([1, 0, 1, 0]),
+            labels=np.array([1, 0, 0, 0]),
+            delays_ms=np.full(4, 2.5),
+        )
+        assert metrics.layer_requests.tolist() == [0, 4, 0]
+        assert metrics.layer_anomalies.tolist() == [0, 2, 0]
+        assert metrics.layer_delay_sum[1] == pytest.approx(10.0)
+        assert metrics.layer_delay_sum[0] == 0.0
+        report = report_from_metrics("one-tier", metrics, ("a", "b", "c"), n_devices=6)
+        assert report.tiers[1].fraction == pytest.approx(1.0)
+        assert report.tiers[0].fraction == 0.0
+        assert report.tiers[2].mean_delay_ms == 0.0
+
+    def test_merge_with_zero_arrival_shard(self):
+        """An all-quiet shard merges as the identity on every count."""
+        busy = self._metrics()
+        busy.record_uptime(4, 0)
+        busy.observe(
+            1, 0,
+            predictions=np.array([1, 0]),
+            labels=np.array([1, 1]),
+            delays_ms=np.array([3.0, 4.0]),
+        )
+        quiet = self._metrics()
+        quiet.record_uptime(0, 4)
+
+        merged = StreamingMetrics.merge([busy, quiet], seed_entropy=(1, 2))
+        assert np.array_equal(merged.confusion, busy.confusion)
+        assert np.array_equal(merged.windowed_confusion, busy.windowed_confusion)
+        assert merged.delay_sum == busy.delay_sum
+        assert merged.reservoir.values == busy.reservoir.values
+        assert merged.reservoir.seen == busy.reservoir.seen
+        assert merged.online_device_ticks == 4
+        assert merged.offline_device_ticks == 4
+
+    def test_bulk_fill_matches_per_value_adds(self):
+        """extend()'s bulk fill phase is pinned to add()-per-value semantics."""
+        stream = np.random.default_rng(3).uniform(1.0, 9.0, size=200)
+        bulk = DelayReservoir(16, [5])
+        bulk.extend(stream)
+        one_by_one = DelayReservoir(16, [5])
+        for value in stream:
+            one_by_one.add(value)
+        assert bulk.values == one_by_one.values
+        assert bulk.seen == one_by_one.seen
+
+    def test_payload_round_trip_preserves_merge_inputs(self):
+        metrics = self._metrics()
+        metrics.record_uptime(3, 1)
+        metrics.observe(
+            2, 2,
+            predictions=np.array([0, 1, 1]),
+            labels=np.array([0, 1, 0]),
+            delays_ms=np.array([1.0, 2.0, 8.0]),
+        )
+        rebuilt = StreamingMetrics.from_payload(metrics.to_payload())
+        assert np.array_equal(rebuilt.confusion, metrics.confusion)
+        assert np.array_equal(rebuilt.windowed_confusion, metrics.windowed_confusion)
+        assert np.array_equal(rebuilt.layer_requests, metrics.layer_requests)
+        assert rebuilt.delay_sum == metrics.delay_sum
+        assert rebuilt.delay_max == metrics.delay_max
+        assert rebuilt.reservoir.values == metrics.reservoir.values
+        assert rebuilt.reservoir.seen == metrics.reservoir.seen
+        assert rebuilt.reservoir.capacity == metrics.reservoir.capacity

@@ -123,3 +123,44 @@ class TestListVerbose:
         out = capsys.readouterr().out
         assert "fleet-burst-storm" in out
         assert "fleet=" not in out  # workload summary is verbose-only
+
+
+class TestFleetProfileFlag:
+    """Satellite: ``repro fleet --profile`` prints the per-stage breakdown."""
+
+    def test_profile_prints_stage_breakdown(self, capsys):
+        assert main(["fleet", "fleet-burst-storm", *TINY_SETS, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage wall-clock breakdown" in out
+        assert "arrivals" in out
+        assert "context + policy" in out
+        assert "detect" in out
+        assert "metrics" in out
+        assert "adapt" in out
+        assert "windows/s" in out
+
+    def test_profile_parses_with_shards(self):
+        args = build_parser().parse_args(
+            ["fleet", "fleet-burst-storm", "--shards", "2", "--profile"]
+        )
+        assert args.profile
+        assert args.shards == 2
+
+    def test_profile_prints_even_when_quiet(self, capsys):
+        """--quiet suppresses the report, not the explicitly requested profile."""
+        assert main(
+            ["fleet", "fleet-burst-storm", *TINY_SETS, "--profile", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-stage wall-clock breakdown" in out
+        assert "Fleet report" not in out
+
+    def test_registry_message_prints_without_profile(self, tmp_path, capsys):
+        """The registry location prints with the summary, --profile or not."""
+        assert main([
+            "fleet", "fleet-burst-storm", *TINY_SETS, "--adapt",
+            "--registry", str(tmp_path / "registry"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Model registry:" in out
+        assert "per-stage wall-clock breakdown" not in out
