@@ -13,7 +13,11 @@ future PRs have a trajectory to regress against:
 * **sharded** — :class:`~repro.fleet.engine.ShardedFleetEngine` at
   increasing shard counts under the default ``parallel="auto"`` policy, plus
   a forced fork-pool measurement when auto resolves to serial, so the
-  worker-pool path is always exercised.
+  worker-pool path is always exercised;
+* **checkpointing** — the warm columnar run with durable checkpoints at
+  cadence 10 and 100, measuring the wall-clock overhead of the
+  write-ahead-atomic store (must stay within 10% at cadence 100 on
+  full-sized sweeps, and bit-identical always).
 
 Three properties are asserted on top of the timings:
 
@@ -37,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -49,8 +54,9 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Stable schema tag for CI consumers (see benchmarks/compare_results.py).
 #: v2: legacy/columnar split replaces the single "unsharded" entry; sharded
-#: entries record their execution mode.
-SCHEMA_VERSION = 2
+#: entries record their execution mode.  v3 adds the "checkpointing" block
+#: (durable-checkpoint overhead at increasing cadence).
+SCHEMA_VERSION = 3
 
 #: The scenario whose fleet workload is streamed.
 SCENARIO = "fleet-1k-drift"
@@ -77,6 +83,11 @@ REPEATS = 3
 MIN_SCALING_WINDOWS = 5_000
 #: Acceptance floor: columnar windows/sec vs same-run legacy windows/sec.
 MIN_COLUMNAR_SPEEDUP = 3.0
+#: Checkpoint cadences measured against the cadence-off warm columnar run.
+CHECKPOINT_CADENCES = (10, 100)
+#: Acceptance ceiling: wall-clock overhead of cadence-100 checkpointing vs
+#: the warm columnar baseline (enforced on full-sized sweeps only).
+MAX_CHECKPOINT_OVERHEAD = 0.10
 
 
 def _available_cpus() -> int:
@@ -162,6 +173,40 @@ def run_bench_fleet(
         "windows_per_second": n_windows / columnar_best,
         "cold_windows_per_second": n_windows / columnar_seconds[0],
         "speedup_vs_legacy": legacy_best / columnar_best,
+    }
+
+    # -- checkpoint overhead: warm columnar runs at increasing save cadence ----
+    # Timed against the warm columnar baseline above (same cache state); a
+    # checkpointed run must also stay bit-identical to the uncheckpointed one.
+    checkpoint_entries = []
+    for cadence in CHECKPOINT_CADENCES:
+        with tempfile.TemporaryDirectory(prefix="bench-fleet-ckpt-") as ckpt_dir:
+            ckpt_seconds, ckpt_report = _timed_runs(
+                lambda d=ckpt_dir, c=cadence: FleetEngine(
+                    **kwargs, checkpoint_dir=d, checkpoint_cadence=c
+                ).run(),
+                repeats,
+            )
+        ckpt_best = min(ckpt_seconds)
+        checkpoint_entries.append(
+            {
+                "cadence": cadence,
+                "seconds": ckpt_best,
+                "windows_per_second": n_windows / ckpt_best,
+                # The final boundary is never saved (nothing left to resume).
+                "n_checkpoints": (ticks - 1) // cadence,
+                "overhead_vs_columnar": ckpt_best / columnar_best - 1.0,
+                "bit_identical": ckpt_report == columnar_report,
+            }
+        )
+    report["checkpointing"] = {
+        "entries": checkpoint_entries,
+        "max_overhead": MAX_CHECKPOINT_OVERHEAD,
+        "note": (
+            "overhead_vs_columnar compares best-of-N warm columnar wall-clock "
+            "with and without durable checkpoints; the <= max_overhead ceiling "
+            "for the largest cadence is enforced on full-sized sweeps only"
+        ),
     }
 
     # -- equivalence: columnar == legacy, one shard == unsharded, bit for bit --
@@ -264,6 +309,19 @@ def _assert_report(report: dict) -> None:
             f"{top['n_shards']}-shard throughput did not beat 1 shard on a "
             f"{report['cpus']}-CPU host: {top['speedup_vs_1_shard']:.2f}x"
         )
+    for entry in report["checkpointing"]["entries"]:
+        assert entry["bit_identical"], (
+            f"cadence-{entry['cadence']} checkpointing perturbed the stream"
+        )
+    if report["scaling"]["columnar_floor_enforced"]:
+        slowest = max(
+            report["checkpointing"]["entries"], key=lambda e: e["cadence"]
+        )
+        assert slowest["overhead_vs_columnar"] <= MAX_CHECKPOINT_OVERHEAD, (
+            f"cadence-{slowest['cadence']} checkpointing cost "
+            f"{slowest['overhead_vs_columnar']:.1%} of warm columnar throughput "
+            f"(ceiling: {MAX_CHECKPOINT_OVERHEAD:.0%})"
+        )
 
 
 def _print_report(report: dict) -> None:
@@ -281,6 +339,13 @@ def _print_report(report: dict) -> None:
         f"{report['columnar']['cold_windows_per_second']:.0f} w/s; bit-identical: "
         f"{report['equivalence']['columnar_bit_identical_to_legacy']})"
     )
+    for entry in report["checkpointing"]["entries"]:
+        print(
+            f"  ckpt @{entry['cadence']:<5} {entry['windows_per_second']:10.0f} windows/s "
+            f"({entry['overhead_vs_columnar']:+.1%} vs columnar, "
+            f"{entry['n_checkpoints']} checkpoint(s), bit-identical: "
+            f"{entry['bit_identical']})"
+        )
     for entry in report["sharded"]:
         print(
             f"  {entry['n_shards']} shard(s)     {entry['windows_per_second']:10.0f} windows/s "

@@ -288,6 +288,124 @@ class AdaptationController:
             )
         )
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Picklable mid-run state for the fleet checkpoint layer.
+
+        Captures everything the lifecycle state machine needs to continue
+        bit-identically: the reservoirs and monitors (whole objects — their
+        internal RNG/statistics are mid-stream), the pending/cooldown machine,
+        the recorded timeline, and for each tier the *currently deployed*
+        detector plus its registry lineage metadata.  The controller object
+        itself is never pickled (it owns an unpicklable run-scoped temporary
+        directory); the engine stores this snapshot instead.
+        """
+        deployments = []
+        for layer, tier in enumerate(self.tier_names):
+            deployment = self.system.deployment_at(layer)
+            current = self.registry.current(tier)
+            deployments.append(
+                {
+                    "tier": tier,
+                    "detector": deployment.detector,
+                    "quantized": deployment.quantized,
+                    "quantization": deployment.quantization,
+                    "version": self.registry.show(current) if current else None,
+                }
+            )
+        return {
+            "window_confusion": self._window_confusion.copy(),
+            "train_ranges": [
+                list(r) if r is not None else None for r in self._train_ranges
+            ],
+            "pending": set(self._pending),
+            "cooldown_until": list(self._cooldown_until),
+            "drifts": list(self.drifts),
+            "retrains": list(self.retrains),
+            "swaps": list(self.swaps),
+            "timings": list(self.timings),
+            "train_reservoirs": self.train_reservoirs,
+            "holdout_reservoirs": self.holdout_reservoirs,
+            "score_monitors": self.score_monitors,
+            "f1_monitors": self.f1_monitors,
+            "deployments": deployments,
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Restore the state captured by :meth:`snapshot_state`.
+
+        Rebinds the checkpointed detectors into the live system's deployments
+        and reconciles the registry: each restored detector is re-committed
+        (commits are content-addressed and idempotent) and must hash to the
+        exact version recorded at checkpoint time — a mismatch means the
+        pickled weights do not match the lineage metadata and resuming would
+        silently diverge, so it raises
+        :class:`~repro.exceptions.SerializationError`.  Promotion is skipped
+        when the registry (a persistent one that survived the crash) already
+        has the version current.
+        """
+        from repro.exceptions import SerializationError
+        from repro.nn.quantization import QuantizationReport
+
+        deployments = snapshot["deployments"]
+        tiers = tuple(entry["tier"] for entry in deployments)
+        if tiers != self.tier_names:
+            raise SerializationError(
+                f"checkpointed controller served tiers {tiers}, this run serves "
+                f"{self.tier_names}"
+            )
+        self._window_confusion = np.array(snapshot["window_confusion"], dtype=np.int64)
+        self._train_ranges = [
+            list(r) if r is not None else None for r in snapshot["train_ranges"]
+        ]
+        self._pending = set(snapshot["pending"])
+        self._cooldown_until = list(snapshot["cooldown_until"])
+        self.drifts = list(snapshot["drifts"])
+        self.retrains = list(snapshot["retrains"])
+        self.swaps = list(snapshot["swaps"])
+        self.timings = list(snapshot["timings"])
+        self.train_reservoirs = list(snapshot["train_reservoirs"])
+        self.holdout_reservoirs = list(snapshot["holdout_reservoirs"])
+        self.score_monitors = [list(group) for group in snapshot["score_monitors"]]
+        self.f1_monitors = [list(group) for group in snapshot["f1_monitors"]]
+
+        for layer, entry in enumerate(deployments):
+            deployment = self.system.deployment_at(layer)
+            deployment.detector = entry["detector"]
+            deployment.quantized = bool(entry["quantized"])
+            deployment.quantization = entry["quantization"]
+            meta = entry["version"]
+            if meta is None:
+                continue
+            quantization = None
+            if meta.quantization is not None:
+                quantization = QuantizationReport(
+                    parameter_count=meta.quantization["parameter_count"],
+                    original_bytes=meta.quantization["original_bytes"],
+                    quantized_bytes=meta.quantization["quantized_bytes"],
+                    max_absolute_error=meta.quantization["max_absolute_error"],
+                )
+            committed = self.registry.commit(
+                entry["detector"],
+                tier=entry["tier"],
+                layer=layer,
+                parent=meta.parent,
+                training_window=meta.training_window,
+                n_train_windows=meta.n_train_windows,
+                quantization=quantization,
+            )
+            if committed.version != meta.version:
+                raise SerializationError(
+                    f"restored detector for tier {entry['tier']!r} hashes to "
+                    f"{committed.version}, but the checkpoint recorded "
+                    f"{meta.version} — weights and lineage disagree"
+                )
+            if self.registry.current(entry["tier"]) != meta.version:
+                self.registry.promote(meta.version, entry["tier"])
+        # No bump_state_version() here: the engine restores the system's
+        # checkpointed state_version (already post-swap) around this call.
+
     # -- result ------------------------------------------------------------------
 
     @property

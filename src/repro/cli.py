@@ -9,6 +9,8 @@ and run with declarative overrides::
     python -m repro.cli run univariate-power --set data.weeks=20 --set policy.episodes=10
     python -m repro.cli run mixed-detectors --output-dir reports/
     python -m repro.cli fleet fleet-burst-storm --shards 2 --output-dir reports/
+    python -m repro.cli fleet fleet-crash-resume --checkpoint-dir ckpt --checkpoint-cadence 5
+    python -m repro.cli resume ckpt
 
 ``--set`` takes dotted spec paths (``data.weeks``, ``detectors.0.epochs``,
 ``fleet.n_devices``, ...); values are coerced to the type of the field they
@@ -78,7 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser(
         "run", help="run a registered scenario (see 'repro list')"
     )
-    run.add_argument("scenario", help="scenario name, e.g. univariate-power")
+    run.add_argument("scenario", nargs="?", default=None,
+                     help="scenario name, e.g. univariate-power")
+    run.add_argument("--spec-file", type=str, default=None,
+                     help="run a spec from a JSON file (as printed by "
+                     "'repro describe' or --spec-only) instead of a scenario")
     run.add_argument(
         "--set",
         dest="overrides",
@@ -101,7 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="train a fleet scenario and stream its device fleet through the "
         "system (see 'repro list' for scenarios tagged [fleet])",
     )
-    fleet.add_argument("scenario", help="fleet scenario name, e.g. fleet-burst-storm")
+    fleet.add_argument("scenario", nargs="?", default=None,
+                       help="fleet scenario name, e.g. fleet-burst-storm")
+    fleet.add_argument("--spec-file", type=str, default=None,
+                       help="stream a spec from a JSON file (as printed by "
+                       "'repro describe' or --spec-only) instead of a scenario")
     fleet.add_argument(
         "--set",
         dest="overrides",
@@ -129,9 +139,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a per-stage wall-clock breakdown of the stream "
                        "(arrivals / context+policy / detect / metrics / adapt); "
                        "sharded runs are profiled serially in-process")
+    fleet.add_argument("--checkpoint-dir", type=str, default=None,
+                       help="directory for durable streaming checkpoints; a killed "
+                       "run restarts from the newest one with --resume (or "
+                       "'repro resume <dir>')")
+    fleet.add_argument("--checkpoint-cadence", type=int, default=0,
+                       help="checkpoint every N ticks (0 = only --checkpoint-dir's "
+                       "run.json, no periodic snapshots); requires --checkpoint-dir")
+    fleet.add_argument("--resume", action="store_true",
+                       help="continue from the newest checkpoint in --checkpoint-dir "
+                       "(bit-identical to an uninterrupted run)")
     fleet.add_argument("--quiet", action="store_true", help="suppress summary output")
     fleet.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="resume a killed 'repro fleet --checkpoint-dir' run from its directory",
+    )
+    resume.add_argument("checkpoint_dir",
+                        help="the --checkpoint-dir of the interrupted run "
+                        "(holds run.json and the shard checkpoints)")
+    resume.add_argument("--output-dir", type=str, default=None,
+                        help="directory for the JSON fleet report")
+    resume.add_argument("--quiet", action="store_true",
+                        help="suppress summary output")
 
     # -- model registry ---------------------------------------------------------
 
@@ -260,14 +292,37 @@ def _report(result, args: argparse.Namespace, report_name: Optional[str] = None)
             print(f"Wrote {paths['json']} and {paths['markdown']}")
 
 
+def _load_spec_file(path: str):
+    """An :class:`ExperimentSpec` from a JSON file; CLI errors stay one-liners."""
+    from repro.experiments import ExperimentSpec
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError as exc:
+        raise ReproError(f"spec file not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed spec JSON in {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"spec file {path} must hold a JSON object, not "
+                         f"{type(payload).__name__}")
+    return ExperimentSpec.from_dict(payload)
+
+
 def _resolve_spec(args: argparse.Namespace, default_adapt: bool = False):
-    """The scenario spec with ``--seed`` and ``--set`` overrides applied.
+    """The scenario (or ``--spec-file``) spec with ``--seed``/``--set`` applied.
 
     ``default_adapt`` honours the ``fleet --adapt`` flag: a default
     :class:`AdaptSpec` is attached *before* the dotted overrides, so
     ``--set adapt.*`` lands on the node the flag just created.
     """
-    spec = get_scenario(args.scenario)
+    spec_file = getattr(args, "spec_file", None)
+    if (args.scenario is None) == (spec_file is None):
+        raise ReproError(
+            "pass exactly one of a scenario name or --spec-file "
+            "(see 'repro list' for scenarios)"
+        )
+    spec = _load_spec_file(spec_file) if spec_file else get_scenario(args.scenario)
     if args.seed is not None:
         spec = spec.with_seed(args.seed)
     if default_adapt and getattr(args, "adapt", False) and spec.adapt is None:
@@ -284,7 +339,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
     result = ExperimentRunner(spec).run()
-    _report(result, args, report_name=f"report_{args.scenario}")
+    _report(result, args, report_name=f"report_{args.scenario or spec.name}")
     return 0
 
 
@@ -293,7 +348,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
     if spec.fleet is None:
         fleet_names = ", ".join(SCENARIOS.names(tags=("fleet",))) or "none registered"
         raise ReproError(
-            f"scenario {args.scenario!r} has no fleet workload; "
+            f"scenario {args.scenario or spec.name!r} has no fleet workload; "
             f"fleet scenarios: {fleet_names}"
         )
     if args.shards is not None:
@@ -301,6 +356,11 @@ def _run_fleet(args: argparse.Namespace) -> int:
     if args.spec_only:
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
+    if args.checkpoint_dir is None and (args.checkpoint_cadence or args.resume):
+        raise ReproError(
+            "--checkpoint-cadence/--resume need --checkpoint-dir (where the "
+            "checkpoints live)"
+        )
     registry_root = args.registry
     if (
         registry_root is None
@@ -317,7 +377,23 @@ def _run_fleet(args: argparse.Namespace) -> int:
         from repro.fleet.profiling import StageProfiler
 
         profiler = StageProfiler()
-    report = runner.run_fleet(registry_root=registry_root, profiler=profiler)
+    report = runner.run_fleet(
+        registry_root=registry_root,
+        profiler=profiler,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_cadence=args.checkpoint_cadence,
+        resume=args.resume,
+    )
+    _print_fleet_report(report, runner, args, name=args.scenario or spec.name)
+    if profiler is not None:
+        # --quiet suppresses the report summary, not the breakdown the
+        # user explicitly asked for with --profile.
+        print(profiler.summary())
+    return 0
+
+
+def _print_fleet_report(report, runner, args, name: str) -> None:
+    """Shared summary/JSON-report tail of ``repro fleet`` and ``repro resume``."""
     if not args.quiet:
         print(report.summary())
         controller = runner.state.adaptation_controller
@@ -329,15 +405,32 @@ def _run_fleet(args: argparse.Namespace) -> int:
                 )
             else:
                 print(f"Model registry: {controller.registry.root}")
-    if profiler is not None:
-        # --quiet suppresses the report summary, not the breakdown the
-        # user explicitly asked for with --profile.
-        print(profiler.summary())
     if args.output_dir:
-        path = Path(args.output_dir) / f"fleet_{args.scenario}.json"
+        path = Path(args.output_dir) / f"fleet_{name}.json"
         report.to_json(path)
         if not args.quiet:
             print(f"Wrote {path}")
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentSpec
+    from repro.fleet.checkpoint import load_run_descriptor
+
+    descriptor = load_run_descriptor(args.checkpoint_dir)
+    try:
+        spec = ExperimentSpec.from_dict(descriptor["spec"])
+    except KeyError as exc:
+        raise ReproError(
+            f"run descriptor in {args.checkpoint_dir} has no 'spec' entry"
+        ) from exc
+    runner = ExperimentRunner(spec)
+    report = runner.run_fleet(
+        registry_root=descriptor.get("registry_root"),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_cadence=int(descriptor.get("checkpoint_cadence", 0)),
+        resume=True,
+    )
+    _print_fleet_report(report, runner, args, name=spec.name)
     return 0
 
 
@@ -457,6 +550,8 @@ def run_command(args: argparse.Namespace) -> int:
         return _run_scenario(args)
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "resume":
+        return _run_resume(args)
     if args.command == "models":
         return _run_models(args)
     if args.command == "list":

@@ -61,6 +61,7 @@ from repro.experiments.stages import (
     train_policy,
 )
 from repro.evaluation.tables import ModelComparisonRow, model_comparison_row
+from repro.fleet.checkpoint import save_run_descriptor
 from repro.fleet.devices import WindowPool
 from repro.fleet.engine import FleetEngine, ShardedFleetEngine
 from repro.fleet.report import FleetReport
@@ -454,6 +455,9 @@ class ExperimentRunner:
         self,
         registry_root: Optional[str] = None,
         profiler=None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_cadence: int = 0,
+        resume: bool = False,
     ) -> FleetReport:
         """Stream the spec's fleet workload through the trained system.
 
@@ -468,6 +472,15 @@ class ExperimentRunner:
         monitoring, gated online retraining and hot-swap deployment —
         checkpointing into ``registry_root`` (or ``adapt.registry_dir``, or a
         run-scoped temporary directory).
+
+        A spec with a ``faults`` node streams under that fault-injection
+        schedule (see :mod:`repro.fleet.faults`).
+
+        ``checkpoint_dir``/``checkpoint_cadence`` enable durable checkpoints
+        every ``checkpoint_cadence`` ticks; ``resume=True`` continues from the
+        newest checkpoint in ``checkpoint_dir`` (bit-identical to an
+        uninterrupted run).  A fresh checkpointed run also writes ``run.json``
+        into the directory so ``repro resume <dir>`` can rebuild the run.
 
         ``profiler`` attaches a :class:`~repro.fleet.profiling.StageProfiler`
         recording the per-stage wall-clock breakdown; profiled sharded runs
@@ -505,12 +518,24 @@ class ExperimentRunner:
             tier_names=self.tier_names,
             controller=controller,
             profiler=profiler,
+            faults=self.spec.faults,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_cadence=checkpoint_cadence,
         )
         if fleet_spec.n_shards > 1:
             engine = ShardedFleetEngine(**engine_kwargs)
         else:
             engine = FleetEngine(**engine_kwargs)
-        state.fleet_report = engine.run()
+        if checkpoint_dir is not None and not resume:
+            save_run_descriptor(
+                checkpoint_dir,
+                {
+                    "spec": self.spec.to_dict(),
+                    "registry_root": registry_root,
+                    "checkpoint_cadence": int(checkpoint_cadence),
+                },
+            )
+        state.fleet_report = engine.run(resume=resume)
         self._done("stream")
         return state.fleet_report
 
@@ -527,6 +552,9 @@ class ExperimentRunner:
         self,
         registry_root: Optional[str] = None,
         profiler=None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_cadence: int = 0,
+        resume: bool = False,
     ) -> FleetReport:
         """Train (through ``train_policy``) and stream the fleet workload.
 
@@ -534,13 +562,19 @@ class ExperimentRunner:
         system by its online metrics — but an already-evaluated runner can
         call this too (completed stages never re-run).  ``registry_root``
         places the adaptation model registry (specs with an ``adapt`` node);
-        ``profiler`` is forwarded to :meth:`stream`.
+        the remaining keywords are forwarded to :meth:`stream`.
         """
         for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
             if stage not in self.state.completed:
                 getattr(self, stage)()
         if "stream" not in self.state.completed:
-            self.stream(registry_root=registry_root, profiler=profiler)
+            self.stream(
+                registry_root=registry_root,
+                profiler=profiler,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_cadence=checkpoint_cadence,
+                resume=resume,
+            )
         return self.state.fleet_report
 
     def fork(self, **replacements) -> "ExperimentRunner":

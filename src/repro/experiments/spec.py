@@ -23,6 +23,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.adapt.spec import AdaptSpec
 from repro.exceptions import ConfigurationError
+from repro.fleet.faults import FaultSpec
 from repro.fleet.spec import FleetSpec
 from repro.utils.serialization import load_json, save_json, to_jsonable
 from repro.utils.validation import checked_dataclass_kwargs
@@ -352,6 +353,9 @@ class ExperimentSpec:
     #: deployment) attached to the streaming run; ``None`` streams with the
     #: detectors frozen (see :mod:`repro.adapt`).
     adapt: Optional[AdaptSpec] = None
+    #: Deterministic fault-injection schedule for the streaming run; ``None``
+    #: streams fault-free (see :mod:`repro.fleet.faults`).
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -394,11 +398,12 @@ class ExperimentSpec:
             "evaluation": EvaluationSpec,
             "fleet": FleetSpec,
             "adapt": AdaptSpec,
+            "faults": FaultSpec,
         }
-        # ``fleet`` and ``adapt`` are the only nested nodes that may be null
-        # (offline / frozen-detector specs); a null required node must keep
-        # raising the clean mapping error.
-        optional = {"fleet", "adapt"}
+        # ``fleet``, ``adapt`` and ``faults`` are the only nested nodes that may
+        # be null (offline / frozen-detector / fault-free specs); a null required
+        # node must keep raising the clean mapping error.
+        optional = {"fleet", "adapt", "faults"}
         for key, sub_cls in nested.items():
             if key not in kwargs:
                 continue

@@ -30,6 +30,9 @@ from repro.fleet.mutators import (
     ConceptDrift,
     DeviceChurn,
     PhaseJitter,
+    SensorDropout,
+    SensorSpike,
+    SensorStuck,
     StreamMutator,
 )
 from repro.fleet.spec import FleetSpec
@@ -39,7 +42,16 @@ from repro.fleet.stream_cache import StreamChunk
 _SEED_MASK = 0xFFFFFFFF
 
 #: Mutator types whose hooks are pure data the stream caches may snapshot.
-_BUILTIN_MUTATORS = (StreamMutator, ConceptDrift, AnomalyBurst, DeviceChurn, PhaseJitter)
+_BUILTIN_MUTATORS = (
+    StreamMutator,
+    ConceptDrift,
+    AnomalyBurst,
+    DeviceChurn,
+    PhaseJitter,
+    SensorStuck,
+    SensorSpike,
+    SensorDropout,
+)
 
 
 def device_rng(master_seed: int, fleet_seed: int, device_id: int) -> np.random.Generator:

@@ -38,11 +38,29 @@ drift-triggered retrains and atomic detector hot-swaps happen.  With no
 controller the streaming loop is unchanged — not a single extra RNG draw —
 so a run with adaptation disabled stays bit-identical to the pre-adaptation
 engine (pinned by test).
+
+Fault tolerance rides on the same boundaries.  With a ``checkpoint_dir`` the
+engine durably snapshots its state (metrics, system, controller) every
+``checkpoint_cadence`` ticks through :class:`~repro.fleet.checkpoint.
+CheckpointStore`; ``run(resume=True)`` (or :meth:`FleetEngine.resume`)
+rebuilds the devices, *replays* their arrival draws up to the checkpointed
+tick — per-device RNG streams are pure functions of the seeds, so replay is
+cheaper and safer than snapshotting thousands of generator states — and
+continues bit-identical to an uninterrupted run.  A
+:class:`~repro.fleet.faults.FaultSpec` on the engine drives deterministic
+fault injection at tick boundaries: link degradation/outage (the system fails
+over to the best reachable tier), injected shard crashes
+(:class:`~repro.fleet.faults.WorkerCrash`, recovered by the sharded engine
+from the shard's own checkpoints) and mid-run process kills.  One-shot
+kill/crash events are disarmed on resumed runs so recovery cannot re-trigger
+the fault that killed the original run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import warnings
 from time import perf_counter
 from typing import List, Optional, Sequence, Tuple, Union
@@ -53,7 +71,9 @@ from repro.bandit.context import ContextExtractor
 from repro.bandit.policy_network import PolicyNetwork
 from repro.exceptions import ConfigurationError, ReproError
 from repro.fleet import sharding
+from repro.fleet.checkpoint import CheckpointStore, shard_checkpoint_dir
 from repro.fleet.devices import DeviceFleet, WindowPool
+from repro.fleet.faults import FaultSchedule, FaultSpec, WorkerCrash
 from repro.fleet.metrics import StreamingMetrics
 from repro.fleet.profiling import StageProfiler
 from repro.fleet.report import FleetReport, report_from_metrics
@@ -102,11 +122,19 @@ class FleetEngine:
         controller=None,
         columnar: bool = True,
         profiler: Optional[StageProfiler] = None,
+        faults: Optional[FaultSpec] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_cadence: int = 0,
+        shard_index: int = 0,
     ) -> None:
         if policy.n_actions != system.n_layers:
             raise ConfigurationError(
                 f"policy has {policy.n_actions} actions but the HEC system has "
                 f"{system.n_layers} layers"
+            )
+        if checkpoint_cadence < 0:
+            raise ConfigurationError(
+                f"checkpoint_cadence must be non-negative, got {checkpoint_cadence}"
             )
         self.system = system
         self.policy = policy
@@ -134,6 +162,20 @@ class FleetEngine:
         self.columnar = bool(columnar)
         #: Optional :class:`~repro.fleet.profiling.StageProfiler`.
         self.profiler = profiler
+        #: Optional deterministic fault injection (see :mod:`repro.fleet.faults`).
+        self.faults = faults
+        self._schedule = FaultSchedule(faults) if faults is not None else None
+        #: Directory for durable checkpoints (``None`` disables checkpointing).
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
+        #: Save a checkpoint every this many ticks (0 = never save; resume
+        #: from an existing directory still works).
+        self.checkpoint_cadence = int(checkpoint_cadence)
+        #: Which shard of a sharded run this engine is (0 when unsharded);
+        #: shard-crash fault events fire only on their matching shard.
+        self.shard_index = int(shard_index)
+        # One-shot kill/crash events are armed only on non-resumed runs —
+        # set per run_metrics() call; True here so a bare engine is armed.
+        self._armed = True
 
     @property
     def n_devices(self) -> int:
@@ -142,16 +184,35 @@ class FleetEngine:
             return len(self.device_ids)
         return self.spec.n_devices
 
-    def run_metrics(self) -> StreamingMetrics:
-        """The core streaming loop; returns the filled metrics aggregator."""
+    def run_metrics(self, resume: bool = False) -> StreamingMetrics:
+        """The core streaming loop; returns the filled metrics aggregator.
+
+        ``resume=True`` continues from the newest durable checkpoint in
+        :attr:`checkpoint_dir` (bit-identical to an uninterrupted run) and
+        disarms one-shot kill/crash fault events so recovery cannot re-die
+        on the fault that ended the original run.  With no checkpoint on
+        disk (or no checkpoint directory at all) a resumed run simply
+        streams from tick 0, faults disarmed.
+        """
         spec = self.spec
         system = self.system
         started = perf_counter()
+        self._armed = not resume
+        store = (
+            CheckpointStore(self.checkpoint_dir)
+            if self.checkpoint_dir is not None
+            else None
+        )
         system.reset()
         # Streams run against a warmed system: keep-alive connections are
         # established up front, so every request sees steady-state delays and
         # the per-request delay stream is independent of shard partitioning.
         system.topology.warm_links()
+        if self.faults is not None:
+            system.configure_failover(
+                retries=self.faults.failover_retries,
+                timeout_ms=self.faults.retry_timeout_ms,
+            )
         # The event log would grow with the stream; the aggregator is the
         # bounded-memory replacement, so logging is suspended for the run.
         previous_record_log = system.record_log
@@ -174,10 +235,16 @@ class FleetEngine:
                 reservoir_size=spec.reservoir_size,
                 seed_entropy=(self.master_seed, spec.seed),
             )
+            start_tick = 0
+            if resume and store is not None:
+                payload = store.latest()
+                if payload is not None:
+                    start_tick = self._restore_checkpoint(payload, metrics)
+                    self._fast_forward(fleet, start_tick)
             if self.columnar:
-                self._stream_columnar(fleet, metrics)
+                self._stream_columnar(fleet, metrics, start_tick, store)
             else:
-                self._stream_legacy(fleet, metrics)
+                self._stream_legacy(fleet, metrics, start_tick, store)
         finally:
             system.record_log = previous_record_log
         if self.profiler is not None:
@@ -190,15 +257,110 @@ class FleetEngine:
             self.profiler.ticks = spec.ticks
         return metrics
 
-    def _stream_columnar(self, fleet: DeviceFleet, metrics: StreamingMetrics) -> None:
+    # -- fault injection & checkpointing ------------------------------------------
+
+    def _begin_tick(self, tick: int) -> None:
+        """Apply the fault schedule at the start of ``tick`` (no-op unfaulted)."""
+        schedule = self._schedule
+        if schedule.has_link_faults:
+            schedule.apply_links(self.system, tick)
+        if not self._armed:
+            return
+        if schedule.crashes_shard(self.shard_index, tick):
+            raise WorkerCrash(
+                f"injected crash of shard {self.shard_index} at tick {tick}"
+            )
+        if schedule.kills_process(tick):
+            # The whole point: die the way a real crash does — no cleanup, no
+            # exception unwinding — so resume is exercised against SIGKILL.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _maybe_checkpoint(
+        self, store: Optional[CheckpointStore], tick: int, metrics: StreamingMetrics
+    ) -> None:
+        """Durably checkpoint at the boundary after ``tick`` when it is due.
+
+        Runs after ``controller.end_tick`` (the snapshot must include the
+        boundary's swaps) and draws no RNG, so a checkpointed run streams
+        bit-identical to an uncheckpointed one.  The final boundary is never
+        saved — a finished run has nothing to resume.
+        """
+        if store is None or self.checkpoint_cadence <= 0:
+            return
+        boundary = tick + 1
+        if boundary % self.checkpoint_cadence == 0 and boundary < self.spec.ticks:
+            store.save(self._checkpoint_payload(boundary, metrics), boundary)
+
+    def _checkpoint_payload(self, tick: int, metrics: StreamingMetrics) -> dict:
+        from repro.fleet.checkpoint import CHECKPOINT_FORMAT
+
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "tick": int(tick),
+            "name": self.name,
+            "shard_index": self.shard_index,
+            "metrics": metrics.snapshot_state(),
+            "system": self.system.snapshot_state(),
+            "controller": (
+                self.controller.snapshot_state()
+                if self.controller is not None
+                else None
+            ),
+        }
+
+    def _restore_checkpoint(self, payload: dict, metrics: StreamingMetrics) -> int:
+        """Load a checkpoint payload into this run's state; returns the tick."""
+        if payload.get("controller") is not None and self.controller is None:
+            raise ConfigurationError(
+                "checkpoint was written by an adaptive run; resume with the "
+                "adaptation controller enabled"
+            )
+        if self.controller is not None and payload.get("controller") is None:
+            raise ConfigurationError(
+                "checkpoint was written without adaptation; resume with the "
+                "adaptation controller disabled"
+            )
+        metrics.restore_state(payload["metrics"])
+        self.system.restore_state(payload["system"])
+        if self.controller is not None:
+            self.controller.restore_state(payload["controller"])
+        return int(payload["tick"])
+
+    def _fast_forward(self, fleet: DeviceFleet, start_tick: int) -> None:
+        """Replay (and discard) arrivals for ticks ``0..start_tick - 1``.
+
+        Checkpoints never store per-device RNG states; a device's stream is a
+        pure function of the seeds, so replaying the draws restores every
+        generator to exactly where the checkpointed run left it — and cached
+        fleet configurations replay from the stream cache without consuming
+        RNG at all, which is the same bookkeeping the live loop relies on.
+        """
+        for tick in range(start_tick):
+            if self.columnar:
+                fleet.arrivals_columnar(tick)
+            else:
+                fleet.arrivals(tick)
+
+    # -- streaming loops ----------------------------------------------------------
+
+    def _stream_columnar(
+        self,
+        fleet: DeviceFleet,
+        metrics: StreamingMetrics,
+        start_tick: int = 0,
+        store: Optional[CheckpointStore] = None,
+    ) -> None:
         """The struct-of-arrays loop: arrays in, arrays out, no objects."""
         system = self.system
         controller = self.controller
         profiler = self.profiler
+        faulted = self._schedule is not None
         extract = self.context_extractor.extract
         select_actions = self.policy.select_actions
         n_fleet = len(fleet)
-        for tick in range(self.spec.ticks):
+        for tick in range(start_tick, self.spec.ticks):
+            if faulted:
+                self._begin_tick(tick)
             if profiler is not None:
                 mark = perf_counter()
             batch = fleet.arrivals_columnar(tick)
@@ -226,16 +388,20 @@ class FleetEngine:
                     if profiler is not None:
                         mark = perf_counter()
                     detected = system.detect_batch_columnar(int(action), tier_windows)
+                    # Failover may have served the batch at a lower tier than
+                    # the policy chose; account at the tier that did the work.
+                    served = int(detected.layer)
                     if profiler is not None:
                         now = perf_counter()
                         profiler.add("detect", now - mark)
                         mark = now
                     metrics.observe(
                         tick,
-                        int(action),
+                        served,
                         predictions=detected.predictions,
                         labels=tier_labels,
                         delays_ms=detected.delays_ms,
+                        redirected=detected.n if served != int(action) else 0,
                     )
                     if profiler is not None:
                         profiler.add("metrics", perf_counter() - mark)
@@ -244,7 +410,7 @@ class FleetEngine:
                             mark = perf_counter()
                         controller.observe_batch(
                             tick,
-                            int(action),
+                            served,
                             windows=tier_windows,
                             predictions=detected.predictions,
                             labels=tier_labels,
@@ -261,13 +427,23 @@ class FleetEngine:
                 controller.end_tick(tick)
                 if profiler is not None:
                     profiler.add("adapt", perf_counter() - mark)
+            self._maybe_checkpoint(store, tick, metrics)
 
-    def _stream_legacy(self, fleet: DeviceFleet, metrics: StreamingMetrics) -> None:
+    def _stream_legacy(
+        self,
+        fleet: DeviceFleet,
+        metrics: StreamingMetrics,
+        start_tick: int = 0,
+        store: Optional[CheckpointStore] = None,
+    ) -> None:
         """The per-window reference loop (the fast path's oracle)."""
         system = self.system
         controller = self.controller
         profiler = self.profiler
-        for tick in range(self.spec.ticks):
+        faulted = self._schedule is not None
+        for tick in range(start_tick, self.spec.ticks):
+            if faulted:
+                self._begin_tick(tick)
             if profiler is not None:
                 mark = perf_counter()
             arrivals, online = fleet.arrivals(tick)
@@ -292,6 +468,7 @@ class FleetEngine:
                     records = system.detect_batch(
                         int(action), windows[chosen], ground_truths=labels[chosen]
                     )
+                    served = int(records[0].layer) if records else int(action)
                     predictions = np.asarray([r.prediction for r in records])
                     if profiler is not None:
                         now = perf_counter()
@@ -299,10 +476,11 @@ class FleetEngine:
                         mark = now
                     metrics.observe(
                         tick,
-                        int(action),
+                        served,
                         predictions=predictions,
                         labels=labels[chosen],
                         delays_ms=np.asarray([r.delay_ms for r in records]),
+                        redirected=len(records) if served != int(action) else 0,
                     )
                     if profiler is not None:
                         profiler.add("metrics", perf_counter() - mark)
@@ -311,7 +489,7 @@ class FleetEngine:
                             mark = perf_counter()
                         self.controller.observe_batch(
                             tick,
-                            int(action),
+                            served,
                             windows=windows[chosen],
                             predictions=predictions,
                             labels=labels[chosen],
@@ -327,10 +505,11 @@ class FleetEngine:
                 controller.end_tick(tick)
                 if profiler is not None:
                     profiler.add("adapt", perf_counter() - mark)
+            self._maybe_checkpoint(store, tick, metrics)
 
-    def run(self) -> FleetReport:
+    def run(self, resume: bool = False) -> FleetReport:
         """Stream the fleet and assemble the :class:`FleetReport`."""
-        metrics = self.run_metrics()
+        metrics = self.run_metrics(resume=resume)
         timeline = self.controller.timeline() if self.controller is not None else None
         return report_from_metrics(
             self.name,
@@ -340,11 +519,27 @@ class FleetEngine:
             adaptation=timeline,
         )
 
+    def resume(self, path: Optional[str] = None) -> FleetReport:
+        """Continue a killed run from its newest durable checkpoint.
 
-def _run_shard_worker(payload: dict) -> StreamingMetrics:
+        ``path`` overrides the engine's configured :attr:`checkpoint_dir`.
+        The resumed run's report is bit-identical to what the uninterrupted
+        run would have produced.
+        """
+        if path is not None:
+            self.checkpoint_dir = str(path)
+        if self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume needs a checkpoint directory (constructor "
+                "checkpoint_dir or resume(path=...))"
+            )
+        return self.run(resume=True)
+
+
+def _run_shard_worker(payload: dict, resume: bool = False) -> StreamingMetrics:
     """In-process shard entry point (serial shards and the pool fallback)."""
     engine = FleetEngine(**payload)
-    return engine.run_metrics()
+    return engine.run_metrics(resume=resume)
 
 
 class ShardedFleetEngine:
@@ -378,6 +573,9 @@ class ShardedFleetEngine:
         controller=None,
         columnar: bool = True,
         profiler: Optional[StageProfiler] = None,
+        faults: Optional[FaultSpec] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_cadence: int = 0,
     ) -> None:
         self.n_shards = int(n_shards) if n_shards is not None else spec.n_shards
         if self.n_shards <= 0:
@@ -404,6 +602,15 @@ class ShardedFleetEngine:
         self.controller = controller
         self.columnar = bool(columnar)
         self.profiler = profiler
+        self.faults = faults
+        #: Base checkpoint directory; shard ``i`` checkpoints under
+        #: ``<dir>/shard-<i>`` so per-shard recovery never mixes stores.
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_cadence = int(checkpoint_cadence)
+        if self.checkpoint_cadence < 0:
+            raise ConfigurationError(
+                f"checkpoint_cadence must be non-negative, got {checkpoint_cadence}"
+            )
         if self.n_shards > 1 and any(
             link.jitter_ms > 0.0 for link in system.topology.links
         ):
@@ -437,6 +644,9 @@ class ShardedFleetEngine:
             "name": self.name,
             "tier_names": self.tier_names,
             "columnar": self.columnar,
+            "faults": self.faults,
+            "checkpoint_dir": self.checkpoint_dir,
+            "checkpoint_cadence": self.checkpoint_cadence,
         }
 
     def _partitions(self) -> List[List[int]]:
@@ -447,19 +657,54 @@ class ShardedFleetEngine:
 
     def _shard_payloads(self) -> List[dict]:
         shared = self._shared_kwargs()
-        payloads = [
-            {**shared, "device_ids": partition, "profiler": self.profiler}
-            for partition in self._partitions()
-        ]
+        payloads = []
+        for index, partition in enumerate(self._partitions()):
+            payload = {
+                **shared,
+                "device_ids": partition,
+                "profiler": self.profiler,
+                "shard_index": index,
+            }
+            if self.checkpoint_dir is not None:
+                payload["checkpoint_dir"] = shard_checkpoint_dir(
+                    self.checkpoint_dir, index
+                )
+            payloads.append(payload)
         return payloads
 
-    def _run_shards(self) -> List[StreamingMetrics]:
-        if self.n_shards == 1 or not self._resolve_parallel():
+    def _recover_shard(self, payload: dict) -> StreamingMetrics:
+        """Re-run a crashed shard in-process from its last durable checkpoint.
+
+        At-most-once by construction: the dead worker returned nothing, so its
+        partial stream was never merged, and the recovery run (resumed from
+        the shard's own checkpoint store, crash events disarmed) produces the
+        shard's complete metrics exactly once.
+        """
+        warnings.warn(
+            f"shard {payload.get('shard_index', 0)} crashed; recovering it "
+            "in-process from its last checkpoint",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _run_shard_worker(payload, resume=True)
+
+    def _run_shards(self, resume: bool = False) -> List[StreamingMetrics]:
+        payloads = self._shard_payloads()
+        if self.n_shards == 1 or resume or not self._resolve_parallel():
             # In-process path: FleetEngine.run_metrics resets the shared
             # system before each shard, so sequential shards stay isolated.
-            return [_run_shard_worker(payload) for payload in self._shard_payloads()]
+            # Resumed runs always take it — each shard must read its own
+            # checkpoint store with the resume semantics, which the pooled
+            # task protocol does not carry.
+            results = []
+            for payload in payloads:
+                try:
+                    results.append(_run_shard_worker(payload, resume=resume))
+                except WorkerCrash:
+                    results.append(self._recover_shard(payload))
+            return results
         try:
-            return sharding.run_sharded(
+            parts = sharding.run_sharded(
                 self._shared_kwargs(), self._partitions(), self.n_shards
             )
         except ReproError:
@@ -471,9 +716,23 @@ class ShardedFleetEngine:
             raise
         except (OSError, ValueError, multiprocessing.ProcessError) as exc:
             _warn_pool_fallback_once(exc)
-            return [_run_shard_worker(payload) for payload in self._shard_payloads()]
+            results = []
+            for payload in payloads:
+                try:
+                    results.append(_run_shard_worker(payload))
+                except WorkerCrash:
+                    results.append(self._recover_shard(payload))
+            return results
+        # Injected shard crashes surface as WorkerCrash placeholders in the
+        # pooled results; recover each from its shard checkpoint store.
+        return [
+            self._recover_shard(payloads[index])
+            if isinstance(part, WorkerCrash)
+            else part
+            for index, part in enumerate(parts)
+        ]
 
-    def run(self) -> FleetReport:
+    def run(self, resume: bool = False) -> FleetReport:
         """Run every shard, merge in shard order and assemble the report."""
         if self.controller is not None:
             # Adaptation is tick-synchronous global state (monitors, a shared
@@ -503,11 +762,29 @@ class ShardedFleetEngine:
                 controller=self.controller,
                 columnar=self.columnar,
                 profiler=self.profiler,
-            ).run()
-        parts = self._run_shards()
+                faults=self.faults,
+                checkpoint_dir=(
+                    shard_checkpoint_dir(self.checkpoint_dir, 0)
+                    if self.checkpoint_dir is not None
+                    else None
+                ),
+                checkpoint_cadence=self.checkpoint_cadence,
+            ).run(resume=resume)
+        parts = self._run_shards(resume=resume)
         metrics = StreamingMetrics.merge(
             parts, seed_entropy=(self.master_seed, self.spec.seed)
         )
         return report_from_metrics(
             self.name, metrics, self.tier_names, n_devices=self.spec.n_devices
         )
+
+    def resume(self, path: Optional[str] = None) -> FleetReport:
+        """Continue a killed sharded run from its per-shard checkpoints."""
+        if path is not None:
+            self.checkpoint_dir = str(path)
+        if self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume needs a checkpoint directory (constructor "
+                "checkpoint_dir or resume(path=...))"
+            )
+        return self.run(resume=True)

@@ -106,9 +106,9 @@ class DelayReservoir:
             self._store[slots[hits]] = values[hits]
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile of the sampled delays (0 when empty)."""
+        """The ``q``-th percentile of the sampled delays (NaN when empty)."""
         if not self._size:
-            return 0.0
+            return float("nan")
         return float(np.percentile(self._store[: self._size], q))
 
     @classmethod
@@ -174,6 +174,7 @@ class StreamingMetrics:
         self.layer_requests = np.zeros(self.n_layers, dtype=np.int64)
         self.layer_delay_sum = np.zeros(self.n_layers)
         self.layer_anomalies = np.zeros(self.n_layers, dtype=np.int64)
+        self.layer_redirected = np.zeros(self.n_layers, dtype=np.int64)
         # Delay stream.
         self.delay_sum = 0.0
         self.delay_max = 0.0
@@ -196,8 +197,14 @@ class StreamingMetrics:
         predictions: np.ndarray,
         labels: np.ndarray,
         delays_ms: np.ndarray,
+        redirected: int = 0,
     ) -> None:
-        """Fold one detected batch (a single layer within one tick) in."""
+        """Fold one detected batch (a single layer within one tick) in.
+
+        ``layer`` is the tier that actually *served* the batch;
+        ``redirected`` counts how many of its windows were redirected there
+        because their requested tier was unreachable (failover accounting).
+        """
         predictions = np.asarray(predictions, dtype=int)
         labels = np.asarray(labels, dtype=int)
         delays_ms = np.asarray(delays_ms, dtype=float)
@@ -211,6 +218,7 @@ class StreamingMetrics:
         self.layer_requests[layer] += predictions.shape[0]
         self.layer_delay_sum[layer] += float(delays_ms.sum())
         self.layer_anomalies[layer] += int(predictions.sum())
+        self.layer_redirected[layer] += int(redirected)
         self.delay_sum += float(delays_ms.sum())
         if delays_ms.size:
             self.delay_max = max(self.delay_max, float(delays_ms.max()))
@@ -243,6 +251,7 @@ class StreamingMetrics:
             "layer_requests": self.layer_requests,
             "layer_delay_sum": self.layer_delay_sum,
             "layer_anomalies": self.layer_anomalies,
+            "layer_redirected": self.layer_redirected,
             "delay_sum": self.delay_sum,
             "delay_max": self.delay_max,
             "online_device_ticks": self.online_device_ticks,
@@ -275,6 +284,10 @@ class StreamingMetrics:
         metrics.layer_requests = np.asarray(payload["layer_requests"], dtype=np.int64)
         metrics.layer_delay_sum = np.asarray(payload["layer_delay_sum"], dtype=float)
         metrics.layer_anomalies = np.asarray(payload["layer_anomalies"], dtype=np.int64)
+        # Absent in payloads written before the failover accounting existed.
+        metrics.layer_redirected = np.asarray(
+            payload.get("layer_redirected", np.zeros(metrics.n_layers)), dtype=np.int64
+        )
         metrics.delay_sum = float(payload["delay_sum"])
         metrics.delay_max = float(payload["delay_max"])
         metrics.online_device_ticks = int(payload["online_device_ticks"])
@@ -282,6 +295,41 @@ class StreamingMetrics:
         metrics.reservoir.seen = int(payload["reservoir_seen"])
         metrics.reservoir.values = [float(v) for v in payload["reservoir_values"]]
         return metrics
+
+    def snapshot_state(self) -> dict:
+        """A mid-run snapshot for the fleet checkpoint layer.
+
+        Unlike :meth:`to_payload` (a terminal shard result, RNG-free), a
+        checkpoint must let the reservoir *keep sampling* bit-identically, so
+        the reservoir's generator state rides along.
+        """
+        snapshot = self.to_payload()
+        snapshot["reservoir_rng_state"] = self.reservoir._rng.bit_generator.state
+        return snapshot
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Restore the state captured by :meth:`snapshot_state` in place."""
+        if (
+            int(snapshot["ticks"]) != self.ticks
+            or int(snapshot["metrics_window"]) != self.metrics_window
+            or int(snapshot["n_layers"]) != self.n_layers
+            or int(snapshot["reservoir_capacity"]) != self.reservoir.capacity
+        ):
+            raise ConfigurationError(
+                "checkpointed metrics shape does not match this run — was the "
+                "spec changed between checkpoint and resume?"
+            )
+        restored = StreamingMetrics.from_payload(snapshot)
+        for name in (
+            "confusion", "windowed_confusion", "windowed_delay_sum",
+            "layer_requests", "layer_delay_sum", "layer_anomalies",
+            "layer_redirected", "delay_sum", "delay_max",
+            "online_device_ticks", "offline_device_ticks",
+        ):
+            setattr(self, name, getattr(restored, name))
+        self.reservoir.seen = restored.reservoir.seen
+        self.reservoir.values = restored.reservoir.values
+        self.reservoir._rng.bit_generator.state = snapshot["reservoir_rng_state"]
 
     @classmethod
     def merge(
@@ -313,6 +361,7 @@ class StreamingMetrics:
             merged.layer_requests += part.layer_requests
             merged.layer_delay_sum += part.layer_delay_sum
             merged.layer_anomalies += part.layer_anomalies
+            merged.layer_redirected += part.layer_redirected
             merged.delay_sum += part.delay_sum
             merged.delay_max = max(merged.delay_max, part.delay_max)
             merged.online_device_ticks += part.online_device_ticks

@@ -12,10 +12,11 @@ three hooks:
 * :meth:`StreamMutator.transform` — applied to each emitted window, with the
   device RNG available for per-window draws.
 
-The four concrete mutators are the scenarios the paper's fleet premise
-implies but the offline replay could never exercise: gradual concept drift,
-bursty fleet-wide anomaly episodes, device churn/dropout, and per-device
-phase jitter.
+The concrete mutators cover the scenarios the paper's fleet premise implies
+but the offline replay could never exercise: gradual concept drift, bursty
+fleet-wide anomaly episodes, device churn/dropout, per-device phase jitter,
+and the sensor-level fault models used by fault injection (stuck-at sensors,
+transient spikes, permanent sensor dropout).
 
 Each hook also has a *columnar* counterpart consumed by the streaming fast
 path (:meth:`~repro.fleet.devices.DeviceFleet.arrivals_columnar`):
@@ -282,3 +283,126 @@ class PhaseJitter(StreamMutator):
             gather = (np.arange(length)[None, :] - shifts[moved, None]) % length
             windows[moved] = windows[moved][np.arange(moved.size)[:, None], gather]
         return windows
+
+
+class SensorStuck(StreamMutator):
+    """Stuck-at sensor fault: a fraction of devices emit a constant reading.
+
+    At creation each device decides (from its own RNG) whether its sensor is
+    stuck and, if so, at which constant standardised value.  A stuck device
+    keeps sampling — and labelling — windows from the pool exactly as a
+    healthy one would, but what it *emits* is the constant, so ground truth
+    is preserved while the observable signal is destroyed.  That is the
+    classic stuck-at fault: the detector sees garbage uncorrelated with the
+    process label.
+    """
+
+    def __init__(self, stuck_fraction: float = 0.1, stuck_scale: float = 1.0) -> None:
+        self.stuck_fraction = float(stuck_fraction)
+        #: Standard deviation of the per-device stuck value (standardised units).
+        self.stuck_scale = float(stuck_scale)
+
+    def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
+        stuck = bool(rng.random() < self.stuck_fraction)
+        value = float(rng.normal(0.0, self.stuck_scale))
+        return {"stuck": stuck, "stuck_value": value}
+
+    def transform(self, window, state, tick, rng):
+        if not state["stuck"]:
+            return window
+        return np.full(window.shape, state["stuck_value"])
+
+    def stack_states(self, states):
+        return {
+            "stuck": np.array([state["stuck"] for state in states], dtype=bool),
+            "values": np.array([state["stuck_value"] for state in states], dtype=float),
+        }
+
+    def transform_batch(self, windows, stacked, rows, tick, draws):
+        mask = stacked["stuck"][rows]
+        if mask.any():
+            values = stacked["values"][rows[mask]]
+            # Broadcasting the scalar over the window assigns the exact float
+            # np.full() would — constant fills are trivially bit-identical.
+            windows[mask] = values.reshape((-1,) + (1,) * (windows.ndim - 1))
+        return windows
+
+
+class SensorSpike(StreamMutator):
+    """Transient sensor spikes: occasional windows carry one corrupted timestep.
+
+    With probability ``spike_rate`` per emitted window, ``spike_magnitude``
+    standardised units are added to every channel of one uniformly drawn
+    timestep — a glitch reading, not an anomaly in the monitored process, so
+    labels are untouched and the fault shows up as false positives.
+    """
+
+    def __init__(self, spike_rate: float = 0.05, spike_magnitude: float = 6.0) -> None:
+        self.spike_rate = float(spike_rate)
+        self.spike_magnitude = float(spike_magnitude)
+
+    def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
+        return {"length": int(window_shape[0])}
+
+    def transform(self, window, state, tick, rng):
+        if not (rng.random() < self.spike_rate):
+            return window
+        index = int(rng.integers(state["length"]))
+        # Pool windows reach the per-window path as views — copy before the
+        # in-place corruption so the shared pool is never mutated.
+        window = np.array(window, dtype=float)
+        window[index] += self.spike_magnitude
+        return window
+
+    def transform_draw(self, state, rng):
+        if rng.random() < self.spike_rate:
+            return int(rng.integers(state["length"]))
+        return None
+
+    def transform_batch(self, windows, stacked, rows, tick, draws):
+        spiked = np.fromiter(
+            (draw is not None for draw in draws), dtype=bool, count=len(draws)
+        )
+        hit = np.flatnonzero(spiked)
+        if hit.size:
+            indices = np.fromiter(
+                (draws[i] for i in hit), dtype=np.int64, count=hit.size
+            )
+            # Same float64 add at the same (window, timestep) coordinates as
+            # transform() performs on its copy — bit-identical per element.
+            windows[hit, indices] += self.spike_magnitude
+        return windows
+
+
+class SensorDropout(StreamMutator):
+    """Permanent sensor failure: some devices go dark partway through the run.
+
+    At creation each device decides whether it fails and draws its failure
+    tick uniformly from ``[0, horizon)``; from that tick on it never emits
+    again.  Unlike :class:`DeviceChurn` the outage is permanent — the fleet
+    shrinks, tier load redistributes, and online-ness stays a pure function
+    of the tick so the surviving devices' streams are unperturbed.
+    """
+
+    def __init__(self, dropout_fraction: float = 0.1, horizon: int = 32) -> None:
+        self.dropout_fraction = float(dropout_fraction)
+        self.horizon = int(horizon)
+
+    def device_state(self, rng: np.random.Generator, window_shape: tuple) -> Dict[str, Any]:
+        fails = bool(rng.random() < self.dropout_fraction)
+        fail_tick = int(rng.integers(0, self.horizon))
+        return {"fails": fails, "fail_tick": fail_tick}
+
+    def online(self, state, tick):
+        return not state["fails"] or tick < state["fail_tick"]
+
+    def stack_states(self, states):
+        return {
+            "fails": np.array([state["fails"] for state in states], dtype=bool),
+            "fail_ticks": np.array(
+                [state["fail_tick"] for state in states], dtype=np.int64
+            ),
+        }
+
+    def online_batch(self, stacked, states, tick):
+        return ~stacked["fails"] | (tick < stacked["fail_ticks"])

@@ -54,6 +54,10 @@ class TierUsage:
     fraction: float
     mean_delay_ms: float
     anomalies_reported: int
+    #: Requests that were redirected *to* this tier by failover because the
+    #: policy's chosen tier was unreachable (zero on healthy runs; defaulted
+    #: so reports written before fault injection still load).
+    redirected: int = 0
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "TierUsage":
@@ -226,6 +230,7 @@ def report_from_metrics(
                     float(metrics.layer_delay_sum[layer] / requests) if requests else 0.0
                 ),
                 anomalies_reported=int(metrics.layer_anomalies[layer]),
+                redirected=int(metrics.layer_redirected[layer]),
             )
         )
 

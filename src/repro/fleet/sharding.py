@@ -42,11 +42,15 @@ import atexit
 import itertools
 import multiprocessing
 import os
+import signal
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.fleet.faults import WorkerCrash
 
 #: Published heavy-state entries kept alive (LRU beyond this).
 PUBLISH_LIMIT = 4
@@ -106,6 +110,11 @@ def _structural_key(heavy: dict) -> tuple:
         heavy["name"],
         heavy["tier_names"],
         heavy.get("columnar", True),
+        # FaultSpec is frozen (hashable); different fault schedules or
+        # checkpoint configurations must never share a forked snapshot.
+        heavy.get("faults"),
+        heavy.get("checkpoint_dir"),
+        heavy.get("checkpoint_cadence", 0),
     )
 
 
@@ -158,46 +167,118 @@ def _drop_pool(processes: int) -> None:
         entry.pool.join()
 
 
+#: SharedMemory segments exported by this process and not yet unlinked.
+_ACTIVE_SEGMENTS: List = []
+
+
 def shutdown() -> None:
-    """Terminate every cached pool and forget published state (tests/atexit)."""
+    """Terminate every cached pool, unlink exported SharedMemory segments and
+    forget published state (tests/atexit/SIGTERM)."""
     for processes in list(_POOLS):
         _drop_pool(processes)
+    for segment in list(_ACTIVE_SEGMENTS):
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+    _ACTIVE_SEGMENTS.clear()
     invalidate()
 
 
 atexit.register(shutdown)
 
+_signal_cleanup_installed = False
 
-def _worker_run_shard(task: Tuple[int, List[int]]) -> dict:
+
+def _install_signal_cleanup() -> None:
+    """Make SIGTERM run :func:`shutdown` before dying (once, main thread only).
+
+    atexit does not run on SIGTERM's default disposition, so a terminated
+    parent would orphan live fork workers and leak SharedMemory segments.
+    The handler cleans up, then re-raises SIGTERM under the default
+    disposition so the process still dies with the conventional exit status.
+    """
+    global _signal_cleanup_installed
+    if _signal_cleanup_installed:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal.signal raises off the main thread; workers skip it
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _handle(signum, frame):
+        shutdown()
+        if callable(previous) and previous not in (signal.SIG_IGN, signal.SIG_DFL):
+            previous(signum, frame)
+        else:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    try:
+        signal.signal(signal.SIGTERM, _handle)
+    except (ValueError, OSError):  # pragma: no cover - exotic embedding
+        return
+    _signal_cleanup_installed = True
+
+
+def _worker_run_shard(task: Tuple[int, int, List[int]]) -> dict:
     """Fork-pool entry point: resolve inherited state, stream, return arrays."""
-    token, device_ids = task
+    token, shard_index, device_ids = task
     heavy = _TOKENS[token]
+    from repro.fleet.checkpoint import shard_checkpoint_dir
     from repro.fleet.engine import FleetEngine
 
-    engine = FleetEngine(device_ids=device_ids, **heavy)
+    kwargs = dict(heavy)
+    base = kwargs.get("checkpoint_dir")
+    if base:
+        kwargs["checkpoint_dir"] = shard_checkpoint_dir(base, shard_index)
+    kwargs["shard_index"] = shard_index
+    engine = FleetEngine(device_ids=device_ids, **kwargs)
     return engine.run_metrics().to_payload()
 
 
 def run_sharded(heavy: dict, partitions: Sequence[Sequence[int]], processes: int) -> list:
     """Run one :class:`~repro.fleet.engine.FleetEngine` per partition in the pool.
 
-    Returns per-shard :class:`~repro.fleet.metrics.StreamingMetrics` in
-    partition order.  Raises whatever the pool machinery raises — the caller
-    (``ShardedFleetEngine._run_shards``) owns the serial fallback.
+    Returns, in partition order, per-shard
+    :class:`~repro.fleet.metrics.StreamingMetrics` — or the
+    :class:`~repro.fleet.faults.WorkerCrash` a shard died with (an *injected*
+    crash is an application event, not a pool failure: the worker survives
+    and the caller recovers the shard from its checkpoints).  Anything else
+    raises after dropping the pool — the caller
+    (``ShardedFleetEngine._run_shards``) owns the serial fallback, and a
+    ``KeyboardInterrupt``/``SystemExit`` mid-run must not leave a cached pool
+    of orphaned workers behind.
     """
     from repro.fleet.metrics import StreamingMetrics
 
+    _install_signal_cleanup()
     if fork_available():
         token = _publish(heavy)
         pool = _pool_for(processes, token)
-        tasks = [(token, list(partition)) for partition in partitions]
+        tasks = [
+            (token, index, list(partition))
+            for index, partition in enumerate(partitions)
+        ]
+        results = []
         try:
-            payloads = pool.map(_worker_run_shard, tasks)
-        except Exception:
-            # A broken pool (dead worker, torn-down queue) must not be reused.
+            handles = [pool.apply_async(_worker_run_shard, (task,)) for task in tasks]
+            for handle in handles:
+                try:
+                    results.append(handle.get())
+                except WorkerCrash as crash:
+                    results.append(crash)
+        except BaseException:
+            # A broken pool (dead worker, torn-down queue) must not be
+            # reused; on KeyboardInterrupt this also reaps the workers.
             _drop_pool(processes)
             raise
-        return [StreamingMetrics.from_payload(payload) for payload in payloads]
+        return [
+            result
+            if isinstance(result, WorkerCrash)
+            else StreamingMetrics.from_payload(result)
+            for result in results
+        ]
     return _run_sharded_spawn(heavy, partitions, processes)
 
 
@@ -221,6 +302,7 @@ def export_array(array: np.ndarray):
     segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
     view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
     view[...] = array
+    _ACTIVE_SEGMENTS.append(segment)
     return segment, SharedArraySpec(
         name=segment.name, shape=tuple(array.shape), dtype=str(array.dtype)
     )
@@ -279,27 +361,49 @@ def _worker_run_shard_spawn(payload: dict) -> dict:
 
 
 def _run_sharded_spawn(heavy: dict, partitions, processes: int) -> list:
+    from repro.fleet.checkpoint import shard_checkpoint_dir
     from repro.fleet.metrics import StreamingMetrics
 
+    _install_signal_cleanup()
     pool_obj = heavy["pool"]
     normal_segment, normal_spec = export_array(pool_obj.normal)
     anomalous_segment, anomalous_spec = export_array(pool_obj.anomalous)
     light = {key: value for key, value in heavy.items() if key != "pool"}
-    payloads = [
-        {
+    base = light.get("checkpoint_dir")
+    payloads = []
+    for index, partition in enumerate(partitions):
+        payload = {
             **light,
             "device_ids": list(partition),
+            "shard_index": index,
             "_normal_spec": normal_spec,
             "_anomalous_spec": anomalous_spec,
         }
-        for partition in partitions
-    ]
+        if base:
+            payload["checkpoint_dir"] = shard_checkpoint_dir(base, index)
+        payloads.append(payload)
     context = multiprocessing.get_context()
     try:
         with context.Pool(processes=processes) as worker_pool:
-            results = worker_pool.map(_worker_run_shard_spawn, payloads)
+            handles = [
+                worker_pool.apply_async(_worker_run_shard_spawn, (payload,))
+                for payload in payloads
+            ]
+            results = []
+            for handle in handles:
+                try:
+                    results.append(handle.get())
+                except WorkerCrash as crash:
+                    results.append(crash)
     finally:
         for segment in (normal_segment, anomalous_segment):
             segment.close()
             segment.unlink()
-    return [StreamingMetrics.from_payload(payload) for payload in results]
+            if segment in _ACTIVE_SEGMENTS:
+                _ACTIVE_SEGMENTS.remove(segment)
+    return [
+        result
+        if isinstance(result, WorkerCrash)
+        else StreamingMetrics.from_payload(result)
+        for result in results
+    ]

@@ -22,7 +22,15 @@ from repro.exceptions import ConfigurationError
 from repro.utils.validation import checked_dataclass_kwargs
 
 #: Stream-mutator kinds understood by :meth:`MutatorSpec.build`.
-MUTATOR_KINDS = ("concept-drift", "anomaly-burst", "device-churn", "phase-jitter")
+MUTATOR_KINDS = (
+    "concept-drift",
+    "anomaly-burst",
+    "device-churn",
+    "phase-jitter",
+    "sensor-stuck",
+    "sensor-spike",
+    "sensor-dropout",
+)
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,18 @@ class MutatorSpec:
     # phase-jitter: each device's windows are circularly shifted by a fixed
     # per-device offset plus a per-window draw, both bounded by ``max_shift``.
     max_shift: int = 4
+    # sensor-stuck: a ``stuck_fraction`` of devices emit a constant reading
+    # drawn per device from N(0, ``stuck_scale``²) in standardised units.
+    stuck_fraction: float = 0.1
+    stuck_scale: float = 1.0
+    # sensor-spike: each emitted window carries, with probability
+    # ``spike_rate``, a ``spike_magnitude``-unit glitch at one random timestep.
+    spike_rate: float = 0.05
+    spike_magnitude: float = 6.0
+    # sensor-dropout: a ``dropout_fraction`` of devices fail permanently at a
+    # per-device tick drawn uniformly from [0, ``dropout_horizon``).
+    dropout_fraction: float = 0.1
+    dropout_horizon: int = 32
 
     def __post_init__(self) -> None:
         if self.kind not in MUTATOR_KINDS:
@@ -87,6 +107,18 @@ class MutatorSpec:
             )
         if self.max_shift < 0:
             raise ConfigurationError(f"max_shift must be non-negative, got {self.max_shift}")
+        for name in ("stuck_fraction", "spike_rate", "dropout_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        if self.stuck_scale < 0:
+            raise ConfigurationError(
+                f"stuck_scale must be non-negative, got {self.stuck_scale}"
+            )
+        if self.dropout_horizon <= 0:
+            raise ConfigurationError(
+                f"dropout_horizon must be positive, got {self.dropout_horizon}"
+            )
 
     def build(self):
         """The concrete :mod:`repro.fleet.mutators` instance for this spec."""
@@ -95,8 +127,23 @@ class MutatorSpec:
             ConceptDrift,
             DeviceChurn,
             PhaseJitter,
+            SensorDropout,
+            SensorSpike,
+            SensorStuck,
         )
 
+        if self.kind == "sensor-stuck":
+            return SensorStuck(
+                stuck_fraction=self.stuck_fraction, stuck_scale=self.stuck_scale
+            )
+        if self.kind == "sensor-spike":
+            return SensorSpike(
+                spike_rate=self.spike_rate, spike_magnitude=self.spike_magnitude
+            )
+        if self.kind == "sensor-dropout":
+            return SensorDropout(
+                dropout_fraction=self.dropout_fraction, horizon=self.dropout_horizon
+            )
         if self.kind == "concept-drift":
             return ConceptDrift(
                 drift_per_tick=self.drift_per_tick,

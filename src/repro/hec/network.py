@@ -15,9 +15,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SchedulingError
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_non_negative
+
+#: Health states a link can be in (see :meth:`NetworkLink.set_status`).
+LINK_STATUSES = ("up", "degraded", "down")
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,36 @@ class NetworkLink:
         self._connection_established = False
         self.transferred_bytes = 0.0
         self.transfer_count = 0
+        #: Health state driven by fault injection: "up" (healthy), "degraded"
+        #: (latency multiplied by :attr:`degraded_factor`) or "down"
+        #: (transfers raise; the system fails over to a reachable tier).
+        self.status = "up"
+        self.degraded_factor = 1.0
+
+    # -- health ------------------------------------------------------------------
+
+    def set_status(self, status: str, factor: Optional[float] = None) -> None:
+        """Set the link's health state; ``factor`` is the latency multiplier
+        applied while ``status == "degraded"`` (ignored otherwise)."""
+        if status not in LINK_STATUSES:
+            raise ConfigurationError(
+                f"link status must be one of {LINK_STATUSES}, got {status!r}"
+            )
+        self.status = status
+        if status == "degraded":
+            if factor is not None:
+                if factor < 1.0:
+                    raise ConfigurationError(
+                        f"degraded factor must be >= 1, got {factor}"
+                    )
+                self.degraded_factor = float(factor)
+        else:
+            self.degraded_factor = 1.0
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the link is currently unreachable."""
+        return self.status == "down"
 
     # -- delay model ------------------------------------------------------------
 
@@ -68,8 +101,23 @@ class NetworkLink:
         return bits / (self.bandwidth_mbps * 1e6) * 1e3
 
     def transfer_delay_ms(self, transfer: TransferSpec) -> float:
-        """One-way delay of a transfer: setup (first use only) + latency + jitter + serialisation."""
-        delay = self.one_way_latency_ms + self.serialization_delay_ms(transfer.payload_bytes)
+        """One-way delay of a transfer: setup (first use only) + latency + jitter + serialisation.
+
+        A degraded link multiplies its propagation latency by
+        :attr:`degraded_factor` (the factor is exactly 1.0 when healthy, so
+        healthy delays are bit-identical to a link without the health model).
+        Transferring over a down link is a scheduling bug — the system must
+        fail over before dispatching — and raises.
+        """
+        if self.is_down:
+            raise SchedulingError(
+                f"link {self.name!r} is down; detection must fail over to a "
+                "reachable tier instead of transferring"
+            )
+        delay = (
+            self.one_way_latency_ms * self.degraded_factor
+            + self.serialization_delay_ms(transfer.payload_bytes)
+        )
         if self.jitter_ms > 0:
             delay += float(abs(self._rng.normal(0.0, self.jitter_ms)))
         if not self._connection_established or not self.keep_alive:
@@ -112,10 +160,32 @@ class NetworkLink:
     # -- bookkeeping ----------------------------------------------------------------
 
     def reset(self) -> None:
-        """Forget connection state and traffic counters."""
+        """Forget connection state, traffic counters and injected faults."""
         self._connection_established = False
         self.transferred_bytes = 0.0
         self.transfer_count = 0
+        self.status = "up"
+        self.degraded_factor = 1.0
+
+    def snapshot(self) -> dict:
+        """Picklable mid-run link state for the fleet checkpoint layer."""
+        return {
+            "connection_established": self._connection_established,
+            "transferred_bytes": self.transferred_bytes,
+            "transfer_count": self.transfer_count,
+            "status": self.status,
+            "degraded_factor": self.degraded_factor,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+        self._connection_established = bool(snapshot["connection_established"])
+        self.transferred_bytes = float(snapshot["transferred_bytes"])
+        self.transfer_count = int(snapshot["transfer_count"])
+        self.status = str(snapshot["status"])
+        self.degraded_factor = float(snapshot["degraded_factor"])
+        self._rng.bit_generator.state = snapshot["rng_state"]
 
     @property
     def round_trip_latency_ms(self) -> float:

@@ -107,6 +107,8 @@ class LayerCounters:
     total_execution_ms: float = 0.0
     total_delay_ms: float = 0.0
     anomalies_reported: int = 0
+    #: Requests served here because their requested tier was unreachable.
+    redirected: int = 0
 
 
 class HECSystem:
@@ -145,6 +147,11 @@ class HECSystem:
         #: engine's forked worker pools — key their snapshots on it so a
         #: swap invalidates them (see :mod:`repro.fleet.sharding`).
         self.state_version = 0
+        #: Failover policy under link outage: a request whose tier is behind a
+        #: down link is redirected to the best reachable tier and charged
+        #: ``retries * timeout`` of retry delay (see :meth:`configure_failover`).
+        self._failover_retries = 1
+        self._retry_timeout_ms = 200.0
 
     def bump_state_version(self) -> int:
         """Mark the deployed model set as changed; returns the new version."""
@@ -184,6 +191,41 @@ class HECSystem:
             delay += link.serialization_delay_ms(64.0)
         return float(delay)
 
+    # -- failover ------------------------------------------------------------------
+
+    def configure_failover(self, retries: int = 1, timeout_ms: float = 200.0) -> None:
+        """Set the retry policy charged when a request is redirected off a
+        tier behind a down link: ``retries * timeout_ms`` of extra delay per
+        redirected request, recorded in the delay breakdown's ``retry_ms``."""
+        if retries < 1:
+            raise SchedulingError(f"failover retries must be >= 1, got {retries}")
+        if timeout_ms < 0:
+            raise SchedulingError(f"retry timeout must be non-negative, got {timeout_ms}")
+        self._failover_retries = int(retries)
+        self._retry_timeout_ms = float(timeout_ms)
+
+    def reachable_layer(self, layer: int) -> int:
+        """The highest reachable layer on the path to ``layer``.
+
+        Walks the uplink chain and stops below the first down link; a request
+        for an unreachable tier is served by the best tier still connected to
+        the device (layer 0 — the device itself — is always reachable).
+        """
+        effective = int(layer)
+        for index, link in enumerate(self.topology.links_to(layer)):
+            if link.is_down:
+                effective = index
+                break
+        return effective
+
+    def _resolve_layer(self, layer: int):
+        """``(effective layer, retry penalty ms, redirected?)`` for a request."""
+        self.deployment_at(layer)  # unknown layers stay a scheduling error
+        effective = self.reachable_layer(layer)
+        if effective == layer:
+            return int(layer), 0.0, False
+        return effective, float(self._failover_retries * self._retry_timeout_ms), True
+
     # -- request handling --------------------------------------------------------------
 
     def detect_at(
@@ -198,6 +240,7 @@ class HECSystem:
         ``escalated_from`` carries the delay already spent at lower layers when
         the Successive scheme escalates a non-confident request upward.
         """
+        layer, retry_ms, redirected = self._resolve_layer(layer)
         deployment = self.deployment_at(layer)
         window = np.asarray(window, dtype=float)
         batch = window[None, ...]
@@ -211,6 +254,7 @@ class HECSystem:
             execution_ms=deployment.execution_time_ms,
             payload_bytes=payload,
         )
+        breakdown.retry_ms = retry_ms
         if escalated_from is not None:
             breakdown.merge_escalation(escalated_from)
         self.clock.advance(breakdown.total_ms)
@@ -233,6 +277,7 @@ class HECSystem:
         counters.total_execution_ms += deployment.execution_time_ms
         counters.total_delay_ms += breakdown.total_ms
         counters.anomalies_reported += record.prediction
+        counters.redirected += int(redirected)
         return record
 
     def detect_batch(
@@ -253,6 +298,7 @@ class HECSystem:
         ``escalated_from`` optionally carries, per window, the delay already
         spent at lower layers (the Successive scheme's batched escalation).
         """
+        layer, retry_ms, redirected = self._resolve_layer(layer)
         deployment = self.deployment_at(layer)
         windows = _as_float64_batch(windows)
         if windows.ndim < 2:
@@ -278,6 +324,7 @@ class HECSystem:
         counters = self.layer_counters[layer]
         for index in range(n):
             breakdown = breakdowns[index]
+            breakdown.retry_ms = retry_ms
             if escalated_from is not None and escalated_from[index] is not None:
                 breakdown.merge_escalation(escalated_from[index])
             self.clock.advance(breakdown.total_ms)
@@ -301,6 +348,7 @@ class HECSystem:
             counters.total_execution_ms += deployment.execution_time_ms
             counters.total_delay_ms += breakdown.total_ms
             counters.anomalies_reported += record.prediction
+            counters.redirected += int(redirected)
         return records
 
     def detect_batch_columnar(
@@ -332,8 +380,9 @@ class HECSystem:
         if self.record_log:
             records = self.detect_batch(layer, windows)
             n = len(records)
+            served = records[0].layer if records else self.reachable_layer(layer)
             return BatchDetectionResult(
-                layer=int(layer),
+                layer=int(served),
                 predictions=np.fromiter(
                     (r.prediction for r in records), dtype=np.int64, count=n
                 ),
@@ -347,6 +396,7 @@ class HECSystem:
                     (r.confident for r in records), dtype=bool, count=n
                 ),
             )
+        layer, retry_ms, redirected = self._resolve_layer(layer)
         deployment = self.deployment_at(layer)
         windows = _as_float64_batch(windows)
         if windows.ndim < 2:
@@ -378,6 +428,10 @@ class HECSystem:
             delays[1:] = steady.total_ms
         elif jittery:
             delays[1:] = [breakdown.total_ms for breakdown in jittery]
+        if retry_ms:
+            # Bit-identical to setting retry_ms on each breakdown: total_ms
+            # sums retry last, and x + 0.0 + r == x + r exactly.
+            delays += retry_ms
 
         total_delay = float(delays.sum())
         self.clock.advance(total_delay)
@@ -387,6 +441,7 @@ class HECSystem:
         counters.total_execution_ms += deployment.execution_time_ms * n
         counters.total_delay_ms += total_delay
         counters.anomalies_reported += int(predictions.sum())
+        counters.redirected += n if redirected else 0
         return BatchDetectionResult(
             layer=int(layer),
             predictions=predictions,
@@ -469,6 +524,51 @@ class HECSystem:
         elif jittery:
             breakdowns.extend(jittery)
         return breakdowns
+
+    # -- checkpointing ---------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable mid-run state for the fleet checkpoint layer.
+
+        Captures the clock position (history excluded — nothing downstream of
+        a streaming run reads it), the request counter, per-layer counters and
+        per-link state.  The deployed models are *not* captured here; the
+        adaptation controller snapshots them (a frozen run redeploys the same
+        detectors deterministically).
+        """
+        return {
+            "clock_now_ms": float(self.clock.now_ms),
+            "request_counter": int(self._request_counter),
+            "state_version": int(self.state_version),
+            "failover_retries": self._failover_retries,
+            "retry_timeout_ms": self._retry_timeout_ms,
+            "layer_counters": {
+                layer: dict(
+                    requests=c.requests,
+                    total_execution_ms=c.total_execution_ms,
+                    total_delay_ms=c.total_delay_ms,
+                    anomalies_reported=c.anomalies_reported,
+                    redirected=c.redirected,
+                )
+                for layer, c in self.layer_counters.items()
+            },
+            "links": [link.snapshot() for link in self.topology.links],
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Restore the state captured by :meth:`snapshot_state`."""
+        self.clock.reset()
+        self.clock.now_ms = float(snapshot["clock_now_ms"])
+        self._request_counter = int(snapshot["request_counter"])
+        self.state_version = int(snapshot["state_version"])
+        self._failover_retries = int(snapshot["failover_retries"])
+        self._retry_timeout_ms = float(snapshot["retry_timeout_ms"])
+        self.layer_counters = {
+            int(layer): LayerCounters(**counters)
+            for layer, counters in snapshot["layer_counters"].items()
+        }
+        for link, link_snapshot in zip(self.topology.links, snapshot["links"]):
+            link.restore(link_snapshot)
 
     # -- bookkeeping -----------------------------------------------------------------------
 

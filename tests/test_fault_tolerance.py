@@ -1,0 +1,852 @@
+"""Fault-tolerance pins: durable checkpoints, resume, fault injection, failover.
+
+The headline contracts of the robustness layer:
+
+* a SIGKILLed streaming run resumed from its last durable checkpoint produces
+  a report **bit-identical** to the uninterrupted run (serial, sharded and
+  adaptive);
+* an injected shard-worker crash is recovered at-most-once — the merged
+  report carries the exact counts of a crash-free run;
+* a partitioned uplink fails requests over to the best reachable tier with
+  retry/timeout delay accounting, and utilisation shifts off the unreachable
+  tier;
+* checkpointing draws no RNG, so a checkpointed run equals an uncheckpointed
+  one, cadence notwithstanding.
+
+Kill tests fork a child process (fork start method: the trained state is
+inherited, nothing is pickled) and SIGKILL it from inside via the injected
+``process-kill`` fault; multiprocessing *pools* must never be SIGKILLed —
+``Pool.map`` hangs on dead workers — which is why the kill scenarios stay on
+the serial paths.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import subprocess
+import sys
+import warnings
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ConfigurationError, SchedulingError, SerializationError
+from repro.experiments import ExperimentRunner, apply_overrides, get_scenario
+from repro.experiments.spec import ExperimentSpec
+from repro.fleet import sharding
+from repro.fleet.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    load_run_descriptor,
+    save_run_descriptor,
+    shard_checkpoint_dir,
+)
+from repro.fleet.devices import WindowPool
+from repro.fleet.engine import FleetEngine, ShardedFleetEngine
+from repro.fleet.faults import FaultEvent, FaultSchedule, FaultSpec, WorkerCrash
+from repro.fleet.metrics import DelayReservoir, StreamingMetrics
+from repro.fleet.spec import MutatorSpec
+
+TINY = {
+    "data.weeks": "10",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "3",
+    "policy.episodes": "3",
+    "fleet.n_devices": "16",
+    "fleet.ticks": "12",
+    "fleet.metrics_window": "4",
+    "fleet.arrival_rate": "1.0",
+}
+
+ADAPT_TINY = {
+    "data.weeks": "12",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "3",
+    "policy.episodes": "3",
+    "fleet.n_devices": "64",
+    "fleet.arrival_rate": "1.0",
+    "fleet.ticks": "32",
+    "adapt.min_retrain_windows": "32",
+}
+
+_FORK = multiprocessing.get_context("fork")
+
+KILL_AT_7 = FaultSpec(events=(FaultEvent(kind="process-kill", at_tick=7),))
+
+
+@pytest.fixture(scope="module")
+def trained():
+    spec = apply_overrides(get_scenario("fleet-burst-storm"), TINY)
+    runner = ExperimentRunner(spec)
+    for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+        getattr(runner, stage)()
+    return spec, runner
+
+
+def _engine_kwargs(spec, runner):
+    state = runner.state
+    return dict(
+        system=state.system,
+        policy=state.policy,
+        context_extractor=state.context_extractor,
+        spec=spec.fleet,
+        pool=WindowPool.from_labeled(state.standardized_all),
+        master_seed=spec.seed,
+        name=spec.name,
+        tier_names=spec.topology.tier_names,
+    )
+
+
+def _die_streaming(kwargs, faults, checkpoint_dir, cadence, sharded=False):
+    """Fork-child target: stream until the injected process-kill SIGKILLs us."""
+    if sharded:
+        engine = ShardedFleetEngine(
+            **kwargs,
+            n_shards=2,
+            parallel=False,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_cadence=cadence,
+        )
+    else:
+        engine = FleetEngine(
+            **kwargs,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_cadence=cadence,
+        )
+    engine.run()
+
+
+def _run_killed(kwargs, faults, checkpoint_dir, cadence, sharded=False):
+    """Run the fleet in a fork child and assert it died by SIGKILL."""
+    child = _FORK.Process(
+        target=_die_streaming,
+        args=(kwargs, faults, checkpoint_dir, cadence, sharded),
+    )
+    child.start()
+    child.join(timeout=300)
+    assert child.exitcode == -9, f"child exited {child.exitcode}, expected SIGKILL"
+
+
+# -- the durable store -----------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def _payload(self, tick, extra=None):
+        payload = {"format": CHECKPOINT_FORMAT, "tick": tick, "data": np.arange(4)}
+        payload.update(extra or {})
+        return payload
+
+    def test_save_latest_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(self._payload(3), 3)
+        payload = store.latest()
+        assert payload["tick"] == 3
+        np.testing.assert_array_equal(payload["data"], np.arange(4))
+        assert store.latest_tick() == 3
+
+    def test_latest_none_when_empty(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.latest() is None
+        assert store.latest_tick() is None
+
+    def test_prunes_to_keep_but_never_current(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for tick in range(1, 6):
+            store.save(self._payload(tick), tick)
+        kept = sorted(p.name for p in tmp_path.glob("ckpt-*.pkl"))
+        assert kept == ["ckpt-00000004.pkl", "ckpt-00000005.pkl"]
+        assert store.latest()["tick"] == 5
+
+    def test_corrupt_payload_refused(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        target = store.save(self._payload(2), 2)
+        target.write_bytes(b"garbage")
+        with pytest.raises(SerializationError, match="fails its manifest hash"):
+            store.latest()
+
+    def test_missing_checkpoint_file_refused(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(self._payload(2), 2).unlink()
+        with pytest.raises(SerializationError, match="missing file"):
+            store.latest()
+
+    def test_corrupt_manifest_refused(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(self._payload(2), 2)
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(SerializationError, match="corrupt checkpoint manifest"):
+            store.latest()
+
+    def test_format_mismatch_refused(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"format": 999, "tick": 1}, 1)
+        with pytest.raises(SerializationError, match="format"):
+            store.latest()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path, keep=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path).save({}, -1)
+        with pytest.raises(ConfigurationError):
+            shard_checkpoint_dir(tmp_path, -1)
+        assert shard_checkpoint_dir("/base", 3).endswith("shard-03")
+
+    def test_run_descriptor_round_trip(self, tmp_path):
+        save_run_descriptor(tmp_path, {"spec": {"name": "x"}, "checkpoint_cadence": 5})
+        descriptor = load_run_descriptor(tmp_path)
+        assert descriptor["spec"] == {"name": "x"}
+        assert descriptor["checkpoint_cadence"] == 5
+
+    def test_run_descriptor_missing(self, tmp_path):
+        with pytest.raises(SerializationError, match="no run.json"):
+            load_run_descriptor(tmp_path)
+
+    def test_run_descriptor_malformed(self, tmp_path):
+        (tmp_path / "run.json").write_text("{oops")
+        with pytest.raises(SerializationError, match="malformed"):
+            load_run_descriptor(tmp_path)
+
+
+# -- the fault model -------------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError, match="fault kind"):
+            FaultEvent(kind="meteor-strike", at_tick=0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="link-down", at_tick=-1)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="link-down", at_tick=5, until_tick=5)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="link-degrade", at_tick=0, factor=0.5)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="link-down", at_tick=0, link=-1)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="shard-crash", at_tick=0, shard=-1)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(failover_retries=0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(retry_timeout_ms=-1.0)
+
+    def test_active_window(self):
+        event = FaultEvent(kind="link-down", at_tick=4, until_tick=8)
+        assert [event.active(t) for t in (3, 4, 7, 8)] == [False, True, True, False]
+        permanent = FaultEvent(kind="link-down", at_tick=4)
+        assert permanent.active(4) and permanent.active(10_000)
+
+    def test_from_dict_round_trip(self):
+        spec = FaultSpec.from_dict(
+            {
+                "events": [
+                    {"kind": "link-down", "at_tick": 2, "until_tick": 5, "link": 1},
+                    {"kind": "process-kill", "at_tick": 7},
+                ],
+                "failover_retries": 3,
+                "retry_timeout_ms": 50.0,
+            }
+        )
+        assert spec.failover_retries == 3
+        assert spec.events[0].kind == "link-down" and spec.events[0].link == 1
+        assert spec.events[1].at_tick == 7
+
+    def test_fault_scenarios_survive_spec_round_trip(self):
+        for name in ("fleet-link-outage", "fleet-shard-crash", "fleet-crash-resume"):
+            spec = get_scenario(name)
+            assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_schedule_predicates(self):
+        schedule = FaultSchedule(
+            FaultSpec(
+                events=(
+                    FaultEvent(kind="process-kill", at_tick=7),
+                    FaultEvent(kind="shard-crash", at_tick=5, shard=1),
+                )
+            )
+        )
+        assert schedule.kills_process(7) and not schedule.kills_process(6)
+        assert schedule.crashes_shard(1, 5)
+        assert not schedule.crashes_shard(0, 5) and not schedule.crashes_shard(1, 4)
+        assert schedule.crashed_shards() == (1,)
+
+    def test_apply_links_rejects_out_of_range_link(self, trained):
+        _, runner = trained
+        schedule = FaultSchedule(
+            FaultSpec(events=(FaultEvent(kind="link-down", at_tick=0, link=99),))
+        )
+        with pytest.raises(ConfigurationError, match="link"):
+            schedule.apply_links(runner.state.system, 0)
+
+    def test_worker_crash_is_not_a_repro_error(self):
+        # _run_shards re-raises ReproError from workers verbatim; an injected
+        # crash must NOT be one or recovery would never run.
+        from repro.exceptions import ReproError
+
+        assert not issubclass(WorkerCrash, ReproError)
+
+
+# -- checkpoint/resume bit-identity ----------------------------------------------
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_checkpointing_does_not_perturb_the_stream(
+        self, trained, tmp_path, columnar
+    ):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        plain = FleetEngine(**kwargs, columnar=columnar).run()
+        checkpointed = FleetEngine(
+            **kwargs,
+            columnar=columnar,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_cadence=3,
+        ).run()
+        assert checkpointed == plain
+        # Boundaries 3, 6 and 9 were saved; keep=2 leaves the newest two.
+        assert CheckpointStore(tmp_path).latest_tick() == 9
+
+    def test_resume_with_no_checkpoint_streams_from_scratch(self, trained, tmp_path):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        plain = FleetEngine(**kwargs).run()
+        resumed = FleetEngine(**kwargs, checkpoint_dir=str(tmp_path)).run(resume=True)
+        assert resumed == plain
+
+    def test_kill_and_resume_serial_is_bit_identical(self, trained, tmp_path):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        uninterrupted = FleetEngine(**kwargs).run()
+        _run_killed(kwargs, KILL_AT_7, str(tmp_path), cadence=3)
+        assert CheckpointStore(tmp_path).latest_tick() == 6
+        resumed = FleetEngine(
+            **kwargs,
+            faults=KILL_AT_7,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_cadence=3,
+        ).resume()
+        assert resumed == uninterrupted
+
+    def test_kill_and_resume_sharded_is_bit_identical(self, trained, tmp_path):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        uninterrupted = ShardedFleetEngine(**kwargs, n_shards=2, parallel=False).run()
+        _run_killed(kwargs, KILL_AT_7, str(tmp_path), cadence=3, sharded=True)
+        # The kill hit shard 0 mid-run; its store holds the durable boundary.
+        shard0 = CheckpointStore(shard_checkpoint_dir(tmp_path, 0))
+        assert shard0.latest_tick() == 6
+        resumed = ShardedFleetEngine(
+            **kwargs,
+            n_shards=2,
+            parallel=False,
+            faults=KILL_AT_7,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_cadence=3,
+        ).resume()
+        assert resumed == uninterrupted
+
+    def test_resume_from_explicit_path(self, trained, tmp_path):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        uninterrupted = FleetEngine(**kwargs).run()
+        _run_killed(kwargs, KILL_AT_7, str(tmp_path), cadence=3)
+        engine = FleetEngine(**kwargs, faults=KILL_AT_7, checkpoint_cadence=3)
+        assert engine.resume(path=str(tmp_path)) == uninterrupted
+
+    def test_resume_without_directory_rejected(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        with pytest.raises(ConfigurationError, match="checkpoint directory"):
+            FleetEngine(**kwargs).resume()
+        with pytest.raises(ConfigurationError, match="checkpoint directory"):
+            ShardedFleetEngine(**kwargs, n_shards=2).resume()
+
+    def test_controller_presence_must_match_checkpoint(self, trained):
+        spec, runner = trained
+        engine = FleetEngine(**_engine_kwargs(spec, runner))
+        with pytest.raises(ConfigurationError, match="adaptive run"):
+            engine._restore_checkpoint({"tick": 0, "controller": {}}, metrics=None)
+        engine.controller = object()
+        with pytest.raises(ConfigurationError, match="without adaptation"):
+            engine._restore_checkpoint({"tick": 0, "controller": None}, metrics=None)
+
+    def test_negative_cadence_rejected(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        with pytest.raises(ConfigurationError, match="cadence"):
+            FleetEngine(**kwargs, checkpoint_cadence=-1)
+        with pytest.raises(ConfigurationError, match="cadence"):
+            ShardedFleetEngine(**kwargs, n_shards=2, checkpoint_cadence=-1)
+
+
+# -- shard-crash recovery --------------------------------------------------------
+
+
+CRASH_SHARD_1 = FaultSpec(events=(FaultEvent(kind="shard-crash", at_tick=5, shard=1),))
+
+
+class TestShardCrashRecovery:
+    def test_serial_crash_recovers_exact_counts(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        baseline = ShardedFleetEngine(**kwargs, n_shards=2, parallel=False).run()
+        with pytest.warns(RuntimeWarning, match="crashed; recovering"):
+            crashed = ShardedFleetEngine(
+                **kwargs, n_shards=2, parallel=False, faults=CRASH_SHARD_1
+            ).run()
+        assert crashed == baseline
+
+    def test_crash_recovery_resumes_from_shard_checkpoints(self, trained, tmp_path):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        baseline = ShardedFleetEngine(**kwargs, n_shards=2, parallel=False).run()
+        with pytest.warns(RuntimeWarning, match="crashed; recovering"):
+            crashed = ShardedFleetEngine(
+                **kwargs,
+                n_shards=2,
+                parallel=False,
+                faults=CRASH_SHARD_1,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_cadence=2,
+            ).run()
+        assert crashed == baseline
+        # The crashed shard checkpointed under its own per-shard store, and
+        # the recovery run kept checkpointing past the crash tick.
+        assert CheckpointStore(shard_checkpoint_dir(tmp_path, 1)).latest_tick() == 10
+
+    @pytest.mark.skipif(not sharding.fork_available(), reason="needs fork pools")
+    def test_pooled_crash_recovers_exact_counts(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        baseline = ShardedFleetEngine(**kwargs, n_shards=2, parallel=False).run()
+        with pytest.warns(RuntimeWarning, match="crashed; recovering"):
+            crashed = ShardedFleetEngine(
+                **kwargs, n_shards=2, parallel=True, faults=CRASH_SHARD_1
+            ).run()
+        assert crashed == baseline
+
+
+# -- link faults & tier failover -------------------------------------------------
+
+
+OUTAGE = FaultSpec(
+    events=(FaultEvent(kind="link-down", at_tick=4, until_tick=10, link=1),),
+    failover_retries=2,
+    retry_timeout_ms=150.0,
+)
+
+
+class TestLinkFailover:
+    def test_outage_shifts_utilisation_to_reachable_tier(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        baseline = FleetEngine(**kwargs).run()
+        faulted = FleetEngine(**kwargs, faults=OUTAGE).run()
+        # Every request is still served — failover loses no traffic.
+        assert faulted.n_windows == baseline.n_windows
+        iot, edge, cloud = faulted.tiers
+        assert cloud.requests < baseline.tiers[2].requests
+        # Redirection is exact: every request the cloud lost was served (and
+        # accounted as redirected) at the edge.
+        assert edge.redirected == baseline.tiers[2].requests - cloud.requests
+        assert edge.redirected > 0 and cloud.redirected == 0
+        # Redirected requests pay retries * timeout on top of the edge delay.
+        assert edge.mean_delay_ms > baseline.tiers[1].mean_delay_ms
+        # The device tier is below the partition and stays untouched.
+        assert (iot.requests, iot.mean_delay_ms) == (
+            baseline.tiers[0].requests,
+            baseline.tiers[0].mean_delay_ms,
+        )
+
+    def test_outage_is_path_independent(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        fast = FleetEngine(**kwargs, faults=OUTAGE).run()
+        legacy = FleetEngine(**kwargs, faults=OUTAGE, columnar=False).run()
+        assert fast == legacy
+
+    def test_links_restored_after_outage_window(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        FleetEngine(**kwargs, faults=OUTAGE).run()
+        assert not any(link.is_down for link in runner.state.system.topology.links)
+
+    def test_degraded_link_slows_but_never_redirects(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        baseline = FleetEngine(**kwargs).run()
+        degraded = FleetEngine(
+            **kwargs,
+            faults=FaultSpec(
+                events=(
+                    FaultEvent(
+                        kind="link-degrade", at_tick=4, until_tick=10, link=0, factor=6.0
+                    ),
+                )
+            ),
+        ).run()
+        assert [t.requests for t in degraded.tiers] == [
+            t.requests for t in baseline.tiers
+        ]
+        assert all(t.redirected == 0 for t in degraded.tiers)
+        assert degraded.delay.mean_ms > baseline.delay.mean_ms
+
+    def test_failover_retry_accounting(self, trained):
+        spec, runner = trained
+        system = runner.state.system
+        window = WindowPool.from_labeled(runner.state.standardized_all).normal[0]
+        system.reset()
+        system.topology.warm_links()
+        at_edge = system.detect_at(1, window)
+        system.reset()
+        system.topology.warm_links()
+        system.configure_failover(retries=2, timeout_ms=150.0)
+        system.topology.links[1].set_status("down")
+        assert system.reachable_layer(2) == 1
+        record = system.detect_at(2, window)
+        assert record.layer == 1
+        assert record.delay_ms == pytest.approx(at_edge.delay_ms + 300.0)
+        system.reset()
+        assert system.reachable_layer(2) == 2
+
+    def test_unknown_layer_still_a_scheduling_error_under_failover(self, trained):
+        spec, runner = trained
+        system = runner.state.system
+        window = WindowPool.from_labeled(runner.state.standardized_all).normal[0]
+        with pytest.raises(SchedulingError):
+            system.detect_at(99, window)
+
+    def test_failover_configuration_validated(self, trained):
+        _, runner = trained
+        system = runner.state.system
+        with pytest.raises(SchedulingError, match="retries"):
+            system.configure_failover(retries=0)
+        with pytest.raises(SchedulingError, match="timeout"):
+            system.configure_failover(timeout_ms=-1.0)
+
+
+# -- sensor-fault mutators -------------------------------------------------------
+
+
+SENSOR_MUTATORS = (
+    MutatorSpec(kind="sensor-stuck", stuck_fraction=0.25, stuck_scale=1.0),
+    MutatorSpec(kind="sensor-spike", spike_rate=0.1, spike_magnitude=6.0),
+)
+
+
+class TestSensorFaultMutators:
+    def test_sensor_faults_are_path_independent(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        kwargs["spec"] = replace(
+            spec.fleet,
+            mutators=SENSOR_MUTATORS
+            + (
+                MutatorSpec(
+                    kind="sensor-dropout", dropout_fraction=0.25, dropout_horizon=8
+                ),
+            ),
+        )
+        fast = FleetEngine(**kwargs).run()
+        legacy = FleetEngine(**kwargs, columnar=False).run()
+        assert fast == legacy
+
+    def test_sensor_corruption_keeps_devices_online_and_deterministic(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        kwargs["spec"] = replace(
+            spec.fleet, mutators=spec.fleet.mutators + SENSOR_MUTATORS
+        )
+        faulty = FleetEngine(**kwargs).run()
+        # Stuck/spiked sensors corrupt the observable signal only: every
+        # device keeps emitting (unlike dropout), the labels ride along from
+        # the pool draw, and the faulty stream is exactly reproducible.
+        assert faulty.offline_device_ticks == 0
+        assert faulty.online_device_ticks == spec.fleet.ticks * spec.fleet.n_devices
+        assert 0 < faulty.n_anomalous < faulty.n_windows
+        assert FleetEngine(**kwargs).run() == faulty
+
+    def test_sensor_dropout_silences_devices(self, trained):
+        spec, runner = trained
+        kwargs = _engine_kwargs(spec, runner)
+        clean = FleetEngine(**kwargs).run()
+        kwargs["spec"] = replace(
+            spec.fleet,
+            mutators=(
+                MutatorSpec(
+                    kind="sensor-dropout", dropout_fraction=1.0, dropout_horizon=4
+                ),
+            ),
+        )
+        silenced = FleetEngine(**kwargs).run()
+        assert silenced.n_windows < clean.n_windows
+
+
+# -- merge edge cases ------------------------------------------------------------
+
+
+def _metrics(**overrides):
+    base = dict(
+        ticks=4, metrics_window=2, n_layers=3, reservoir_size=8, seed_entropy=(1, 2)
+    )
+    base.update(overrides)
+    return StreamingMetrics(**base)
+
+
+class TestMergeEdgeCases:
+    def _filled(self):
+        metrics = _metrics()
+        metrics.record_uptime(2, 0)
+        metrics.observe(
+            0,
+            1,
+            predictions=np.array([1, 0]),
+            labels=np.array([1, 1]),
+            delays_ms=np.array([5.0, 6.0]),
+            redirected=1,
+        )
+        return metrics
+
+    def test_merge_with_empty_shard_is_identity(self):
+        # A shard whose worker died before its first tick ships an empty
+        # payload; merging it must not disturb the surviving shard's counts.
+        filled = self._filled()
+        merged = StreamingMetrics.merge(
+            [_metrics(), StreamingMetrics.from_payload(filled.to_payload())],
+            seed_entropy=(1, 2),
+        )
+        assert merged.n_windows == filled.n_windows
+        payload, expected = merged.to_payload(), filled.to_payload()
+        for key, value in expected.items():
+            np.testing.assert_array_equal(payload[key], value)
+
+    def test_empty_payload_round_trip(self):
+        empty = _metrics()
+        rebuilt = StreamingMetrics.from_payload(empty.to_payload())
+        assert rebuilt.n_windows == 0
+        assert math.isnan(rebuilt.reservoir.percentile(50))
+
+    def test_percentile_on_empty_reservoir_is_nan(self):
+        reservoir = DelayReservoir(capacity=8, seed_entropy=(1, 2))
+        assert math.isnan(reservoir.percentile(50))
+        assert math.isnan(reservoir.percentile(99))
+
+    def test_merge_zero_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingMetrics.merge([], seed_entropy=(1, 2))
+        with pytest.raises(ConfigurationError):
+            DelayReservoir.merge([], seed_entropy=(1, 2))
+
+    def test_merge_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingMetrics.merge(
+                [_metrics(), _metrics(n_layers=4)], seed_entropy=(1, 2)
+            )
+
+    def test_restore_shape_mismatch_rejected(self):
+        snapshot = _metrics().snapshot_state()
+        with pytest.raises(ConfigurationError, match="shape"):
+            _metrics(n_layers=4).restore_state(snapshot)
+
+
+# -- worker-pool and shared-memory cleanup ---------------------------------------
+
+
+class TestPoolCleanup:
+    def test_keyboard_interrupt_drops_the_pool(self, trained, monkeypatch):
+        spec, runner = trained
+        engine = ShardedFleetEngine(**_engine_kwargs(spec, runner), n_shards=2)
+
+        class ExplodingPool:
+            def apply_async(self, *args, **kwargs):
+                raise KeyboardInterrupt
+
+        dropped = []
+        monkeypatch.setattr(sharding, "_pool_for", lambda n, token: ExplodingPool())
+        monkeypatch.setattr(sharding, "_drop_pool", dropped.append)
+        with pytest.raises(KeyboardInterrupt):
+            sharding.run_sharded(engine._shared_kwargs(), engine._partitions(), 2)
+        assert dropped == [2]
+
+    @pytest.mark.skipif(
+        not Path("/dev/shm").is_dir(), reason="needs POSIX shared memory"
+    )
+    def test_sigterm_unlinks_shared_memory(self, tmp_path):
+        # A SIGTERMed parent must not leak its exported SharedMemory segments:
+        # the installed handler runs shutdown() and re-raises SIGTERM.
+        script = (
+            "import os, signal\n"
+            "import numpy as np\n"
+            "from repro.fleet import sharding\n"
+            "segment, spec = sharding.export_array(np.zeros(16))\n"
+            "sharding._install_signal_cleanup()\n"
+            "print(segment.name, flush=True)\n"
+            "os.kill(os.getpid(), signal.SIGTERM)\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=Path(__file__).resolve().parent.parent,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        name = result.stdout.strip().splitlines()[0].lstrip("/")
+        assert result.returncode == -15, result.stderr
+        assert not (Path("/dev/shm") / name).exists()
+
+
+# -- CLI error contract ----------------------------------------------------------
+
+
+class TestCliErrors:
+    def test_invalid_set_key_exits_nonzero(self, capsys):
+        assert main(["fleet", "fleet-burst-storm", "--set", "fleet.bogus=1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_run_set_key_exits_nonzero(self, capsys):
+        assert main(["run", "univariate-power", "--set", "nope=1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_nonzero(self, capsys):
+        assert main(["fleet", "no-such-scenario"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_spec_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "spec.json"
+        bad.write_text("{not json")
+        assert main(["run", "--spec-file", str(bad)]) == 2
+        assert "malformed spec JSON" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["run", "--spec-file", str(tmp_path / "nope.json")]) == 2
+        assert "spec file not found" in capsys.readouterr().err
+
+    def test_scenario_and_spec_file_are_exclusive(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text("{}")
+        assert main(["fleet", "fleet-burst-storm", "--spec-file", str(spec_file)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["fleet"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_spec_file_happy_path(self, tmp_path, capsys):
+        spec = apply_overrides(get_scenario("fleet-burst-storm"), TINY)
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        assert main(["fleet", "--spec-file", str(spec_file), "--spec-only"]) == 0
+        assert "fleet-burst-storm" in capsys.readouterr().out
+
+    def test_resume_without_descriptor_exits_nonzero(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path)]) == 2
+        assert "no run.json" in capsys.readouterr().err
+
+    def test_fleet_resume_needs_checkpoint_dir(self, capsys):
+        assert main(["fleet", "fleet-burst-storm", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+
+# -- adaptive kill/resume --------------------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def adapt_trained():
+    spec = apply_overrides(get_scenario("adapt-1k-drift-recovery"), ADAPT_TINY)
+    runner = ExperimentRunner(spec)
+    for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+        getattr(runner, stage)()
+    return spec, runner
+
+
+def _adaptive_engine(spec, runner, registry_root, **extra):
+    from repro.adapt.controller import build_controller
+
+    controller = build_controller(
+        spec.adapt,
+        system=runner.state.system,
+        tier_names=spec.topology.tier_names,
+        metrics_window=spec.fleet.metrics_window,
+        master_seed=spec.seed,
+        registry_root=registry_root,
+    )
+    return FleetEngine(
+        **_engine_kwargs(spec, runner), controller=controller, **extra
+    )
+
+
+def _adaptive_baseline(spec, runner, registry_root, conn):
+    """Fork-child target: run uninterrupted, ship the report back by pipe.
+
+    Adaptive runs hot-swap detectors into the live system, so each full run
+    happens in its own fork — the parent's trained state stays pristine for
+    the resume leg.
+    """
+    report = _adaptive_engine(spec, runner, registry_root).run()
+    conn.send(report)
+    conn.close()
+
+
+def _adaptive_death(spec, runner, registry_root, checkpoint_dir):
+    _adaptive_engine(
+        spec,
+        runner,
+        registry_root,
+        faults=FaultSpec(events=(FaultEvent(kind="process-kill", at_tick=17),)),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_cadence=8,
+    ).run()
+
+
+class TestAdaptiveKillResume:
+    def test_kill_and_resume_adaptive_is_bit_identical(self, adapt_trained, tmp_path):
+        spec, runner = adapt_trained
+        parent_conn, child_conn = _FORK.Pipe()
+        baseline_child = _FORK.Process(
+            target=_adaptive_baseline,
+            args=(spec, runner, str(tmp_path / "registry-a"), child_conn),
+        )
+        baseline_child.start()
+        baseline = parent_conn.recv()
+        baseline_child.join(timeout=600)
+        assert baseline_child.exitcode == 0
+
+        ckpt = tmp_path / "ckpt"
+        kill_child = _FORK.Process(
+            target=_adaptive_death,
+            args=(spec, runner, str(tmp_path / "registry-b"), str(ckpt)),
+        )
+        kill_child.start()
+        kill_child.join(timeout=600)
+        assert kill_child.exitcode == -9
+        assert CheckpointStore(ckpt).latest_tick() == 16
+
+        resumed = _adaptive_engine(
+            spec,
+            runner,
+            str(tmp_path / "registry-c"),
+            faults=FaultSpec(events=(FaultEvent(kind="process-kill", at_tick=17),)),
+            checkpoint_dir=str(ckpt),
+            checkpoint_cadence=8,
+        ).run(resume=True)
+
+        # The timeline — drifts, retrains, swaps — continues across the kill
+        # exactly where the checkpoint left it, and the drift scenario did
+        # adapt (the contract is not vacuous).
+        assert baseline.adaptation is not None
+        assert len(baseline.adaptation.drifts) > 0
+        assert resumed.adaptation == baseline.adaptation
+        assert resumed == baseline

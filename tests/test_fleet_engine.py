@@ -353,7 +353,7 @@ class TestShardingInfrastructure:
         kwargs = _engine_kwargs(spec, runner)
         engine = ShardedFleetEngine(**kwargs, n_shards=2, parallel=True)
         token = sharding._publish(engine._shared_kwargs())
-        task = (token, engine._partitions()[0])
+        task = (token, 0, engine._partitions()[0])
         assert len(pickle.dumps(task)) < 4096
 
     def test_compact_metrics_payload_round_trips(self, trained):

@@ -4,7 +4,15 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments import ExperimentSpec, apply_overrides, get_scenario
-from repro.fleet.mutators import AnomalyBurst, ConceptDrift, DeviceChurn, PhaseJitter
+from repro.fleet.mutators import (
+    AnomalyBurst,
+    ConceptDrift,
+    DeviceChurn,
+    PhaseJitter,
+    SensorDropout,
+    SensorSpike,
+    SensorStuck,
+)
 from repro.fleet.spec import MUTATOR_KINDS, FleetSpec, MutatorSpec
 
 
@@ -16,6 +24,9 @@ class TestMutatorSpec:
             AnomalyBurst,
             DeviceChurn,
             PhaseJitter,
+            SensorStuck,
+            SensorSpike,
+            SensorDropout,
         ]
 
     def test_unknown_kind_rejected(self):
