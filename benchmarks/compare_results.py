@@ -10,9 +10,18 @@ better), everything else (``windows_per_second``, ``f1``, ``accuracy``,
 ids, config echoes, ``schema_version``/``cpus`` — are reported only when they
 differ, never as regressions.
 
+Booleans are compared as 0/1 leaves: ``slo_met`` flipping from true to false
+is a regression, but plain flag echoes (no marker match) stay context.
+
 Usage::
 
     python benchmarks/compare_results.py old.json new.json [--threshold 0.10]
+    python benchmarks/compare_results.py old.json new.json --preset serving
+
+``--preset serving`` masks the machine-dependent leaves of
+``bench_serving.py`` reports (absolute req/s, wall-clock seconds, measured
+latencies) so cross-host CI gates only the machine-relative ratios
+(``sustained_throughput_ratio``) and the SLO pass/fail booleans.
 """
 
 from __future__ import annotations
@@ -25,10 +34,19 @@ from pathlib import Path
 #: Leaf-key substrings marking a benefit metric (a drop is a regression).
 BENEFIT_MARKERS = (
     "per_second", "speedup", "f1", "accuracy", "precision", "recall",
-    "compression_ratio", "throughput",
+    "compression_ratio", "throughput", "slo_met",
 )
 #: Leaf-key substrings marking a cost metric (an increase is a regression).
 COST_MARKERS = ("seconds", "latency", "delay", "error", "bytes")
+
+#: Named ``--ignore`` bundles for cross-host comparisons of known reports.
+#: ``serving``: every absolute-throughput / wall-clock / measured-latency
+#: leaf of a ``bench_serving.py`` report is machine-dependent; what remains
+#: gated is machine-relative (``sustained_throughput_ratio``) or a pass/fail
+#: contract (``slo_met``).
+IGNORE_PRESETS = {
+    "serving": ("seconds", "latency", "_ms", "delay", "rps"),
+}
 
 
 def numeric_leaves(payload, prefix: str = "") -> dict:
@@ -42,7 +60,9 @@ def numeric_leaves(payload, prefix: str = "") -> dict:
         for index, value in enumerate(payload):
             leaves.update(numeric_leaves(value, f"{prefix}.{index}"))
     elif isinstance(payload, bool):
-        pass  # booleans are flags, not metrics
+        # 0/1 leaves so pass/fail contracts (slo_met) are comparable; flags
+        # whose key matches no marker stay context like any other leaf.
+        leaves[prefix] = 1.0 if payload else 0.0
     elif isinstance(payload, (int, float)):
         leaves[prefix] = float(payload)
     return leaves
@@ -102,7 +122,14 @@ def main(argv=None) -> int:
         help="skip leaves whose dotted path contains SUBSTRING (repeatable); "
         "use --ignore seconds when old and new ran on different machines",
     )
+    parser.add_argument(
+        "--preset", choices=sorted(IGNORE_PRESETS), default=None,
+        help="append a named --ignore bundle; 'serving' masks the "
+        "machine-dependent leaves of bench_serving.py reports",
+    )
     args = parser.parse_args(argv)
+    if args.preset:
+        args.ignore = list(args.ignore) + list(IGNORE_PRESETS[args.preset])
 
     old = numeric_leaves(json.loads(args.old.read_text(encoding="utf-8")))
     new = numeric_leaves(json.loads(args.new.read_text(encoding="utf-8")))

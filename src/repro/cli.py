@@ -26,6 +26,15 @@ stream (arrivals / context+policy / detect / metrics / adapt).
 :mod:`repro.adapt`), and ``repro models list/show/rollback`` inspects and
 manages the versioned checkpoint registry those runs write::
 
+    python -m repro.cli serve serve-front-door --set serve.offered_rps=300
+    python -m repro.cli serve serve-front-door --hot-swap --output-dir reports/
+
+``repro serve`` trains a scenario and serves its fleet traffic through the
+asyncio ingest front door (see :mod:`repro.serving`): open-loop Poisson
+arrivals, micro-batched detection, bounded-queue load shedding and a p99
+latency SLO; ``--hot-swap`` lands one blue/green deployment mid-run through
+the drain-and-swap gate without dropping a request::
+
     python -m repro.cli fleet adapt-1k-drift-recovery --output-dir reports/
     python -m repro.cli models list --registry reports/registry
     python -m repro.cli models rollback iot --registry reports/registry
@@ -54,6 +63,7 @@ from repro.exceptions import ReproError
 from repro.experiments import (
     SCENARIOS,
     ExperimentRunner,
+    ServingSpec,
     apply_overrides,
     get_scenario,
     parse_set_arguments,
@@ -151,6 +161,36 @@ def build_parser() -> argparse.ArgumentParser:
                        "(bit-identical to an uninterrupted run)")
     fleet.add_argument("--quiet", action="store_true", help="suppress summary output")
     fleet.add_argument("--spec-only", action="store_true",
+                       help="print the resolved spec as JSON and exit without running")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="train a scenario and serve its fleet traffic through the asyncio "
+        "ingest front door (micro-batching, load shedding, p99 SLO)",
+    )
+    serve.add_argument("scenario", nargs="?", default=None,
+                       help="serving scenario name, e.g. serve-front-door")
+    serve.add_argument("--spec-file", type=str, default=None,
+                       help="serve a spec from a JSON file (as printed by "
+                       "'repro describe' or --spec-only) instead of a scenario")
+    serve.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path, e.g. --set serve.offered_rps=500; "
+        "repeatable ('repro describe <scenario>' shows the valid keys)",
+    )
+    serve.add_argument("--seed", type=int, default=None,
+                       help="master random seed (data, arrivals and service follow)")
+    serve.add_argument("--hot-swap", action="store_true",
+                       help="perform one blue/green detector swap mid-run through "
+                       "the drain-and-swap gate (zero dropped requests)")
+    serve.add_argument("--output-dir", type=str, default=None,
+                       help="directory for the JSON serving report")
+    serve.add_argument("--quiet", action="store_true", help="suppress summary output")
+    serve.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
 
     resume = subparsers.add_parser(
@@ -309,12 +349,17 @@ def _load_spec_file(path: str):
     return ExperimentSpec.from_dict(payload)
 
 
-def _resolve_spec(args: argparse.Namespace, default_adapt: bool = False):
+def _resolve_spec(
+    args: argparse.Namespace,
+    default_adapt: bool = False,
+    default_serve: bool = False,
+):
     """The scenario (or ``--spec-file``) spec with ``--seed``/``--set`` applied.
 
-    ``default_adapt`` honours the ``fleet --adapt`` flag: a default
-    :class:`AdaptSpec` is attached *before* the dotted overrides, so
-    ``--set adapt.*`` lands on the node the flag just created.
+    ``default_adapt`` honours the ``fleet --adapt`` flag and ``default_serve``
+    the ``serve`` subcommand: a default :class:`AdaptSpec`/:class:`ServingSpec`
+    is attached *before* the dotted overrides, so ``--set adapt.*`` /
+    ``--set serve.*`` lands on the node just created.
     """
     spec_file = getattr(args, "spec_file", None)
     if (args.scenario is None) == (spec_file is None):
@@ -327,6 +372,8 @@ def _resolve_spec(args: argparse.Namespace, default_adapt: bool = False):
         spec = spec.with_seed(args.seed)
     if default_adapt and getattr(args, "adapt", False) and spec.adapt is None:
         spec = replace(spec, adapt=AdaptSpec())
+    if default_serve and spec.serve is None:
+        spec = replace(spec, serve=ServingSpec())
     overrides = parse_set_arguments(args.overrides)
     if overrides:
         spec = apply_overrides(spec, overrides)
@@ -412,6 +459,29 @@ def _print_fleet_report(report, runner, args, name: str) -> None:
             print(f"Wrote {path}")
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args, default_serve=True)
+    if spec.fleet is None:
+        serve_names = ", ".join(SCENARIOS.names(tags=("serving",))) or "none registered"
+        raise ReproError(
+            f"scenario {args.scenario or spec.name!r} has no fleet node to draw "
+            f"serving traffic from; serving scenarios: {serve_names}"
+        )
+    if args.spec_only:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    runner = ExperimentRunner(spec)
+    report = runner.run_serve(hot_swap=args.hot_swap)
+    if not args.quiet:
+        print(report.summary())
+    if args.output_dir:
+        path = Path(args.output_dir) / f"serving_{args.scenario or spec.name}.json"
+        report.to_json(path)
+        if not args.quiet:
+            print(f"Wrote {path}")
+    return 0
+
+
 def _run_resume(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentSpec
     from repro.fleet.checkpoint import load_run_descriptor
@@ -493,6 +563,11 @@ def _list_scenarios(verbose: bool = False) -> int:
                 )
             if spec.adapt is not None:
                 workload += f"  adapt={'/'.join(spec.adapt.monitors)}"
+            if spec.serve is not None:
+                workload += (
+                    f"  serve={spec.serve.offered_rps:g} rps "
+                    f"(p99 SLO {spec.serve.slo_p99_ms:g} ms)"
+                )
             print(f"      {workload}")
         else:
             tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
@@ -525,6 +600,13 @@ def _describe_scenario(args: argparse.Namespace) -> int:
             f"Adapt: monitors {', '.join(adapt['monitors'])}; retrain "
             f"{adapt['retrain_epochs']} epochs behind the shadow gate"
         )
+    serve = described["serve"]
+    if serve is not None:
+        print(
+            f"Serve: {serve['offered_rps']:g} rps offered, micro-batch "
+            f"{serve['max_batch']}/{serve['max_wait_ms']:g} ms, p99 SLO "
+            f"{serve['slo_p99_ms']:g} ms ({serve['shed_policy']} shedding)"
+        )
     print()
     print("Spec (valid --set keys are the dotted paths into this document):")
     print(json.dumps(described["spec"], indent=2, sort_keys=True))
@@ -550,6 +632,8 @@ def run_command(args: argparse.Namespace) -> int:
         return _run_scenario(args)
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "resume":
         return _run_resume(args)
     if args.command == "models":

@@ -35,6 +35,7 @@ from repro.experiments.spec import (
 )
 from repro.adapt.spec import AdaptSpec
 from repro.fleet.spec import FleetSpec, MutatorSpec
+from repro.serving.spec import ServingSpec
 from repro.experiments.stages import (
     PipelineResult,
     build_hec_system,
@@ -58,6 +59,7 @@ from repro.experiments.registry import (
 import repro.experiments.scenarios  # noqa: F401  (registers the built-ins)
 import repro.fleet.scenarios  # noqa: F401  (registers the fleet scenarios)
 import repro.adapt.scenarios  # noqa: F401  (registers the adaptation scenarios)
+import repro.serving.scenarios  # noqa: F401  (registers the serving scenarios)
 
 __all__ = [
     # specs
@@ -72,6 +74,7 @@ __all__ = [
     "FleetSpec",
     "MutatorSpec",
     "AdaptSpec",
+    "ServingSpec",
     "ExperimentSpec",
     "apply_overrides",
     "parse_set_arguments",

@@ -102,9 +102,10 @@ class ScenarioRegistry:
         """A JSON-ready description of one scenario: metadata plus full spec.
 
         The payload always carries the spec's *optional* nodes explicitly —
-        ``fleet`` and ``adapt`` appear as top-level keys (``None`` when the
-        scenario has none), so fleet/adapt scenarios are fully described and
-        consumers need not know which nested nodes are optional.
+        ``fleet``, ``adapt`` and ``serve`` appear as top-level keys (``None``
+        when the scenario has none), so fleet/adapt/serving scenarios are
+        fully described and consumers need not know which nested nodes are
+        optional.
         """
         entry = self.entry(name)
         spec = self.spec(name)
@@ -115,6 +116,7 @@ class ScenarioRegistry:
             "tags": list(entry.tags),
             "fleet": payload.get("fleet"),
             "adapt": payload.get("adapt"),
+            "serve": payload.get("serve"),
             "spec": payload,
         }
 

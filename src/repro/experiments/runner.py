@@ -62,11 +62,13 @@ from repro.experiments.stages import (
 )
 from repro.evaluation.tables import ModelComparisonRow, model_comparison_row
 from repro.fleet.checkpoint import save_run_descriptor
-from repro.fleet.devices import WindowPool
+from repro.fleet.devices import DeviceFleet, WindowPool
 from repro.fleet.engine import FleetEngine, ShardedFleetEngine
 from repro.fleet.report import FleetReport
 from repro.hec.deployment import ModelDeployment, deploy_registry
 from repro.hec.simulation import HECSystem
+from repro.serving.report import ServingReport
+from repro.serving.run import blue_green_swap, serve_workload
 from repro.utils.rng import ensure_rng
 
 #: Sub-spec fields :meth:`ExperimentRunner.fork` may replace (the ones whose
@@ -105,13 +107,20 @@ class ExperimentState:
     #: The adaptation controller of the last ``stream`` call (``None`` for
     #: frozen-detector runs); exposes the registry and wall-clock timings.
     adaptation_controller: Optional[object] = None
+    # serve
+    serving_report: Optional[ServingReport] = None
 
     def clone_for_fork(self) -> "ExperimentState":
         """A copy sharing data/detector/deployment state, with the policy and
         evaluation stages cleared and an independent RNG stream."""
         clone = copy.copy(self)
         clone.rng = copy.deepcopy(self.rng)
-        clone.completed = self.completed - {"train_policy", "evaluate", "stream"}
+        clone.completed = self.completed - {
+            "train_policy",
+            "evaluate",
+            "stream",
+            "serve",
+        }
         clone.policy = None
         clone.bandit_log = None
         clone.reward_table = None
@@ -120,6 +129,7 @@ class ExperimentState:
         clone.result = None
         clone.fleet_report = None
         clone.adaptation_controller = None
+        clone.serving_report = None
         return clone
 
 
@@ -539,6 +549,51 @@ class ExperimentRunner:
         self._done("stream")
         return state.fleet_report
 
+    def serve(self, hot_swap: bool = False) -> ServingReport:
+        """Serve the spec's fleet traffic through the asyncio front door.
+
+        Another *optional* stage (like :meth:`stream`, not part of
+        :attr:`STAGES`): requires ``train_policy`` plus both a ``fleet`` node
+        (the traffic source) and a ``serve`` node (the front-door
+        configuration).  Requests arrive open-loop at ``serve.offered_rps``,
+        are micro-batched into ``detect_batch_columnar`` and answered with
+        measured service latency; overload is absorbed by the bounded ingress
+        queue and ``serve.shed_policy``.
+
+        ``hot_swap=True`` performs one blue/green detector swap mid-run
+        through the server's drain-and-swap gate — the deployment lands
+        between micro-batches without dropping in-flight requests.
+        """
+        self._require("train_policy")
+        if self.spec.serve is None:
+            raise ConfigurationError(
+                f"spec {self.spec.name!r} has no serve node; add a ServingSpec "
+                "(or pick a serving scenario, see 'repro list')"
+            )
+        if self.spec.fleet is None:
+            raise ConfigurationError(
+                f"spec {self.spec.name!r} has no fleet node; serving draws its "
+                "traffic from a device fleet — add a FleetSpec"
+            )
+        state = self.state
+        pool = WindowPool.from_labeled(state.standardized_all)
+        fleet = DeviceFleet(self.spec.fleet, pool, master_seed=self.spec.seed)
+        swap = blue_green_swap(state.system) if hot_swap else None
+        report, _results = serve_workload(
+            system=state.system,
+            policy=state.policy,
+            context_extractor=state.context_extractor,
+            serving=self.spec.serve,
+            fleet=fleet,
+            master_seed=self.spec.seed,
+            name=self.spec.name,
+            tier_names=self.tier_names,
+            swap=swap,
+        )
+        state.serving_report = report
+        self._done("serve")
+        return report
+
     # -- orchestration -----------------------------------------------------------
 
     def run(self) -> PipelineResult:
@@ -576,6 +631,20 @@ class ExperimentRunner:
                 resume=resume,
             )
         return self.state.fleet_report
+
+    def run_serve(self, hot_swap: bool = False) -> ServingReport:
+        """Train (through ``train_policy``) and serve the open-loop workload.
+
+        The serving sibling of :meth:`run_fleet`: offline ``evaluate`` is
+        skipped, completed stages never re-run, and ``hot_swap`` is forwarded
+        to :meth:`serve`.
+        """
+        for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+            if stage not in self.state.completed:
+                getattr(self, stage)()
+        if "serve" not in self.state.completed:
+            self.serve(hot_swap=hot_swap)
+        return self.state.serving_report
 
     def fork(self, **replacements) -> "ExperimentRunner":
         """A runner with replaced policy/evaluation sub-specs sharing this

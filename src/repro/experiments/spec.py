@@ -25,6 +25,7 @@ from repro.adapt.spec import AdaptSpec
 from repro.exceptions import ConfigurationError
 from repro.fleet.faults import FaultSpec
 from repro.fleet.spec import FleetSpec
+from repro.serving.spec import ServingSpec
 from repro.utils.serialization import load_json, save_json, to_jsonable
 from repro.utils.validation import checked_dataclass_kwargs
 
@@ -356,6 +357,10 @@ class ExperimentSpec:
     #: Deterministic fault-injection schedule for the streaming run; ``None``
     #: streams fault-free (see :mod:`repro.fleet.faults`).
     faults: Optional[FaultSpec] = None
+    #: Online serving front door (micro-batching, admission control, SLO) for
+    #: the runner's ``serve`` stage; ``None`` for experiments that never
+    #: serve live traffic (see :mod:`repro.serving`).
+    serve: Optional[ServingSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -399,11 +404,13 @@ class ExperimentSpec:
             "fleet": FleetSpec,
             "adapt": AdaptSpec,
             "faults": FaultSpec,
+            "serve": ServingSpec,
         }
-        # ``fleet``, ``adapt`` and ``faults`` are the only nested nodes that may
-        # be null (offline / frozen-detector / fault-free specs); a null required
-        # node must keep raising the clean mapping error.
-        optional = {"fleet", "adapt", "faults"}
+        # ``fleet``, ``adapt``, ``faults`` and ``serve`` are the only nested
+        # nodes that may be null (offline / frozen-detector / fault-free /
+        # non-serving specs); a null required node must keep raising the clean
+        # mapping error.
+        optional = {"fleet", "adapt", "faults", "serve"}
         for key, sub_cls in nested.items():
             if key not in kwargs:
                 continue

@@ -1,0 +1,34 @@
+"""Registered serving scenarios.
+
+Imported for its registration side effects by :mod:`repro.experiments` (the
+same pattern as :mod:`repro.fleet.scenarios`): each scenario extends a base
+experiment with a ``fleet`` node (the traffic source) and a ``serve`` node
+(the front-door configuration), so ``repro serve <name>`` works out of the
+box and every knob stays ``--set serve.*``-able.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.registry import register_scenario
+from repro.experiments.scenarios import univariate_power
+from repro.fleet.spec import FleetSpec
+from repro.serving.spec import ServingSpec
+
+
+@register_scenario("serve-front-door", tags=("serving", "extended"))
+def serve_front_door():
+    """Open-loop online serving of the univariate fleet (micro-batching, SLO)."""
+    return replace(
+        univariate_power(),
+        name="serve-front-door",
+        description=(
+            "Serve the univariate power fleet through the asyncio ingest front "
+            "door: micro-batched detection, bounded ingress queue with load "
+            "shedding, and a p99 latency SLO over an open-loop Poisson arrival "
+            "stream."
+        ),
+        fleet=FleetSpec(n_devices=200, ticks=40, arrival_rate=0.5, anomaly_rate=0.08),
+        serve=ServingSpec(),
+    )

@@ -339,6 +339,43 @@ class TestCompareResults:
         assert compare_main([old, new]) == 1
         assert compare_main([old, new, "--ignore", "seconds"]) == 0
 
+    def test_slo_boolean_flip_is_a_regression(self, tmp_path, capsys):
+        from benchmarks.compare_results import main as compare_main
+
+        old = self._write(tmp_path, "old.json", {"summary": {"overload_slo_met": True}})
+        new = self._write(tmp_path, "new.json", {"summary": {"overload_slo_met": False}})
+        assert compare_main([old, new]) == 1
+        assert "overload_slo_met" in capsys.readouterr().out
+        # The healthy direction is not a regression.
+        assert compare_main([new, old]) == 0
+
+    def test_serving_preset_masks_machine_dependent_leaves(self, tmp_path):
+        from benchmarks.compare_results import main as compare_main
+
+        # Absolute throughput, wall-clock and measured latency differ across
+        # hosts; the ratio and the SLO boolean are what the preset keeps gated.
+        old = self._write(tmp_path, "old.json", {
+            "summary": {"max_sustained_rps": 100.0, "sustained_throughput_ratio": 0.8},
+            "sweep": [{"latency_p99_ms": 500.0, "duration_seconds": 2.0, "slo_met": True}],
+        })
+        new = self._write(tmp_path, "new.json", {
+            "summary": {"max_sustained_rps": 40.0, "sustained_throughput_ratio": 0.78},
+            "sweep": [{"latency_p99_ms": 1900.0, "duration_seconds": 9.0, "slo_met": True}],
+        })
+        assert compare_main([old, new, "--preset", "serving"]) == 0
+
+    def test_serving_preset_still_gates_the_ratio(self, tmp_path, capsys):
+        from benchmarks.compare_results import main as compare_main
+
+        old = self._write(
+            tmp_path, "old.json", {"summary": {"sustained_throughput_ratio": 0.8}}
+        )
+        new = self._write(
+            tmp_path, "new.json", {"summary": {"sustained_throughput_ratio": 0.3}}
+        )
+        assert compare_main([old, new, "--preset", "serving"]) == 1
+        assert "sustained_throughput_ratio" in capsys.readouterr().out
+
 
 class TestColumnarAdaptiveEquivalence:
     """PR 5 acceptance: the columnar path leaves the adaptation loop unchanged."""

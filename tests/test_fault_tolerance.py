@@ -759,6 +759,30 @@ class TestCliErrors:
         assert main(["fleet", "fleet-burst-storm", "--resume"]) == 2
         assert "--checkpoint-dir" in capsys.readouterr().err
 
+    def test_serve_unknown_scenario_exits_nonzero(self, capsys):
+        assert main(["serve", "no-such-scenario"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_invalid_set_key_exits_nonzero(self, capsys):
+        assert main(["serve", "serve-front-door", "--set", "serve.bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "serve.bogus" in err
+
+    def test_serve_unreachable_slo_exits_nonzero(self, capsys):
+        assert main(["serve", "serve-front-door", "--set", "serve.slo_p99_ms=2"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unreachable SLO" in err
+
+    def test_serve_scenario_without_fleet_exits_nonzero(self, capsys):
+        assert main(["serve", "univariate-power"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "serve-front-door" in err
+
+    def test_serve_spec_only_happy_path(self, capsys):
+        assert main(["serve", "serve-front-door", "--spec-only"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serve"]["shed_policy"] == "reject-new"
+
 
 # -- adaptive kill/resume --------------------------------------------------------
 

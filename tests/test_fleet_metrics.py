@@ -53,6 +53,51 @@ class TestDelayReservoir:
         assert merged_a.seen == 300
         assert merged_a.values == merged_b.values
 
+    def test_chunking_invariance_for_fixed_seed(self):
+        """Micro-batch boundaries must not leak into the sample: the serving
+        front door feeds the reservoir batch-by-batch as tiers complete, and
+        the retained values must only depend on the value stream and seed."""
+        stream = np.random.default_rng(11).exponential(scale=50.0, size=500)
+        whole = DelayReservoir(32, [4, 2])
+        whole.extend(stream)
+        chunked = DelayReservoir(32, [4, 2])
+        for chunk in np.array_split(stream, [3, 7, 50, 51, 200, 433]):
+            chunked.extend(chunk)
+        one_by_one = DelayReservoir(32, [4, 2])
+        for value in stream:
+            one_by_one.add(float(value))
+        assert chunked.values == whole.values
+        assert one_by_one.values == whole.values
+        assert chunked.seen == one_by_one.seen == whole.seen == 500
+
+    def test_merge_equivalence_under_out_of_order_batch_completion(self):
+        """Per-part reservoirs filled by interleaved, out-of-order batch
+        completions merge identically as long as each part sees its own
+        values in order — the shard/tier merge contract."""
+        rng = np.random.default_rng(23)
+        batches_a = [rng.exponential(scale=10.0, size=n) for n in (5, 32, 1, 12)]
+        batches_b = [rng.exponential(scale=80.0, size=n) for n in (20, 3, 9)]
+
+        def _fill(schedule):
+            parts = {"a": DelayReservoir(16, [0]), "b": DelayReservoir(16, [1])}
+            for name, index in schedule:
+                batch = (batches_a if name == "a" else batches_b)[index]
+                parts[name].extend(batch)
+            return [parts["a"], parts["b"]]
+
+        # Two completion orders interleaving the parts differently while
+        # preserving each part's own batch order.
+        in_order = _fill(
+            [("a", 0), ("a", 1), ("a", 2), ("a", 3), ("b", 0), ("b", 1), ("b", 2)]
+        )
+        interleaved = _fill(
+            [("b", 0), ("a", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2), ("a", 3)]
+        )
+        merged_in_order = DelayReservoir.merge(in_order, [5])
+        merged_interleaved = DelayReservoir.merge(interleaved, [5])
+        assert merged_in_order.values == merged_interleaved.values
+        assert merged_in_order.seen == merged_interleaved.seen == 82
+
 
 class TestStreamingMetrics:
     def _metrics(self, ticks=8, window=4, layers=3, reservoir=64):

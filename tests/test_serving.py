@@ -1,0 +1,451 @@
+"""Tests for the online serving front door (:mod:`repro.serving`).
+
+The two acceptance pins live here:
+
+* **graceful overload** — under 2x the calibrated capacity the server sheds
+  (counted and warned once) while the *served-request* p99 stays within the
+  SLO;
+* **drain-and-swap** — a hot swap lands mid-run without dropping a single
+  in-flight request, and post-swap responses carry the new model version.
+
+Everything runs against one tiny trained ``serve-front-door`` scenario
+(module-scoped fixture); service is paced by the *simulated* HEC delays, so
+capacity — and with it the overload behaviour — is machine-independent.
+"""
+
+import asyncio
+import warnings
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    SCENARIOS,
+    ExperimentRunner,
+    ExperimentSpec,
+    ServingSpec,
+    apply_overrides,
+    get_scenario,
+)
+from repro.fleet.devices import DeviceFleet, WindowPool
+from repro.serving import (
+    IngestServer,
+    OpenLoopLoadGenerator,
+    ServingReport,
+    blue_green_swap,
+    serve_workload,
+)
+
+#: Shrink the serving scenario to test size (training and traffic).
+TINY = {
+    "data.weeks": "8",
+    "detectors.0.epochs": "2",
+    "detectors.1.epochs": "2",
+    "detectors.2.epochs": "2",
+    "policy.episodes": "2",
+    "fleet.n_devices": "64",
+    "fleet.ticks": "10",
+    "fleet.arrival_rate": "1.0",
+    "serve.max_requests": "80",
+    "serve.offered_rps": "120",
+}
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A tiny trained serving scenario: (spec, runner with train_policy done)."""
+    spec = apply_overrides(get_scenario("serve-front-door"), TINY)
+    runner = ExperimentRunner(spec)
+    for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+        getattr(runner, stage)()
+    return spec, runner
+
+
+def _fresh_fleet(spec, runner):
+    """A fresh fleet per run keeps the device streams on their
+    sequential-draw contract."""
+    pool = WindowPool.from_labeled(runner.state.standardized_all)
+    return DeviceFleet(spec.fleet, pool, master_seed=spec.seed)
+
+
+def _serve(trained, swap=None, swap_at_fraction=0.5, **serve_overrides):
+    spec, runner = trained
+    serving = replace(spec.serve, **serve_overrides)
+    state = runner.state
+    return serve_workload(
+        system=state.system,
+        policy=state.policy,
+        context_extractor=state.context_extractor,
+        serving=serving,
+        fleet=_fresh_fleet(spec, runner),
+        master_seed=spec.seed,
+        name=spec.name,
+        tier_names=spec.topology.tier_names,
+        swap=swap,
+        swap_at_fraction=swap_at_fraction,
+    )
+
+
+class TestServingSpec:
+    def test_defaults_are_valid(self):
+        spec = ServingSpec()
+        assert spec.shed_policy == "reject-new"
+        assert spec.effective_max_age_ms == spec.slo_p99_ms / 2.0
+
+    def test_explicit_max_age_wins_over_derived(self):
+        spec = ServingSpec(max_age_ms=200.0)
+        assert spec.effective_max_age_ms == 200.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait_ms": 0.0},
+            {"queue_capacity": -1},
+            {"shed_policy": "drop-everything"},
+            {"tier_concurrency": 0},
+            {"slo_p99_ms": -1.0},
+            {"service_time_scale": -0.5},
+            {"offered_rps": 0.0},
+            {"max_requests": 0},
+            {"reservoir_size": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServingSpec(**kwargs)
+
+    def test_unreachable_slo_rejected(self):
+        # Derived shed deadline (slo/2) must clear the batcher's max wait.
+        with pytest.raises(ConfigurationError, match="unreachable SLO"):
+            ServingSpec(slo_p99_ms=8.0, max_wait_ms=5.0)
+        # An explicit age budget at or below the max wait sheds everything.
+        with pytest.raises(ConfigurationError, match="max_age_ms"):
+            ServingSpec(max_age_ms=5.0, max_wait_ms=5.0)
+        # ... but an explicit, reachable age budget allows a tight SLO.
+        assert ServingSpec(slo_p99_ms=8.0, max_wait_ms=5.0, max_age_ms=6.0)
+
+    def test_from_dict_round_trip_and_unknown_keys(self):
+        spec = ServingSpec(max_batch=16, shed_policy="shed-oldest", max_age_ms=50.0)
+        assert ServingSpec.from_dict(
+            {f: getattr(spec, f) for f in spec.__dataclass_fields__}
+        ) == spec
+        with pytest.raises(ConfigurationError, match="bogus"):
+            ServingSpec.from_dict({"bogus": 1})
+
+
+class TestSpecTreeIntegration:
+    def test_scenario_has_serve_node(self):
+        spec = get_scenario("serve-front-door")
+        assert spec.serve == ServingSpec()
+        assert spec.fleet is not None
+
+    def test_experiment_spec_round_trip_preserves_serve(self):
+        spec = get_scenario("serve-front-door")
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert ExperimentSpec.from_dict(spec.to_dict()).serve == spec.serve
+
+    def test_serve_overrides_apply(self):
+        spec = get_scenario("serve-front-door")
+        spec = apply_overrides(
+            spec, {"serve.offered_rps": "500", "serve.max_age_ms": "50"}
+        )
+        assert spec.serve.offered_rps == 500.0
+        assert spec.serve.max_age_ms == 50.0
+
+    def test_unknown_serve_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="serve.bogus"):
+            apply_overrides(get_scenario("serve-front-door"), {"serve.bogus": "1"})
+
+    def test_describe_carries_serve_node(self):
+        described = SCENARIOS.describe("serve-front-door")
+        assert described["serve"]["shed_policy"] == "reject-new"
+
+    def test_specs_without_serve_still_round_trip(self):
+        spec = get_scenario("fleet-burst-storm")
+        assert spec.serve is None
+        assert ExperimentSpec.from_dict(spec.to_dict()).serve is None
+
+
+class TestIngestServerValidation:
+    def test_policy_layer_mismatch_rejected(self, trained):
+        spec, runner = trained
+
+        class FivePolicy:
+            n_actions = 5
+
+        with pytest.raises(ConfigurationError, match="5 actions"):
+            IngestServer(
+                runner.state.system,
+                FivePolicy(),
+                runner.state.context_extractor,
+                spec.serve,
+            )
+
+    def test_tier_names_length_checked(self, trained):
+        spec, runner = trained
+        with pytest.raises(ConfigurationError, match="tier names"):
+            IngestServer(
+                runner.state.system,
+                runner.state.policy,
+                runner.state.context_extractor,
+                spec.serve,
+                tier_names=("only-one",),
+            )
+
+    def test_submit_before_start_rejected(self, trained):
+        spec, runner = trained
+        server = IngestServer(
+            runner.state.system,
+            runner.state.policy,
+            runner.state.context_extractor,
+            spec.serve,
+        )
+        with pytest.raises(ConfigurationError, match="started"):
+            asyncio.run(server.submit(0, np.zeros(12)))
+
+    def test_loadgen_needs_arrivals(self, trained):
+        spec, runner = trained
+        starved = replace(spec.fleet, arrival_rate=1e-6)
+        pool = WindowPool.from_labeled(runner.state.standardized_all)
+        with pytest.raises(ConfigurationError, match="no arrivals"):
+            OpenLoopLoadGenerator(
+                DeviceFleet(starved, pool, master_seed=spec.seed), spec.serve
+            )
+
+
+class TestServingHappyPath:
+    def test_low_load_serves_everything(self, trained):
+        report, results = _serve(trained, offered_rps=60.0, max_requests=60)
+        assert report.n_submitted == 60
+        assert report.n_served == 60
+        assert report.n_rejected == report.n_shed == report.n_expired == 0
+        assert report.n_dropped == 0
+        assert report.shed_rate == 0.0
+        assert report.slo_met
+        assert all(r.served for r in results)
+        assert report.n_batches >= 1
+        assert sum(t.requests for t in report.tiers) == report.n_served
+        assert report.latency.p99_ms >= report.latency.p50_ms > 0.0
+
+    def test_results_in_submission_order(self, trained):
+        spec, runner = trained
+        serving = replace(spec.serve, offered_rps=200.0, max_requests=50)
+        _report, results = _serve(trained, offered_rps=200.0, max_requests=50)
+        reference = OpenLoopLoadGenerator(
+            _fresh_fleet(spec, runner), serving, master_seed=spec.seed
+        )
+        assert [r.device_id for r in results] == reference.device_ids.tolist()
+        assert [r.label for r in results] == reference.labels.astype(int).tolist()
+
+    def test_served_predictions_match_direct_detection(self, trained):
+        """The front door must answer exactly what the detector would say."""
+        spec, runner = trained
+        serving = replace(spec.serve, offered_rps=200.0, max_requests=40)
+        _report, results = _serve(trained, offered_rps=200.0, max_requests=40)
+        reference = OpenLoopLoadGenerator(
+            _fresh_fleet(spec, runner), serving, master_seed=spec.seed
+        )
+        system = runner.state.system
+        for i, result in enumerate(results):
+            if not result.served:
+                continue
+            direct = system.detect_batch_columnar(
+                result.layer, reference.windows[i : i + 1]
+            )
+            assert int(direct.predictions[0]) == result.prediction
+
+    def test_report_json_round_trip(self, trained, tmp_path):
+        report, _results = _serve(trained, offered_rps=200.0, max_requests=40)
+        path = report.to_json(tmp_path / "serving.json")
+        assert ServingReport.from_json(path) == report
+
+    def test_runner_serve_stage(self, trained):
+        _spec, runner = trained
+        report = runner.serve()
+        assert "serve" in runner.state.completed
+        assert runner.state.serving_report is report
+        assert report.n_submitted == 80
+        assert report.n_dropped == 0
+
+    def test_fork_clears_serving_state(self, trained):
+        _spec, runner = trained
+        if "serve" not in runner.state.completed:
+            runner.serve()
+        clone = runner.state.clone_for_fork()
+        assert "serve" not in clone.completed
+        assert clone.serving_report is None
+
+
+class TestOverload:
+    def test_reject_new_policy(self, trained):
+        with pytest.warns(RuntimeWarning, match="serving ingress overloaded"):
+            report, results = _serve(
+                trained,
+                offered_rps=5000.0,
+                max_requests=80,
+                queue_capacity=8,
+                shed_policy="reject-new",
+            )
+        assert report.n_rejected > 0
+        assert report.n_dropped == 0
+        rejected = [r for r in results if r.status == "rejected"]
+        assert len(rejected) == report.n_rejected
+        assert all(r.shed_reason == "queue-full" for r in rejected)
+
+    def test_shed_oldest_policy(self, trained):
+        with pytest.warns(RuntimeWarning, match="serving ingress overloaded"):
+            report, results = _serve(
+                trained,
+                offered_rps=5000.0,
+                max_requests=80,
+                queue_capacity=8,
+                shed_policy="shed-oldest",
+            )
+        assert report.n_shed > 0
+        assert report.n_rejected == 0  # eviction admits every newcomer
+        assert report.n_dropped == 0
+        evicted = [r for r in results if r.status == "shed" and r.shed_reason == "queue-full"]
+        assert len(evicted) == report.n_shed
+
+    def test_age_budget_expires_stale_requests(self, trained):
+        with pytest.warns(RuntimeWarning, match="serving ingress overloaded"):
+            report, results = _serve(
+                trained,
+                offered_rps=5000.0,
+                max_requests=80,
+                max_age_ms=20.0,
+            )
+        assert report.n_expired > 0
+        expired = [r for r in results if r.shed_reason == "expired"]
+        assert len(expired) == report.n_expired
+
+    def test_overload_warns_exactly_once_per_run(self, trained):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report, _results = _serve(
+                trained,
+                offered_rps=5000.0,
+                max_requests=80,
+                queue_capacity=8,
+            )
+        overload = [
+            w for w in caught if "serving ingress overloaded" in str(w.message)
+        ]
+        assert len(overload) == 1
+        assert report.n_rejected + report.n_expired > 1  # the rest counted silently
+
+    def test_acceptance_2x_overload_sheds_but_served_p99_meets_slo(self, trained):
+        """The PR's overload pin: at 2x capacity the server sheds (reported,
+        warned) while the p99 of what *was* served stays within the SLO."""
+        # Calibrate capacity with a flood run (shedding disabled).
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            flood, _ = _serve(
+                trained,
+                offered_rps=10_000.0,
+                max_requests=120,
+                queue_capacity=120,
+                max_age_ms=60_000.0,
+                slo_p99_ms=120_000.0,
+            )
+        assert flood.n_served == 120
+        capacity = flood.achieved_rps
+        assert capacity > 0
+        # 2x the calibrated capacity against a production-sized ingress queue
+        # (smaller than the stream, so the backlog actually hits the bound).
+        with pytest.warns(RuntimeWarning, match="serving ingress overloaded"):
+            report, _results = _serve(
+                trained,
+                offered_rps=2.0 * capacity,
+                max_requests=160,
+                queue_capacity=32,
+            )
+        total_shed = report.n_rejected + report.n_shed + report.n_expired
+        assert total_shed > 0, "2x overload must engage admission control"
+        assert report.shed_rate > 0.0
+        assert report.n_dropped == 0
+        assert report.n_served > 0
+        assert report.latency.p99_ms <= report.slo_p99_ms
+        assert report.slo_met
+
+
+class TestDrainAndSwap:
+    def test_acceptance_hot_swap_drops_nothing_and_bumps_version(self, trained):
+        """The PR's deployment pin: a swap lands between micro-batches with
+        zero dropped requests, and post-swap responses carry the new
+        model version."""
+        spec, runner = trained
+        system = runner.state.system
+        before = int(system.state_version)
+        report, results = _serve(
+            trained,
+            swap=blue_green_swap(system),
+            swap_at_fraction=0.5,
+            offered_rps=150.0,
+            max_requests=80,
+        )
+        assert report.n_swaps == 1
+        assert report.swap_versions == (before + 1,)
+        assert int(system.state_version) == before + 1
+        # Zero-drop contract: every submission resolved to exactly one result.
+        assert report.n_dropped == 0
+        assert len(results) == report.n_submitted == 80
+        assert all(
+            r.status in ("served", "rejected", "shed") for r in results
+        )
+        # Responses exist from both sides of the swap, and the post-swap ones
+        # come from the new deployment.
+        versions = {r.model_version for r in results if r.served}
+        assert versions == {before, before + 1}
+
+    def test_swap_waits_for_quiescence(self, trained):
+        """drain_and_swap must not run while a batch is in flight."""
+        spec, runner = trained
+        state = runner.state
+
+        async def _main():
+            server = IngestServer(
+                state.system,
+                state.policy,
+                state.context_extractor,
+                replace(spec.serve, max_wait_ms=1.0),
+                master_seed=spec.seed,
+                tier_names=spec.topology.tier_names,
+            )
+            await server.start()
+            window = runner.state.standardized_all.windows[0]
+            inflight_at_swap = []
+
+            def _swap():
+                inflight_at_swap.append(server._inflight)
+                return state.system.bump_state_version()
+
+            submissions = [
+                asyncio.create_task(server.submit(i, window)) for i in range(8)
+            ]
+            await asyncio.sleep(0)  # let the batcher pick the batch up
+            await server.drain_and_swap(_swap)
+            results = await asyncio.gather(*submissions)
+            await server.stop()
+            return inflight_at_swap, results
+
+        inflight_at_swap, results = asyncio.run(_main())
+        assert inflight_at_swap == [0]
+        assert all(r.served for r in results)
+
+    def test_swap_versions_accumulate_across_swaps(self, trained):
+        spec, runner = trained
+        system = runner.state.system
+        before = int(system.state_version)
+        report, _results = _serve(
+            trained,
+            swap=blue_green_swap(system),
+            swap_at_fraction=0.25,
+            offered_rps=150.0,
+            max_requests=40,
+        )
+        assert report.n_swaps == 1
+        assert report.swap_versions[0] == before + 1
