@@ -17,7 +17,11 @@ future PRs have a trajectory to regress against:
 * **checkpointing** — the warm columnar run with durable checkpoints at
   cadence 10 and 100, measuring the wall-clock overhead of the
   write-ahead-atomic store (must stay within 10% at cadence 100 on
-  full-sized sweeps, and bit-identical always).
+  full-sized sweeps, and bit-identical always);
+* **telemetry** — the warm columnar run with the full observability layer on
+  (per-tick spans, events, metrics registry, JSONL + Prometheus export),
+  measuring the cost of instrumentation (must stay within 10% on full-sized
+  sweeps, and bit-identical always — telemetry is a pure observer).
 
 Three properties are asserted on top of the timings:
 
@@ -49,14 +53,17 @@ from repro.experiments import ExperimentRunner, apply_overrides, get_scenario
 from repro.fleet import sharding, stream_cache
 from repro.fleet.devices import WindowPool
 from repro.fleet.engine import FleetEngine, ShardedFleetEngine
+from repro.obs.export import Telemetry
+from repro.obs.spec import ObsSpec
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Stable schema tag for CI consumers (see benchmarks/compare_results.py).
 #: v2: legacy/columnar split replaces the single "unsharded" entry; sharded
 #: entries record their execution mode.  v3 adds the "checkpointing" block
-#: (durable-checkpoint overhead at increasing cadence).
-SCHEMA_VERSION = 3
+#: (durable-checkpoint overhead at increasing cadence).  v4 adds the
+#: "telemetry" block (observability-layer overhead vs warm columnar).
+SCHEMA_VERSION = 4
 
 #: The scenario whose fleet workload is streamed.
 SCENARIO = "fleet-1k-drift"
@@ -88,6 +95,10 @@ CHECKPOINT_CADENCES = (10, 100)
 #: Acceptance ceiling: wall-clock overhead of cadence-100 checkpointing vs
 #: the warm columnar baseline (enforced on full-sized sweeps only).
 MAX_CHECKPOINT_OVERHEAD = 0.10
+#: Acceptance ceiling: wall-clock overhead of the full telemetry pipeline
+#: (spans + events + metrics + JSONL/Prometheus export) vs the warm columnar
+#: baseline (enforced on full-sized sweeps only).
+MAX_TELEMETRY_OVERHEAD = 0.10
 
 
 def _available_cpus() -> int:
@@ -209,6 +220,38 @@ def run_bench_fleet(
         ),
     }
 
+    # -- telemetry overhead: warm columnar run with the full pipeline on -------
+    # Everything the streaming loop pays is timed — per-tick spans, the
+    # registry-backed stage profiler, counters, live JSONL writes.  The
+    # finalize step (fsync + atomic rename of the three artifacts) runs
+    # outside the timer: it is a fixed O(1) epilogue, not a per-window cost.
+    telemetry_seconds = []
+    telemetry_report = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="bench-fleet-obs-") as obs_dir:
+            telemetry = Telemetry(
+                out_dir=obs_dir, spec=ObsSpec(dir=obs_dir), name=SCENARIO
+            )
+            start = time.perf_counter()
+            telemetry_report = FleetEngine(**kwargs, telemetry=telemetry).run()
+            telemetry_seconds.append(time.perf_counter() - start)
+            telemetry.finalize()
+    telemetry_best = min(telemetry_seconds)
+    report["telemetry"] = {
+        "seconds": telemetry_best,
+        "windows_per_second": n_windows / telemetry_best,
+        "overhead_vs_columnar": telemetry_best / columnar_best - 1.0,
+        "bit_identical": telemetry_report == columnar_report,
+        "max_overhead": MAX_TELEMETRY_OVERHEAD,
+        "note": (
+            "overhead_vs_columnar compares best-of-N warm columnar wall-clock "
+            "with and without the telemetry pipeline live (spans, events, "
+            "metrics, incremental JSONL); the O(1) finalize export is not "
+            "timed; the <= max_overhead ceiling is enforced on full-sized "
+            "sweeps only"
+        ),
+    }
+
     # -- equivalence: columnar == legacy, one shard == unsharded, bit for bit --
     one_shard_report = ShardedFleetEngine(**kwargs, n_shards=1).run()
     report["equivalence"] = {
@@ -313,6 +356,9 @@ def _assert_report(report: dict) -> None:
         assert entry["bit_identical"], (
             f"cadence-{entry['cadence']} checkpointing perturbed the stream"
         )
+    assert report["telemetry"]["bit_identical"], (
+        "the telemetry layer perturbed the stream (it must be a pure observer)"
+    )
     if report["scaling"]["columnar_floor_enforced"]:
         slowest = max(
             report["checkpointing"]["entries"], key=lambda e: e["cadence"]
@@ -321,6 +367,11 @@ def _assert_report(report: dict) -> None:
             f"cadence-{slowest['cadence']} checkpointing cost "
             f"{slowest['overhead_vs_columnar']:.1%} of warm columnar throughput "
             f"(ceiling: {MAX_CHECKPOINT_OVERHEAD:.0%})"
+        )
+        telemetry_overhead = report["telemetry"]["overhead_vs_columnar"]
+        assert telemetry_overhead <= MAX_TELEMETRY_OVERHEAD, (
+            f"the telemetry pipeline cost {telemetry_overhead:.1%} of warm "
+            f"columnar throughput (ceiling: {MAX_TELEMETRY_OVERHEAD:.0%})"
         )
 
 
@@ -346,6 +397,12 @@ def _print_report(report: dict) -> None:
             f"{entry['n_checkpoints']} checkpoint(s), bit-identical: "
             f"{entry['bit_identical']})"
         )
+    telemetry = report["telemetry"]
+    print(
+        f"  telemetry      {telemetry['windows_per_second']:10.0f} windows/s "
+        f"({telemetry['overhead_vs_columnar']:+.1%} vs columnar, bit-identical: "
+        f"{telemetry['bit_identical']})"
+    )
     for entry in report["sharded"]:
         print(
             f"  {entry['n_shards']} shard(s)     {entry['windows_per_second']:10.0f} windows/s "

@@ -42,6 +42,11 @@ from repro.hec.simulation import HECSystem
 _TRAIN_TAG = 0xAD01
 _HOLDOUT_TAG = 0xAD02
 
+#: Bucket bounds for the retrain/swap duration histograms (seconds).
+_SECONDS_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
+
 
 @dataclass
 class RetrainTiming:
@@ -126,6 +131,10 @@ class AdaptationController:
         self.retrains: List[RetrainEvent] = []
         self.swaps: List = []
         self.timings: List[RetrainTiming] = []
+        #: Optional :class:`~repro.obs.export.Telemetry` session (the engine
+        #: binds it for telemetry-enabled runs).  Read via one ``is None``
+        #: check per lifecycle decision — never inside the per-batch hook.
+        self.telemetry = None
 
     def _build_monitor(self, kind: str, layer: int, tier: str) -> ScoreMonitor:
         spec = self.spec
@@ -195,6 +204,21 @@ class AdaptationController:
             return
         self.drifts.append(event)
         self._pending.add(event.layer)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.registry.counter(
+                "adapt_drift_total",
+                "Drift detections by monitor kind.",
+                labelnames=("monitor",),
+            ).labels(monitor=event.monitor).value += 1
+            telemetry.event(
+                "adapt.drift",
+                tick=event.tick,
+                tier=event.tier,
+                monitor=event.monitor,
+                statistic=event.statistic,
+                threshold=event.threshold,
+            )
 
     # -- tick boundary -----------------------------------------------------------
 
@@ -224,7 +248,22 @@ class AdaptationController:
         self._window_confusion[:] = 0
 
     def _retrain(self, tick: int, layer: int) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.trace_enabled:
+            # One span per lifecycle attempt links the triggering drift to
+            # the gate verdict and (when accepted) the hot-swap; activating
+            # it stamps the adapt.gate/adapt.swap events with its ids.
+            span = telemetry.tracer.start_span(
+                "adapt.retrain", tick=int(tick), tier=self.tier_names[layer]
+            )
+            with telemetry.tracer.activate(span):
+                self._retrain_impl(tick, layer, span)
+        else:
+            self._retrain_impl(tick, layer, None)
+
+    def _retrain_impl(self, tick: int, layer: int, span) -> None:
         tier = self.tier_names[layer]
+        telemetry = self.telemetry
         incumbent = self.system.deployment_at(layer).detector
         train_windows, _ = self.train_reservoirs[layer].snapshot()
         holdout_windows, holdout_labels = self.holdout_reservoirs[layer].snapshot()
@@ -261,6 +300,22 @@ class AdaptationController:
             swap_seconds = time.perf_counter() - started
             candidate_version = swap.to_version
             self.swaps.append(swap)
+            if telemetry is not None:
+                telemetry.registry.counter(
+                    "adapt_swaps_total", "Gated candidates hot-swapped live."
+                ).inc()
+                telemetry.registry.histogram(
+                    "adapt_swap_seconds",
+                    "Hot-swap (commit + promote + rebind) latency.",
+                    buckets=_SECONDS_BUCKETS,
+                ).observe(swap_seconds)
+                telemetry.event(
+                    "adapt.swap",
+                    tick=int(tick),
+                    tier=tier,
+                    from_version=swap.from_version,
+                    to_version=swap.to_version,
+                )
             # The new model gets fresh monitor baselines.
             for monitor in self.score_monitors[layer] + self.f1_monitors[layer]:
                 monitor.reset()
@@ -287,6 +342,28 @@ class AdaptationController:
                 accepted=outcome.accepted,
             )
         )
+        if telemetry is not None:
+            accepted = "true" if outcome.accepted else "false"
+            telemetry.registry.counter(
+                "adapt_retrains_total",
+                "Retrain attempts by gate verdict.",
+                labelnames=("accepted",),
+            ).labels(accepted=accepted).value += 1
+            telemetry.registry.histogram(
+                "adapt_retrain_seconds",
+                "Fine-tune + shadow-gate latency.",
+                buckets=_SECONDS_BUCKETS,
+            ).observe(retrain_seconds)
+            telemetry.event(
+                "adapt.gate",
+                tick=int(tick),
+                tier=tier,
+                accepted=outcome.accepted,
+                incumbent_f1=outcome.incumbent_f1,
+                candidate_f1=outcome.candidate_f1,
+            )
+            if span is not None:
+                span.end(accepted=outcome.accepted)
 
     # -- checkpointing -----------------------------------------------------------
 

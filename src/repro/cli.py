@@ -109,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output-dir", type=str, default=None,
                      help="directory for the JSON/Markdown reproduction reports")
     run.add_argument("--quiet", action="store_true", help="suppress table output")
+    run.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                     help="write telemetry (trace.jsonl, metrics.json, "
+                     "metrics.prom) to DIR; sugar for --set obs.dir=DIR")
     run.add_argument("--spec-only", action="store_true",
                      help="print the resolved spec as JSON and exit without running")
 
@@ -160,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="continue from the newest checkpoint in --checkpoint-dir "
                        "(bit-identical to an uninterrupted run)")
     fleet.add_argument("--quiet", action="store_true", help="suppress summary output")
+    fleet.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                       help="write telemetry (trace.jsonl, metrics.json, "
+                       "metrics.prom) to DIR; sugar for --set obs.dir=DIR "
+                       "(telemetered sharded runs stream serially in-process)")
     fleet.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
 
@@ -190,6 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output-dir", type=str, default=None,
                        help="directory for the JSON serving report")
     serve.add_argument("--quiet", action="store_true", help="suppress summary output")
+    serve.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                       help="write telemetry (trace.jsonl, metrics.json, "
+                       "metrics.prom) to DIR; sugar for --set obs.dir=DIR")
     serve.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
 
@@ -225,6 +235,24 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("version", help="checkpoint version id, e.g. v-0123abcd4567")
         if name == "rollback":
             sub.add_argument("tier", help="tier name whose current version to demote")
+
+    # -- telemetry --------------------------------------------------------------
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="inspect telemetry written by --telemetry runs "
+        "(trace.jsonl digests)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="print a digest of one run's trace.jsonl (top spans, tier "
+        "utilization, overload, adaptation timeline, fault activations)",
+    )
+    summarize.add_argument(
+        "path",
+        help="a trace.jsonl file or the telemetry directory holding one",
+    )
 
     list_parser = subparsers.add_parser("list", help="list the registered scenarios")
     list_parser.add_argument(
@@ -374,10 +402,28 @@ def _resolve_spec(
         spec = replace(spec, adapt=AdaptSpec())
     if default_serve and spec.serve is None:
         spec = replace(spec, serve=ServingSpec())
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is not None:
+        from repro.obs.spec import ObsSpec
+
+        # Sugar for --set obs.dir=DIR, applied before the dotted overrides so
+        # --set obs.trace=false still lands on the node just materialised.
+        obs = spec.obs if spec.obs is not None else ObsSpec()
+        spec = replace(spec, obs=replace(obs, dir=str(telemetry_dir)))
     overrides = parse_set_arguments(args.overrides)
     if overrides:
         spec = apply_overrides(spec, overrides)
     return spec
+
+
+def _finalize_telemetry(runner, args: argparse.Namespace) -> None:
+    """Flush a runner's telemetry session to disk and point the user at it."""
+    telemetry = runner.telemetry
+    if telemetry is None:
+        return
+    paths = telemetry.finalize()
+    if paths and not getattr(args, "quiet", False):
+        print(f"Telemetry: {paths['trace'].parent}")
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
@@ -385,8 +431,10 @@ def _run_scenario(args: argparse.Namespace) -> int:
     if args.spec_only:
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
-    result = ExperimentRunner(spec).run()
+    runner = ExperimentRunner(spec)
+    result = runner.run()
     _report(result, args, report_name=f"report_{args.scenario or spec.name}")
+    _finalize_telemetry(runner, args)
     return 0
 
 
@@ -423,7 +471,14 @@ def _run_fleet(args: argparse.Namespace) -> int:
     if args.profile:
         from repro.fleet.profiling import StageProfiler
 
-        profiler = StageProfiler()
+        # With --telemetry too, the profiler aggregates into the telemetry
+        # session's registry, so one set of stage counters backs both the
+        # printed breakdown and the exported metrics.
+        profiler = StageProfiler(
+            registry=runner.telemetry.registry
+            if runner.telemetry is not None
+            else None
+        )
     report = runner.run_fleet(
         registry_root=registry_root,
         profiler=profiler,
@@ -436,6 +491,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
         # --quiet suppresses the report summary, not the breakdown the
         # user explicitly asked for with --profile.
         print(profiler.summary())
+    _finalize_telemetry(runner, args)
     return 0
 
 
@@ -479,6 +535,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         report.to_json(path)
         if not args.quiet:
             print(f"Wrote {path}")
+    _finalize_telemetry(runner, args)
     return 0
 
 
@@ -541,6 +598,13 @@ def _run_models(args: argparse.Namespace) -> int:
                 f"{quantized}  {meta.parameter_count} params  {window}"
             )
     print("\n(* = currently promoted)")
+    return 0
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summary import summarize_trace
+
+    print(summarize_trace(args.path))
     return 0
 
 
@@ -638,6 +702,8 @@ def run_command(args: argparse.Namespace) -> int:
         return _run_resume(args)
     if args.command == "models":
         return _run_models(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "list":
         return _list_scenarios(verbose=getattr(args, "verbose", False))
     if args.command == "describe":

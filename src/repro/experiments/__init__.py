@@ -35,6 +35,7 @@ from repro.experiments.spec import (
 )
 from repro.adapt.spec import AdaptSpec
 from repro.fleet.spec import FleetSpec, MutatorSpec
+from repro.obs.spec import ObsSpec
 from repro.serving.spec import ServingSpec
 from repro.experiments.stages import (
     PipelineResult,
@@ -74,6 +75,7 @@ __all__ = [
     "FleetSpec",
     "MutatorSpec",
     "AdaptSpec",
+    "ObsSpec",
     "ServingSpec",
     "ExperimentSpec",
     "apply_overrides",

@@ -67,6 +67,7 @@ from repro.fleet.engine import FleetEngine, ShardedFleetEngine
 from repro.fleet.report import FleetReport
 from repro.hec.deployment import ModelDeployment, deploy_registry
 from repro.hec.simulation import HECSystem
+from repro.obs.export import Telemetry
 from repro.serving.report import ServingReport
 from repro.serving.run import blue_green_swap, serve_workload
 from repro.utils.rng import ensure_rng
@@ -272,9 +273,22 @@ class ExperimentRunner:
     #: Canonical stage order.
     STAGES = ("prepare_data", "fit_detectors", "deploy", "train_policy", "evaluate")
 
-    def __init__(self, spec: ExperimentSpec, verbose: bool = False) -> None:
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        verbose: bool = False,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.spec = spec
         self.verbose = verbose
+        #: The telemetry session every stage reports into.  Explicitly passed
+        #: sessions win; otherwise a spec with an enabled ``obs`` node gets
+        #: one created here (finalize it — the CLI does — to flush artifacts).
+        if telemetry is None and spec.obs is not None and spec.obs.enabled:
+            telemetry = Telemetry(
+                out_dir=spec.obs.dir, spec=spec.obs, name=spec.name
+            )
+        self.telemetry = telemetry
         self.state = ExperimentState(rng=ensure_rng(spec.seed))
 
     # -- bookkeeping ------------------------------------------------------------
@@ -289,6 +303,15 @@ class ExperimentRunner:
 
     def _done(self, stage: str) -> None:
         self.state.completed.add(stage)
+
+    def _run_stage(self, stage: str) -> None:
+        """Run one stage method, under a ``runner.<stage>`` span when tracing."""
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.trace_enabled:
+            getattr(self, stage)()
+            return
+        with telemetry.tracer.span(f"runner.{stage}"):
+            getattr(self, stage)()
 
     @property
     def tier_names(self) -> tuple:
@@ -528,6 +551,7 @@ class ExperimentRunner:
             tier_names=self.tier_names,
             controller=controller,
             profiler=profiler,
+            telemetry=self.telemetry,
             faults=self.spec.faults,
             checkpoint_dir=checkpoint_dir,
             checkpoint_cadence=checkpoint_cadence,
@@ -589,6 +613,7 @@ class ExperimentRunner:
             name=self.spec.name,
             tier_names=self.tier_names,
             swap=swap,
+            telemetry=self.telemetry,
         )
         state.serving_report = report
         self._done("serve")
@@ -600,7 +625,7 @@ class ExperimentRunner:
         """Run every stage that has not run yet; returns the pipeline result."""
         for stage in self.STAGES:
             if stage not in self.state.completed:
-                getattr(self, stage)()
+                self._run_stage(stage)
         return self.state.result
 
     def run_fleet(
@@ -621,7 +646,7 @@ class ExperimentRunner:
         """
         for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
             if stage not in self.state.completed:
-                getattr(self, stage)()
+                self._run_stage(stage)
         if "stream" not in self.state.completed:
             self.stream(
                 registry_root=registry_root,
@@ -641,7 +666,7 @@ class ExperimentRunner:
         """
         for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
             if stage not in self.state.completed:
-                getattr(self, stage)()
+                self._run_stage(stage)
         if "serve" not in self.state.completed:
             self.serve(hot_swap=hot_swap)
         return self.state.serving_report
@@ -661,6 +686,10 @@ class ExperimentRunner:
                 f"{list(_FORKABLE_FIELDS)} (build a new runner for data/detector/"
                 "topology/deployment changes)"
             )
-        clone = ExperimentRunner(replace(self.spec, **replacements), verbose=self.verbose)
+        clone = ExperimentRunner(
+            replace(self.spec, **replacements),
+            verbose=self.verbose,
+            telemetry=self.telemetry,
+        )
         clone.state = self.state.clone_for_fork()
         return clone

@@ -25,6 +25,7 @@ from repro.adapt.spec import AdaptSpec
 from repro.exceptions import ConfigurationError
 from repro.fleet.faults import FaultSpec
 from repro.fleet.spec import FleetSpec
+from repro.obs.spec import ObsSpec
 from repro.serving.spec import ServingSpec
 from repro.utils.serialization import load_json, save_json, to_jsonable
 from repro.utils.validation import checked_dataclass_kwargs
@@ -361,6 +362,9 @@ class ExperimentSpec:
     #: the runner's ``serve`` stage; ``None`` for experiments that never
     #: serve live traffic (see :mod:`repro.serving`).
     serve: Optional[ServingSpec] = None
+    #: Telemetry configuration (metrics + trace export directory); ``None``
+    #: runs without the observability layer (see :mod:`repro.obs`).
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -405,12 +409,13 @@ class ExperimentSpec:
             "adapt": AdaptSpec,
             "faults": FaultSpec,
             "serve": ServingSpec,
+            "obs": ObsSpec,
         }
-        # ``fleet``, ``adapt``, ``faults`` and ``serve`` are the only nested
-        # nodes that may be null (offline / frozen-detector / fault-free /
-        # non-serving specs); a null required node must keep raising the clean
-        # mapping error.
-        optional = {"fleet", "adapt", "faults", "serve"}
+        # ``fleet``, ``adapt``, ``faults``, ``serve`` and ``obs`` are the only
+        # nested nodes that may be null (offline / frozen-detector /
+        # fault-free / non-serving / untelemetered specs); a null required
+        # node must keep raising the clean mapping error.
+        optional = {"fleet", "adapt", "faults", "serve", "obs"}
         for key, sub_cls in nested.items():
             if key not in kwargs:
                 continue
@@ -513,6 +518,11 @@ def apply_overrides(spec: ExperimentSpec, overrides: Mapping[str, Any]) -> Exper
         segments = [s for s in str(key).split(".") if s]
         if not segments:
             raise ConfigurationError(f"empty override key {key!r}")
+        if segments[0] == "obs" and len(segments) > 1 and payload.get("obs") is None:
+            # Unlike the other optional nodes, ``obs`` has usable defaults for
+            # every field, so ``--set obs.dir=...`` on an untelemetered spec
+            # materialises the node instead of erroring on the null.
+            payload["obs"] = to_jsonable(dataclasses.asdict(ObsSpec()))
         node = payload
         walked = []
         for segment in segments[:-1]:

@@ -75,10 +75,16 @@ from repro.fleet.checkpoint import CheckpointStore, shard_checkpoint_dir
 from repro.fleet.devices import DeviceFleet, WindowPool
 from repro.fleet.faults import FaultSchedule, FaultSpec, WorkerCrash
 from repro.fleet.metrics import StreamingMetrics
-from repro.fleet.profiling import StageProfiler
+from repro.fleet.profiling import STAGES, StageProfiler
 from repro.fleet.report import FleetReport, report_from_metrics
 from repro.fleet.spec import FleetSpec
 from repro.hec.simulation import HECSystem
+from repro.obs.export import Telemetry
+
+#: Bucket bounds for the checkpoint save/load timing histograms (seconds).
+_SECONDS_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
 
 
 def _default_tier_names(n_layers: int) -> Tuple[str, ...]:
@@ -122,6 +128,7 @@ class FleetEngine:
         controller=None,
         columnar: bool = True,
         profiler: Optional[StageProfiler] = None,
+        telemetry: Optional[Telemetry] = None,
         faults: Optional[FaultSpec] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_cadence: int = 0,
@@ -162,6 +169,13 @@ class FleetEngine:
         self.columnar = bool(columnar)
         #: Optional :class:`~repro.fleet.profiling.StageProfiler`.
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.export.Telemetry` session.  ``None``
+        #: keeps every instrumentation site down to one ``is None`` check;
+        #: a session never draws RNG, so a telemetry-enabled run streams
+        #: bit-identical to a disabled one (pinned by test).
+        self.telemetry = telemetry
+        #: The root span of the current run (tracing-enabled sessions only).
+        self._run_span = None
         #: Optional deterministic fault injection (see :mod:`repro.fleet.faults`).
         self.faults = faults
         self._schedule = FaultSchedule(faults) if faults is not None else None
@@ -198,6 +212,24 @@ class FleetEngine:
         system = self.system
         started = perf_counter()
         self._armed = not resume
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if self.profiler is None:
+                # Stage attribution doubles as the substrate of the per-tick
+                # spans, so a telemetry run always profiles — into the session
+                # registry, so the same numbers land in the exported metrics.
+                self.profiler = StageProfiler(registry=telemetry.registry)
+            if self.controller is not None:
+                self.controller.telemetry = telemetry
+            if telemetry.trace_enabled:
+                self._run_span = telemetry.tracer.start_span(
+                    "fleet.run",
+                    run=self.name,
+                    shard=self.shard_index,
+                    ticks=spec.ticks,
+                    devices=self.n_devices,
+                    resume=bool(resume),
+                )
         store = (
             CheckpointStore(self.checkpoint_dir)
             if self.checkpoint_dir is not None
@@ -237,10 +269,24 @@ class FleetEngine:
             )
             start_tick = 0
             if resume and store is not None:
+                mark = perf_counter()
                 payload = store.latest()
                 if payload is not None:
                     start_tick = self._restore_checkpoint(payload, metrics)
                     self._fast_forward(fleet, start_tick)
+                    if telemetry is not None:
+                        elapsed = perf_counter() - mark
+                        telemetry.registry.histogram(
+                            "checkpoint_load_seconds",
+                            "Checkpoint restore + arrival-replay latency.",
+                            buckets=_SECONDS_BUCKETS,
+                        ).observe(elapsed)
+                        telemetry.event(
+                            "checkpoint.load",
+                            tick=start_tick,
+                            shard=self.shard_index,
+                            seconds=elapsed,
+                        )
             if self.columnar:
                 self._stream_columnar(fleet, metrics, start_tick, store)
             else:
@@ -255,6 +301,17 @@ class FleetEngine:
             ) + (perf_counter() - started)
             self.profiler.n_windows += metrics.n_windows
             self.profiler.ticks = spec.ticks
+        if telemetry is not None:
+            registry = telemetry.registry
+            registry.counter(
+                "fleet_windows_total", "Windows streamed by the fleet engines."
+            ).inc(metrics.n_windows)
+            registry.counter(
+                "fleet_run_seconds_total", "Wall-clock seconds of fleet runs."
+            ).inc(perf_counter() - started)
+            if self._run_span is not None:
+                self._run_span.end(windows=metrics.n_windows)
+                self._run_span = None
         return metrics
 
     # -- fault injection & checkpointing ------------------------------------------
@@ -264,16 +321,51 @@ class FleetEngine:
         schedule = self._schedule
         if schedule.has_link_faults:
             schedule.apply_links(self.system, tick)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            self._record_fault_telemetry(schedule, tick)
         if not self._armed:
             return
         if schedule.crashes_shard(self.shard_index, tick):
+            if telemetry is not None:
+                telemetry.event(
+                    "fault.shard-crash", tick=tick, shard=self.shard_index
+                )
             raise WorkerCrash(
                 f"injected crash of shard {self.shard_index} at tick {tick}"
             )
         if schedule.kills_process(tick):
+            if telemetry is not None:
+                # Best-effort: the sink's tmp file dies with the process —
+                # exactly what a real crash would lose.
+                telemetry.event(
+                    "fault.process-kill", tick=tick, shard=self.shard_index
+                )
             # The whole point: die the way a real crash does — no cleanup, no
             # exception unwinding — so resume is exercised against SIGKILL.
             os.kill(os.getpid(), signal.SIGKILL)
+
+    def _record_fault_telemetry(self, schedule: FaultSchedule, tick: int) -> None:
+        """Count active link faults; log each activation edge once."""
+        telemetry = self.telemetry
+        counter = telemetry.registry.counter(
+            "fleet_fault_active_ticks_total",
+            "Ticks spent under an active injected fault.",
+            labelnames=("kind",),
+        )
+        for event in schedule.link_events:
+            if not event.active(tick):
+                continue
+            counter.labels(kind=event.kind).value += 1
+            if tick == event.at_tick:
+                telemetry.event(
+                    "fault.link",
+                    fault=event.kind,
+                    tick=tick,
+                    link=event.link,
+                    factor=event.factor,
+                    until_tick=event.until_tick,
+                )
 
     def _maybe_checkpoint(
         self, store: Optional[CheckpointStore], tick: int, metrics: StreamingMetrics
@@ -289,7 +381,33 @@ class FleetEngine:
             return
         boundary = tick + 1
         if boundary % self.checkpoint_cadence == 0 and boundary < self.spec.ticks:
-            store.save(self._checkpoint_payload(boundary, metrics), boundary)
+            telemetry = self.telemetry
+            if telemetry is None:
+                store.save(self._checkpoint_payload(boundary, metrics), boundary)
+                return
+            mark = perf_counter()
+            path = store.save(self._checkpoint_payload(boundary, metrics), boundary)
+            elapsed = perf_counter() - mark
+            size = path.stat().st_size
+            registry = telemetry.registry
+            registry.histogram(
+                "checkpoint_save_seconds",
+                "Durable checkpoint save latency.",
+                buckets=_SECONDS_BUCKETS,
+            ).observe(elapsed)
+            registry.counter(
+                "checkpoint_saves_total", "Durable checkpoints written."
+            ).inc()
+            registry.counter(
+                "checkpoint_saved_bytes_total", "Bytes of checkpoints written."
+            ).inc(size)
+            telemetry.event(
+                "checkpoint.save",
+                tick=boundary,
+                shard=self.shard_index,
+                bytes=size,
+                seconds=elapsed,
+            )
 
     def _checkpoint_payload(self, tick: int, metrics: StreamingMetrics) -> dict:
         from repro.fleet.checkpoint import CHECKPOINT_FORMAT
@@ -354,11 +472,19 @@ class FleetEngine:
         system = self.system
         controller = self.controller
         profiler = self.profiler
+        telemetry = self.telemetry
+        tracing = telemetry is not None and telemetry.trace_enabled
+        tier_cells = self._tier_cells()
         faulted = self._schedule is not None
         extract = self.context_extractor.extract
         select_actions = self.policy.select_actions
         n_fleet = len(fleet)
         for tick in range(start_tick, self.spec.ticks):
+            if tracing:
+                tick_span = telemetry.tracer.start_span(
+                    "fleet.tick", parent=self._run_span, tick=tick
+                )
+                stage_mark = profiler.stage_values()
             if faulted:
                 self._begin_tick(tick)
             if profiler is not None:
@@ -391,6 +517,8 @@ class FleetEngine:
                     # Failover may have served the batch at a lower tier than
                     # the policy chose; account at the tier that did the work.
                     served = int(detected.layer)
+                    if tier_cells is not None:
+                        tier_cells[served].value += int(detected.n)
                     if profiler is not None:
                         now = perf_counter()
                         profiler.add("detect", now - mark)
@@ -424,10 +552,43 @@ class FleetEngine:
                 # one, so no batch sees a half-updated model.
                 if profiler is not None:
                     mark = perf_counter()
-                controller.end_tick(tick)
+                if tracing:
+                    # Activating the tick span parents the controller's
+                    # adapt.retrain spans under this tick in the trace.
+                    with telemetry.tracer.activate(tick_span):
+                        controller.end_tick(tick)
+                else:
+                    controller.end_tick(tick)
                 if profiler is not None:
                     profiler.add("adapt", perf_counter() - mark)
             self._maybe_checkpoint(store, tick, metrics)
+            if tracing:
+                self._end_tick_span(
+                    tick_span, stage_mark, int(batch.n), int(batch.online)
+                )
+
+    def _tier_cells(self):
+        """Pre-resolved per-tier window counters (``None`` untelemetered)."""
+        if self.telemetry is None:
+            return None
+        family = self.telemetry.registry.counter(
+            "fleet_tier_windows_total",
+            "Windows served per tier (post-failover accounting).",
+            labelnames=("tier",),
+        )
+        return [family.labels(tier=tier) for tier in self.tier_names]
+
+    def _end_tick_span(self, span, stage_mark, windows: int, online: int) -> None:
+        """Close a per-tick span with the stage-seconds deltas as attributes."""
+        deltas = self.profiler.stage_values()
+        span.end(
+            windows=windows,
+            online=online,
+            **{
+                f"{stage}_ms": (after - before) * 1000.0
+                for stage, before, after in zip(STAGES, stage_mark, deltas)
+            },
+        )
 
     def _stream_legacy(
         self,
@@ -440,8 +601,16 @@ class FleetEngine:
         system = self.system
         controller = self.controller
         profiler = self.profiler
+        telemetry = self.telemetry
+        tracing = telemetry is not None and telemetry.trace_enabled
+        tier_cells = self._tier_cells()
         faulted = self._schedule is not None
         for tick in range(start_tick, self.spec.ticks):
+            if tracing:
+                tick_span = telemetry.tracer.start_span(
+                    "fleet.tick", parent=self._run_span, tick=tick
+                )
+                stage_mark = profiler.stage_values()
             if faulted:
                 self._begin_tick(tick)
             if profiler is not None:
@@ -469,6 +638,8 @@ class FleetEngine:
                         int(action), windows[chosen], ground_truths=labels[chosen]
                     )
                     served = int(records[0].layer) if records else int(action)
+                    if tier_cells is not None:
+                        tier_cells[served].value += len(records)
                     predictions = np.asarray([r.prediction for r in records])
                     if profiler is not None:
                         now = perf_counter()
@@ -502,10 +673,18 @@ class FleetEngine:
             if controller is not None:
                 if profiler is not None:
                     mark = perf_counter()
-                controller.end_tick(tick)
+                if tracing:
+                    with telemetry.tracer.activate(tick_span):
+                        controller.end_tick(tick)
+                else:
+                    controller.end_tick(tick)
                 if profiler is not None:
                     profiler.add("adapt", perf_counter() - mark)
             self._maybe_checkpoint(store, tick, metrics)
+            if tracing:
+                self._end_tick_span(
+                    tick_span, stage_mark, len(arrivals), int(online)
+                )
 
     def run(self, resume: bool = False) -> FleetReport:
         """Stream the fleet and assemble the :class:`FleetReport`."""
@@ -554,8 +733,9 @@ class ShardedFleetEngine:
     fork only when the host actually has more than one CPU to run workers
     on — a single-core host pays fork/IPC overhead for pure time-slicing,
     which is exactly what made multi-shard runs *slower* than one shard).
-    Attaching a profiler forces serial shards (per-stage wall-clock across
-    forked workers would not add up to anything meaningful).
+    Attaching a profiler or a telemetry session forces serial shards
+    (per-stage wall-clock across forked workers would not add up to anything
+    meaningful, and the single-writer JSONL sink cannot span processes).
     """
 
     def __init__(
@@ -573,6 +753,7 @@ class ShardedFleetEngine:
         controller=None,
         columnar: bool = True,
         profiler: Optional[StageProfiler] = None,
+        telemetry: Optional[Telemetry] = None,
         faults: Optional[FaultSpec] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_cadence: int = 0,
@@ -602,6 +783,7 @@ class ShardedFleetEngine:
         self.controller = controller
         self.columnar = bool(columnar)
         self.profiler = profiler
+        self.telemetry = telemetry
         self.faults = faults
         #: Base checkpoint directory; shard ``i`` checkpoints under
         #: ``<dir>/shard-<i>`` so per-shard recovery never mixes stores.
@@ -624,7 +806,11 @@ class ShardedFleetEngine:
             )
 
     def _resolve_parallel(self) -> bool:
-        if self.parallel is False or self.profiler is not None:
+        if (
+            self.parallel is False
+            or self.profiler is not None
+            or self.telemetry is not None
+        ):
             return False
         if self.parallel == "auto":
             # Only the CPU count matters: run_sharded itself picks the
@@ -663,6 +849,7 @@ class ShardedFleetEngine:
                 **shared,
                 "device_ids": partition,
                 "profiler": self.profiler,
+                "telemetry": self.telemetry,
                 "shard_index": index,
             }
             if self.checkpoint_dir is not None:
@@ -762,6 +949,7 @@ class ShardedFleetEngine:
                 controller=self.controller,
                 columnar=self.columnar,
                 profiler=self.profiler,
+                telemetry=self.telemetry,
                 faults=self.faults,
                 checkpoint_dir=(
                     shard_checkpoint_dir(self.checkpoint_dir, 0)

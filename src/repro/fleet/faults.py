@@ -160,6 +160,11 @@ class FaultSchedule:
     def has_link_faults(self) -> bool:
         return bool(self._link_events)
 
+    @property
+    def link_events(self) -> Tuple[FaultEvent, ...]:
+        """The link-degrade/link-down events (telemetry reads these)."""
+        return self._link_events
+
     def apply_links(self, system, tick: int) -> None:
         """Set every topology link to its scheduled state for ``tick``."""
         links = system.topology.links

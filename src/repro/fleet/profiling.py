@@ -6,11 +6,22 @@ perf investigation starts from a measured breakdown instead of guesses
 (``repro fleet --profile`` prints it).  The engine only touches the profiler
 through :meth:`StageProfiler.add`, and only when one is attached, so the
 unprofiled hot loop pays a single ``is None`` check per stage per tick.
+
+Since the observability layer landed, the profiler is a thin shim over
+:class:`~repro.obs.metrics.MetricsRegistry` aggregation: the per-stage
+seconds live in the registry's ``fleet_stage_seconds_total{stage=...}``
+counter family (by default a registry the profiler owns; pass the telemetry
+session's registry and the same numbers flow straight into the exported
+``metrics.json``/``metrics.prom``), and :meth:`StageProfiler.summary` is a
+view over those counters.  The printed breakdown is unchanged and pinned by
+the CLI smoke tests.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 #: The streaming stages, in loop order.
 STAGES = ("arrivals", "context_policy", "detect", "metrics", "adapt")
@@ -27,8 +38,16 @@ _LABELS = {
 class StageProfiler:
     """Accumulates wall-clock seconds per streaming stage."""
 
-    def __init__(self) -> None:
-        self.seconds: Dict[str, float] = {stage: 0.0 for stage in STAGES}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: The registry holding the stage counters (the telemetry session's
+        #: when profiling a telemetry-enabled run, else profiler-owned).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        family = self.registry.counter(
+            "fleet_stage_seconds_total",
+            "Wall-clock seconds per streaming stage.",
+            labelnames=("stage",),
+        )
+        self._cells = {stage: family.labels(stage=stage) for stage in STAGES}
         #: Wall-clock of the whole run (set by the engine; includes fleet
         #: construction and everything the stages do not cover).
         self.total_seconds: Optional[float] = None
@@ -37,19 +56,28 @@ class StageProfiler:
 
     def add(self, stage: str, seconds: float) -> None:
         """Fold ``seconds`` into ``stage`` (unknown stages are an error)."""
-        self.seconds[stage] += float(seconds)
+        self._cells[stage].value += float(seconds)
+
+    @property
+    def seconds(self) -> Dict[str, float]:
+        """Seconds per stage (a read-through view of the registry counters)."""
+        return {stage: cell.value for stage, cell in self._cells.items()}
+
+    def stage_values(self) -> tuple:
+        """The five stage totals in :data:`STAGES` order (cheap snapshot)."""
+        return tuple(self._cells[stage].value for stage in STAGES)
 
     @property
     def accounted_seconds(self) -> float:
         """Seconds attributed to a stage (the rest is engine overhead)."""
-        return float(sum(self.seconds.values()))
+        return float(sum(cell.value for cell in self._cells.values()))
 
     def summary(self) -> str:
         """A printable per-stage breakdown."""
         total = self.total_seconds if self.total_seconds else self.accounted_seconds
         lines = ["per-stage wall-clock breakdown:"]
         for stage in STAGES:
-            seconds = self.seconds[stage]
+            seconds = self._cells[stage].value
             share = 100.0 * seconds / total if total else 0.0
             lines.append(f"  {_LABELS[stage]:<50s} {seconds:8.3f} s  ({share:5.1f}%)")
         if self.total_seconds is not None:

@@ -1,0 +1,39 @@
+"""Unified telemetry: metrics registry, structured tracing and exporters.
+
+The observability layer the serving front door, the streaming fleet engines
+and the adaptation loop all report into (see DESIGN.md "Observability"):
+
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms with a
+  deterministic merge and a Prometheus text exposition;
+* :mod:`repro.obs.trace` — spans with deterministic counter-based ids (zero
+  RNG touch) and contextvar-based log correlation;
+* :mod:`repro.obs.export` — the per-run :class:`Telemetry` session, the
+  atomic JSONL sink and the exporter helpers;
+* :mod:`repro.obs.summary` — the ``repro obs summarize`` digest;
+* :mod:`repro.obs.spec` — the declarative ``obs`` node of an experiment.
+
+The whole layer is opt-in: a run without a :class:`Telemetry` object pays
+exactly one ``is None`` check per instrumented site, and a run *with* one
+produces bit-identical reports (pinned by tests).
+"""
+
+from repro.obs.export import JsonlSink, Telemetry, read_trace, write_prometheus
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.spec import ObsSpec
+from repro.obs.summary import summarize_trace
+from repro.obs.trace import Span, Tracer, current_ids, current_span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonlSink",
+    "MetricsRegistry",
+    "ObsSpec",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "current_ids",
+    "current_span",
+    "read_trace",
+    "summarize_trace",
+    "write_prometheus",
+]

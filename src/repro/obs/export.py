@@ -1,0 +1,225 @@
+"""Telemetry exporters and the per-run :class:`Telemetry` session object.
+
+:class:`JsonlSink` writes span/event records incrementally to a ``.tmp``
+file and atomically renames it into place on :meth:`JsonlSink.close` — the
+:class:`~repro.fleet.checkpoint.CheckpointStore` write protocol, so a
+crashed run never leaves a half-written file masquerading as a complete
+trace (the partial ``.tmp`` stays inspectable next to it).
+
+:class:`Telemetry` bundles the three pillars for one run — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.trace.Tracer` wired into the JSONL sink, and a structured
+event stream — behind the single optional reference the instrumented
+subsystems hold.  :meth:`Telemetry.finalize` closes the sink and dumps the
+final registry as both JSON (:meth:`~repro.obs.metrics.MetricsRegistry.
+to_payload`) and Prometheus text exposition.
+
+File layout under ``out_dir``::
+
+    trace.jsonl    # header line + span/event records, one JSON object per line
+    metrics.json   # the registry payload (mergeable, round-trippable)
+    metrics.prom   # Prometheus text exposition of the same registry
+
+With ``out_dir=None`` everything stays in memory (:attr:`Telemetry.spans`,
+:attr:`Telemetry.events`), which is what the bit-identity tests and the
+benchmark harness use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spec import ObsSpec
+from repro.obs.trace import Span, Tracer, current_ids
+
+PathLike = Union[str, Path]
+
+#: Bumped when the JSONL record layout changes; stamped on the header line.
+TRACE_SCHEMA_VERSION = 1
+
+#: File names written under the telemetry directory.
+TRACE_FILE = "trace.jsonl"
+METRICS_JSON_FILE = "metrics.json"
+METRICS_PROM_FILE = "metrics.prom"
+
+
+class JsonlSink:
+    """Incremental JSONL writer with an atomic tmp+rename close."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self._handle = self._tmp.open("w", encoding="utf-8")
+        self.n_records = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        """Append one record as a compact JSON line."""
+        if self._handle is None:
+            raise ConfigurationError(f"JSONL sink {self.path} is already closed")
+        json.dump(record, self._handle, separators=(",", ":"), sort_keys=True)
+        self._handle.write("\n")
+        self.n_records += 1
+
+    def close(self) -> Path:
+        """Flush, fsync and atomically rename the tmp file into place."""
+        if self._handle is None:
+            return self.path
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._handle = None
+        os.replace(self._tmp, self.path)
+        return self.path
+
+
+def write_prometheus(registry: MetricsRegistry, path: PathLike) -> Path:
+    """Dump ``registry`` in Prometheus text exposition format (tmp+rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(registry.render_prometheus())
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_trace(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a ``trace.jsonl`` file; malformed lines raise cleanly."""
+    path = Path(path)
+    if not path.is_file():
+        raise SerializationError(f"no trace file at {path}")
+    records = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"malformed JSON on line {lineno} of {path}: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise SerializationError(
+                    f"line {lineno} of {path} is not a telemetry record "
+                    "(an object with a 'kind' field)"
+                )
+            records.append(record)
+    return records
+
+
+class Telemetry:
+    """One run's telemetry session: registry + tracer + event/span sinks.
+
+    The instrumented subsystems (engine, server, controller, runner) each
+    hold one optional reference to this object; every recording site is
+    guarded by a single ``is None`` check, and nothing here draws RNG — the
+    two halves of the zero-cost-when-disabled / bit-identical-when-enabled
+    contract.
+    """
+
+    def __init__(
+        self,
+        out_dir: Optional[PathLike] = None,
+        spec: Optional[ObsSpec] = None,
+        name: str = "run",
+    ) -> None:
+        self.spec = spec or ObsSpec()
+        self.name = str(name)
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.registry = MetricsRegistry()
+        #: Finished span records (in-memory mirror; JSONL-backed when out_dir).
+        self.spans: List[Dict[str, Any]] = []
+        #: Structured event records (same layout as the JSONL lines).
+        self.events: List[Dict[str, Any]] = []
+        self.tracer = Tracer(sink=self._record_span)
+        self._sink: Optional[JsonlSink] = None
+        self._finalized: Optional[Dict[str, Path]] = None
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            self._sink = JsonlSink(self.out_dir / TRACE_FILE)
+            self._sink.write(
+                {
+                    "kind": "header",
+                    "schema": TRACE_SCHEMA_VERSION,
+                    "name": self.name,
+                }
+            )
+
+    # -- recording --------------------------------------------------------------
+
+    @property
+    def trace_enabled(self) -> bool:
+        return self.spec.trace
+
+    @property
+    def events_enabled(self) -> bool:
+        return self.spec.events
+
+    def _record_span(self, span: Span) -> None:
+        record = span.to_record()
+        if self._sink is not None and not self._sink.closed:
+            self._sink.write(record)
+        else:
+            self.spans.append(record)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record one structured event (a timestamped JSONL line).
+
+        When a span is active (see :meth:`Tracer.activate`/:meth:`Tracer.span`)
+        the event is stamped with its trace/span ids so it can be joined back
+        onto the span tree.
+        """
+        if not self.spec.events:
+            return
+        record: Dict[str, Any] = {
+            "kind": "event",
+            "name": str(name),
+            "time_s": self.tracer.clock(),
+        }
+        trace_id, span_id = current_ids()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+            record["span_id"] = span_id
+        record.update(fields)
+        if self._sink is not None and not self._sink.closed:
+            self._sink.write(record)
+        else:
+            self.events.append(record)
+
+    # -- finalisation -----------------------------------------------------------
+
+    def finalize(self) -> Dict[str, Path]:
+        """Close the JSONL sink and dump the registry (idempotent).
+
+        Returns the written paths (empty when the session is in-memory only).
+        """
+        if self._finalized is not None:
+            return self._finalized
+        paths: Dict[str, Path] = {}
+        if self._sink is not None:
+            paths["trace"] = self._sink.close()
+        if self.out_dir is not None:
+            from repro.utils.serialization import save_json
+
+            paths["metrics_json"] = save_json(
+                self.out_dir / METRICS_JSON_FILE, self.registry.to_payload()
+            )
+            paths["metrics_prom"] = write_prometheus(
+                self.registry, self.out_dir / METRICS_PROM_FILE
+            )
+        self._finalized = paths
+        return paths

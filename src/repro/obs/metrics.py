@@ -1,0 +1,425 @@
+"""The telemetry metrics registry: labeled counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the numeric half of the observability layer —
+bounded-size aggregates the instrumented subsystems (serving front door,
+streaming engines, adaptation loop, checkpoint store) fold their measurements
+into.  Three metric kinds are supported:
+
+* **counters** — monotone sums (requests served, windows streamed, faults
+  activated); merged by addition;
+* **gauges** — level samples read as high-water marks (peak queue depth,
+  largest micro-batch); merged by maximum, which is the only merge that is
+  both associative/commutative *and* meaningful for a level;
+* **histograms** — fixed-boundary bucket counts plus an exact sum/count
+  (latencies, batch sizes, checkpoint save times); merged by element-wise
+  bucket addition.
+
+Every kind supports labels (``family.labels(tier="edge").inc()``) and the
+whole registry follows the :class:`~repro.fleet.metrics.StreamingMetrics`
+payload contract — :meth:`MetricsRegistry.to_payload` /
+:meth:`MetricsRegistry.from_payload` / :meth:`MetricsRegistry.merge` — so
+sharded workers fold into one registry deterministically: merge is
+associative and commutative, and merging empty registries is the identity
+(all pinned by tests).  :meth:`MetricsRegistry.render_prometheus` emits the
+final state in the Prometheus text exposition format.
+
+Nothing in this module touches an RNG or the experiment state; recording is
+plain float arithmetic, which is what keeps telemetry-enabled runs
+bit-identical to telemetry-disabled ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Default histogram bucket upper bounds (milliseconds-flavoured; pass
+#: explicit ``buckets`` for histograms measured in other units).  The
+#: implicit final bucket is ``+Inf``.
+DEFAULT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+#: Payload schema version (see :meth:`MetricsRegistry.to_payload`).
+PAYLOAD_VERSION = 1
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ConfigurationError(
+            f"metric names must be non-empty [a-zA-Z0-9_:]+, got {name!r}"
+        )
+    if name[0].isdigit():
+        raise ConfigurationError(f"metric names cannot start with a digit: {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value for the Prometheus text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting (integers without a trailing .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Cell:
+    """One (labelset -> value) child shared by counters and gauges."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+
+class _HistogramCell:
+    """One labelset's bucket counts plus exact sum/count."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        #: Per-bucket (non-cumulative) counts; the final slot is +Inf.
+        self.counts = [0] * (n_buckets + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class _MetricFamily:
+    """One named metric with a fixed kind, label schema and children."""
+
+    __slots__ = ("name", "kind", "help", "labelnames", "buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = _check_name(name)
+        self.kind = kind
+        self.help = str(help)
+        self.labelnames = tuple(str(n) for n in labelnames)
+        if kind == "histogram":
+            bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+            if not bounds or any(
+                b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+            ):
+                raise ConfigurationError(
+                    f"histogram {name!r} needs strictly increasing, non-empty "
+                    f"bucket bounds, got {bounds}"
+                )
+            self.buckets = bounds
+        else:
+            self.buckets = None
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    # -- child addressing -------------------------------------------------------
+
+    def labels(self, **labelvalues: Any):
+        """The child cell for one labelset (created on first use)."""
+        if tuple(sorted(labelvalues)) != tuple(sorted(self.labelnames)):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        return self._child(key)
+
+    def _child(self, key: Tuple[str, ...]):
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "histogram":
+                child = _HistogramCell(len(self.buckets))
+            else:
+                child = _Cell()
+            self._children[key] = child
+        return child
+
+    def _default(self):
+        if self.labelnames:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labeled {self.labelnames}; "
+                "address a child with .labels(...)"
+            )
+        return self._child(())
+
+    # -- recording (unlabeled convenience) --------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().value += float(amount)
+
+    def set(self, value: float) -> None:
+        self._default().value = float(value)
+
+    def set_max(self, value: float) -> None:
+        cell = self._default()
+        if float(value) > cell.value:
+            cell.value = float(value)
+
+    def observe(self, value: float) -> None:
+        self.observe_cell(self._default(), value)
+
+    def observe_cell(self, cell: _HistogramCell, value: float) -> None:
+        value = float(value)
+        buckets = self.buckets
+        index = len(buckets)
+        for i, bound in enumerate(buckets):
+            if value <= bound:
+                index = i
+                break
+        cell.counts[index] += 1
+        cell.sum += value
+        cell.count += 1
+
+    # -- reads ------------------------------------------------------------------
+
+    def value(self, **labelvalues: Any) -> float:
+        """The current value of one counter/gauge child (0 if never touched)."""
+        if self.kind == "histogram":
+            raise ConfigurationError(
+                f"{self.name!r} is a histogram; read .snapshot() instead"
+            )
+        if labelvalues:
+            return self.labels(**labelvalues).value
+        key = ()
+        child = self._children.get(key)
+        return child.value if child is not None else 0.0
+
+    def snapshot(self, **labelvalues: Any) -> Dict[str, Any]:
+        """A histogram child's ``{"counts", "sum", "count"}`` copy."""
+        if self.kind != "histogram":
+            raise ConfigurationError(f"{self.name!r} is not a histogram")
+        cell = self.labels(**labelvalues) if labelvalues else self._default()
+        return {"counts": list(cell.counts), "sum": cell.sum, "count": cell.count}
+
+
+class MetricsRegistry:
+    """A deterministic, mergeable collection of named metric families."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _MetricFamily] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing.kind}, not a {kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered with labels "
+                    f"{existing.labelnames}, got {tuple(labelnames)}"
+                )
+            if kind == "histogram" and buckets is not None and existing.buckets != tuple(
+                float(b) for b in buckets
+            ):
+                raise ConfigurationError(
+                    f"histogram {name!r} is already registered with buckets "
+                    f"{existing.buckets}"
+                )
+            return existing
+        family = _MetricFamily(
+            name, kind, help, tuple(labelnames), tuple(buckets) if buckets else None
+        )
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> _MetricFamily:
+        """Register (or fetch) a monotone counter family."""
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> _MetricFamily:
+        """Register (or fetch) a gauge family (merged as a high-water mark)."""
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> List[_MetricFamily]:
+        """Families sorted by name (the deterministic iteration order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # -- payload contract (StreamingMetrics style) ------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot (sorted, round-trippable, mergeable)."""
+        metrics = []
+        for family in self.families():
+            children = []
+            for key in sorted(family._children):
+                cell = family._children[key]
+                entry: Dict[str, Any] = {"labels": list(key)}
+                if family.kind == "histogram":
+                    entry["counts"] = list(cell.counts)
+                    entry["sum"] = float(cell.sum)
+                    entry["count"] = int(cell.count)
+                else:
+                    entry["value"] = float(cell.value)
+                children.append(entry)
+            record: Dict[str, Any] = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "children": children,
+            }
+            if family.kind == "histogram":
+                record["buckets"] = list(family.buckets)
+            metrics.append(record)
+        return {
+            "kind": "obs-metrics-registry",
+            "version": PAYLOAD_VERSION,
+            "metrics": metrics,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_payload` output."""
+        if payload.get("kind") != "obs-metrics-registry":
+            raise ConfigurationError(
+                f"not a metrics-registry payload: kind={payload.get('kind')!r}"
+            )
+        if payload.get("version") != PAYLOAD_VERSION:
+            raise ConfigurationError(
+                f"metrics payload version {payload.get('version')!r} is not "
+                f"readable by this build (version {PAYLOAD_VERSION})"
+            )
+        registry = cls()
+        for record in payload.get("metrics", ()):
+            family = registry._family(
+                record["name"],
+                record["kind"],
+                record.get("help", ""),
+                tuple(record.get("labelnames", ())),
+                tuple(record["buckets"]) if record["kind"] == "histogram" else None,
+            )
+            for entry in record.get("children", ()):
+                key = tuple(str(v) for v in entry["labels"])
+                cell = family._child(key)
+                if family.kind == "histogram":
+                    counts = list(entry["counts"])
+                    if len(counts) != len(family.buckets) + 1:
+                        raise ConfigurationError(
+                            f"histogram {family.name!r} payload has "
+                            f"{len(counts)} bucket counts for "
+                            f"{len(family.buckets)} bounds"
+                        )
+                    cell.counts = [int(c) for c in counts]
+                    cell.sum = float(entry["sum"])
+                    cell.count = int(entry["count"])
+                else:
+                    cell.value = float(entry["value"])
+        return registry
+
+    def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s values into this registry (in place).
+
+        Counters and histogram buckets add, gauges keep the maximum.
+        Families present in only one registry are carried over whole; shared
+        families must agree on kind, label schema and bucket bounds.
+        """
+        for theirs in other.families():
+            family = self._family(
+                theirs.name, theirs.kind, theirs.help, theirs.labelnames, theirs.buckets
+            )
+            for key, cell in theirs._children.items():
+                mine = family._child(key)
+                if family.kind == "histogram":
+                    mine.counts = [
+                        a + b for a, b in zip(mine.counts, cell.counts)
+                    ]
+                    mine.sum += cell.sum
+                    mine.count += cell.count
+                elif family.kind == "counter":
+                    mine.value += cell.value
+                else:  # gauge: high-water mark
+                    mine.value = max(mine.value, cell.value)
+        return self
+
+    @classmethod
+    def merge(cls, parts: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """A new registry folding ``parts`` together (associative, commutative,
+        and the empty registry is the identity)."""
+        merged = cls()
+        for part in parts:
+            merged.merge_from(part)
+        return merged
+
+    # -- Prometheus text exposition ---------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The final registry state in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family._children):
+                cell = family._children[key]
+                base_labels = [
+                    f'{name}="{_escape_label_value(value)}"'
+                    for name, value in zip(family.labelnames, key)
+                ]
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for bound, count in zip(family.buckets, cell.counts):
+                        cumulative += count
+                        labels = base_labels + [f'le="{_format_value(bound)}"']
+                        lines.append(
+                            f"{family.name}_bucket{{{','.join(labels)}}} {cumulative}"
+                        )
+                    cumulative += cell.counts[-1]
+                    labels = base_labels + ['le="+Inf"']
+                    lines.append(
+                        f"{family.name}_bucket{{{','.join(labels)}}} {cumulative}"
+                    )
+                    suffix = f"{{{','.join(base_labels)}}}" if base_labels else ""
+                    lines.append(
+                        f"{family.name}_sum{suffix} {_format_value(cell.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{suffix} {cell.count}")
+                else:
+                    suffix = f"{{{','.join(base_labels)}}}" if base_labels else ""
+                    lines.append(
+                        f"{family.name}{suffix} {_format_value(cell.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,161 @@
+"""Human-readable digests of telemetry artifacts (``repro obs summarize``).
+
+:func:`summarize_trace` renders one run's ``trace.jsonl`` into a terminal
+digest: the top spans by duration, tier utilization, overload counts and the
+adaptation timeline.  The span/event stream alone is enough for a useful
+digest; when the sibling ``metrics.json`` written by
+:meth:`~repro.obs.export.Telemetry.finalize` is present, its exact counters
+take precedence over counts reconstructed from spans.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.export import METRICS_JSON_FILE, read_trace
+from repro.obs.metrics import MetricsRegistry
+
+PathLike = Union[str, Path]
+
+#: How many spans the "top spans by duration" section shows.
+TOP_SPANS = 10
+
+
+def _load_sibling_registry(trace_path: Path) -> Optional[MetricsRegistry]:
+    metrics_path = trace_path.parent / METRICS_JSON_FILE
+    if not metrics_path.is_file():
+        return None
+    from repro.utils.serialization import load_json
+
+    try:
+        return MetricsRegistry.from_payload(load_json(metrics_path))
+    except Exception:
+        # The digest must render from the JSONL alone; a damaged sibling
+        # metrics file downgrades the digest instead of failing it.
+        return None
+
+
+def _tier_counts(registry: Optional[MetricsRegistry], spans: List[dict]) -> Counter:
+    counts: Counter = Counter()
+    if registry is not None:
+        for name in ("fleet_tier_windows_total", "serve_tier_requests_total"):
+            family = registry.get(name)
+            if family is None:
+                continue
+            for key, cell in family._children.items():
+                counts[key[0]] += int(cell.value)
+        if counts:
+            return counts
+    for span in spans:
+        tier = span.get("attributes", {}).get("tier")
+        if tier is not None:
+            counts[str(tier)] += int(span.get("attributes", {}).get("n", 1))
+    return counts
+
+
+def _overload_counts(registry: Optional[MetricsRegistry], events: List[dict]) -> Dict[str, int]:
+    if registry is not None:
+        family = registry.get("serve_requests_total")
+        if family is not None:
+            by_status = {
+                key[0]: int(cell.value) for key, cell in family._children.items()
+            }
+            if by_status:
+                return {
+                    status: by_status.get(status, 0)
+                    for status in ("rejected", "shed", "expired", "dropped")
+                }
+    counts: Counter = Counter()
+    for event in events:
+        if event.get("name") == "serve.overload":
+            counts[str(event.get("reason", "unknown"))] += 1
+    return dict(counts)
+
+
+def _format_attr(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def summarize_records(records: List[dict], registry: Optional[MetricsRegistry] = None) -> str:
+    """The digest of parsed trace records (see :func:`summarize_trace`)."""
+    header = next((r for r in records if r.get("kind") == "header"), None)
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+
+    name = header.get("name", "run") if header else "run"
+    lines = [f"telemetry digest: {name} ({len(spans)} spans, {len(events)} events)"]
+
+    timed = sorted(
+        (s for s in spans if s.get("duration_ms") is not None),
+        key=lambda s: -s["duration_ms"],
+    )
+    if timed:
+        lines.append("")
+        lines.append(f"top {min(TOP_SPANS, len(timed))} spans by duration:")
+        for span in timed[:TOP_SPANS]:
+            attrs = span.get("attributes", {})
+            shown = "  ".join(
+                f"{key}={_format_attr(attrs[key])}"
+                for key in sorted(attrs)
+                if key in ("tick", "tier", "status", "n", "accepted", "device_id")
+            )
+            lines.append(
+                f"  {span['name']:<18s} {span['duration_ms']:10.3f} ms  {shown}".rstrip()
+            )
+
+    tiers = _tier_counts(registry, spans)
+    if tiers:
+        total = sum(tiers.values())
+        lines.append("")
+        lines.append("tier utilization:")
+        for tier in sorted(tiers):
+            share = 100.0 * tiers[tier] / total if total else 0.0
+            lines.append(f"  {tier:<16s} {tiers[tier]:>10d}  ({share:5.1f}%)")
+
+    overload = _overload_counts(registry, events)
+    if any(overload.values()):
+        lines.append("")
+        lines.append(
+            "overload: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(overload.items()) if v)
+        )
+
+    adaptation = [
+        e for e in events
+        if str(e.get("name", "")).startswith("adapt.")
+    ]
+    if adaptation:
+        lines.append("")
+        lines.append("adaptation timeline:")
+        for event in sorted(adaptation, key=lambda e: (e.get("tick", 0), e.get("time_s", 0.0))):
+            kind = str(event["name"]).split(".", 1)[1]
+            detail = "  ".join(
+                f"{key}={_format_attr(event[key])}"
+                for key in ("tier", "monitor", "accepted", "from_version", "to_version")
+                if key in event
+            )
+            lines.append(f"  tick {event.get('tick', '?'):>4}  {kind:<8s} {detail}".rstrip())
+
+    fault_events = [e for e in events if str(e.get("name", "")).startswith("fault.")]
+    if fault_events:
+        by_kind = Counter(str(e.get("fault", e["name"])) for e in fault_events)
+        lines.append("")
+        lines.append(
+            "fault activations: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+        )
+
+    return "\n".join(lines)
+
+
+def summarize_trace(path: PathLike) -> str:
+    """Render the digest of one ``trace.jsonl`` (or a telemetry directory)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    records = read_trace(path)
+    return summarize_records(records, registry=_load_sibling_registry(path))

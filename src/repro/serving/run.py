@@ -62,6 +62,7 @@ def serve_workload(
     tier_names: Optional[Sequence[str]] = None,
     swap: Optional[Callable[[], object]] = None,
     swap_at_fraction: float = 0.5,
+    telemetry=None,
 ) -> Tuple[ServingReport, List[ServeResult]]:
     """Serve the fleet's arrival stream through the front door, end to end.
 
@@ -79,6 +80,7 @@ def serve_workload(
             serving,
             master_seed=master_seed,
             tier_names=tier_names,
+            telemetry=telemetry,
         )
         generator = OpenLoopLoadGenerator(fleet, serving, master_seed=master_seed)
         await server.start()

@@ -57,10 +57,18 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.fleet.metrics import DelayReservoir, confusion_counts
+from repro.obs.export import Telemetry
+from repro.obs.metrics import DEFAULT_BUCKETS
 from repro.serving.spec import ServingSpec
 
 #: SeedSequence entropy tag for the serving latency reservoir.
 _SERVE_TAG = 0x5E21
+
+#: Bucket bounds for the micro-batch size histogram (requests per batch).
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Final request statuses the ``serve_requests_total`` counter is keyed by.
+_STATUSES = ("submitted", "served", "rejected", "shed", "expired")
 
 
 @dataclass(frozen=True)
@@ -95,14 +103,15 @@ class ServeResult:
 class _Pending:
     """One queued submission awaiting its micro-batch."""
 
-    __slots__ = ("device_id", "window", "label", "arrival_time", "future")
+    __slots__ = ("device_id", "window", "label", "arrival_time", "future", "span")
 
-    def __init__(self, device_id, window, label, arrival_time, future):
+    def __init__(self, device_id, window, label, arrival_time, future, span=None):
         self.device_id = device_id
         self.window = window
         self.label = label
         self.arrival_time = arrival_time
         self.future = future
+        self.span = span
 
 
 class IngestServer:
@@ -117,6 +126,7 @@ class IngestServer:
         *,
         master_seed: int = 0,
         tier_names: Optional[Sequence[str]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if policy.n_actions != system.n_layers:
             raise ConfigurationError(
@@ -156,6 +166,45 @@ class IngestServer:
         # Exact mean/max live outside the reservoir (which only samples).
         self.latency_sum_ms = 0.0
         self.latency_max_ms = 0.0
+
+        # -- telemetry (optional; every hot site pays one `is None` check) ------
+        self.telemetry = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            status_family = registry.counter(
+                "serve_requests_total",
+                "Requests by final status.",
+                labelnames=("status",),
+            )
+            self._tel_status = {
+                status: status_family.labels(status=status) for status in _STATUSES
+            }
+            tier_family = registry.counter(
+                "serve_tier_requests_total",
+                "Requests served per tier (post-failover accounting).",
+                labelnames=("tier",),
+            )
+            self._tel_tiers = [
+                tier_family.labels(tier=tier) for tier in self.tier_names
+            ]
+            self._tel_queue_wait = registry.histogram(
+                "serve_queue_wait_ms",
+                "Queue wait from scheduled arrival to dispatch.",
+                buckets=DEFAULT_BUCKETS,
+            )
+            self._tel_batch_size = registry.histogram(
+                "serve_batch_size",
+                "Requests per dispatched micro-batch.",
+                buckets=_BATCH_BUCKETS,
+            )
+            self._tel_latency = registry.histogram(
+                "serve_latency_ms",
+                "Measured wall-clock service latency.",
+                buckets=DEFAULT_BUCKETS,
+            )
+            self._tel_swaps = registry.counter(
+                "serve_swaps_total", "Drain-and-swap deployments landed."
+            )
 
         # -- runtime state (created by start()) ---------------------------------
         self._queue: Deque[_Pending] = deque()
@@ -228,10 +277,20 @@ class IngestServer:
         now = self._loop.time()
         arrival = now if arrival_time is None else float(arrival_time)
         self.n_submitted += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            self._tel_status["submitted"].value += 1
         serving = self.serving
         if len(self._queue) >= serving.queue_capacity:
             if serving.shed_policy == "reject-new":
                 self.n_rejected += 1
+                if telemetry is not None:
+                    self._tel_overload(
+                        "rejected",
+                        policy="reject-new",
+                        device_id=int(device_id),
+                        queue_depth=len(self._queue),
+                    )
                 self._warn_overload_once("rejected a new request")
                 return ServeResult(
                     device_id=int(device_id),
@@ -241,12 +300,24 @@ class IngestServer:
                 )
             oldest = self._queue.popleft()
             self.n_shed += 1
+            if telemetry is not None:
+                self._tel_overload(
+                    "shed",
+                    policy="shed-oldest",
+                    device_id=oldest.device_id,
+                    queue_depth=len(self._queue) + 1,
+                )
             self._warn_overload_once("shed the oldest queued request")
             self._resolve_shed(oldest, "queue-full")
         future = self._loop.create_future()
+        span = None
+        if telemetry is not None and telemetry.trace_enabled:
+            span = telemetry.tracer.start_span(
+                "serve.request", device_id=int(device_id)
+            )
         self._queue.append(
             _Pending(int(device_id), np.asarray(window, dtype=float), label,
-                     arrival, future)
+                     arrival, future, span)
         )
         self._wake.set()
         return await future
@@ -272,6 +343,13 @@ class IngestServer:
             result = swap()
             self.n_swaps += 1
             self.swap_versions.append(int(self.system.state_version))
+            if self.telemetry is not None:
+                self._tel_swaps.inc()
+                self.telemetry.event(
+                    "serve.swap",
+                    version=int(self.system.state_version),
+                    n_swaps=self.n_swaps,
+                )
             return result
 
     # -- internals --------------------------------------------------------------
@@ -294,7 +372,19 @@ class IngestServer:
             stacklevel=3,
         )
 
+    def _tel_overload(self, status: str, **fields) -> None:
+        """Count + structurally log one overload decision (telemetry on).
+
+        The warn-once RuntimeWarning stays the human-facing signal; this is
+        the machine-readable record of *every* shed with its full context.
+        """
+        self._tel_status[status].value += 1
+        self.telemetry.event("serve.overload", reason=status, **fields)
+
     def _resolve_shed(self, pending: _Pending, reason: str) -> None:
+        if pending.span is not None:
+            pending.span.end(status="shed", shed_reason=reason)
+            pending.span = None
         if not pending.future.done():
             pending.future.set_result(
                 ServeResult(
@@ -342,10 +432,15 @@ class IngestServer:
         """
         now = self._loop.time()
         age_budget = self.serving.effective_max_age_ms / 1000.0
+        telemetry = self.telemetry
         live = []
         for pending in batch:
             if now - pending.arrival_time > age_budget:
                 self.n_expired += 1
+                if telemetry is not None:
+                    self._tel_overload(
+                        "expired", stage="dispatch", device_id=pending.device_id
+                    )
                 self._warn_overload_once("expired a queued request")
                 self._resolve_shed(pending, "expired")
             else:
@@ -358,6 +453,13 @@ class IngestServer:
         self.n_batches += 1
         self.batched_requests += len(live)
         self.max_batch_size = max(self.max_batch_size, len(live))
+        if telemetry is not None:
+            self._tel_batch_size.observe(len(live))
+            for pending in live:
+                wait_ms = (now - pending.arrival_time) * 1000.0
+                self._tel_queue_wait.observe(wait_ms)
+                if pending.span is not None:
+                    pending.span.set_attribute("queue_ms", wait_ms)
         for action in np.unique(actions):
             chosen = np.flatnonzero(actions == action)
             sem = self._sems[int(action)]
@@ -395,12 +497,24 @@ class IngestServer:
                 stale = set(range(len(pending))) - set(fresh)
                 for i in stale:
                     self.n_expired += 1
+                    if self.telemetry is not None:
+                        self._tel_overload(
+                            "expired",
+                            stage="tier-slot",
+                            device_id=pending[i].device_id,
+                        )
                     self._warn_overload_once("expired a queued request")
                     self._resolve_shed(pending[i], "expired")
                 pending = [pending[i] for i in fresh]
                 windows = windows[fresh]
             if not pending:
                 return
+            telemetry = self.telemetry
+            batch_span = None
+            if telemetry is not None and telemetry.trace_enabled:
+                batch_span = telemetry.tracer.start_span(
+                    "serve.batch", tier=self.tier_names[layer], n=len(pending)
+                )
             detected = await self._loop.run_in_executor(
                 self._executor, self.system.detect_batch_columnar, layer, windows
             )
@@ -424,6 +538,15 @@ class IngestServer:
             if served != layer:
                 self.tier_redirected[served] += len(pending)
             self.simulated_delay_sum += float(detected.delays_ms.sum())
+            if telemetry is not None:
+                self._tel_status["served"].value += len(pending)
+                self._tel_tiers[served].value += len(pending)
+                for value in latencies:
+                    self._tel_latency.observe(float(value))
+                if batch_span is not None:
+                    batch_span.end(
+                        tier=self.tier_names[served], model_version=version
+                    )
             known = [i for i, p in enumerate(pending) if p.label is not None]
             if known:
                 self.confusion += confusion_counts(
@@ -431,6 +554,14 @@ class IngestServer:
                     np.array([pending[i].label for i in known]),
                 )
             for i, request in enumerate(pending):
+                if request.span is not None:
+                    request.span.end(
+                        status="served",
+                        tier=self.tier_names[served],
+                        model_version=version,
+                        latency_ms=float(latencies[i]),
+                    )
+                    request.span = None
                 if not request.future.done():
                     request.future.set_result(
                         ServeResult(

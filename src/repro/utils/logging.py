@@ -4,10 +4,17 @@ The library logs through the standard :mod:`logging` module under the
 ``"repro"`` namespace so applications embedding it keep full control over
 handlers and verbosity.  :func:`get_logger` is a thin convenience wrapper
 that returns an appropriately named child logger.
+
+:func:`configure_basic_logging` attaches a stream handler in one of two
+formats: the classic one-line text format, or (``json_lines=True``) one JSON
+object per line stamped with the active telemetry trace/span ids (see
+:func:`repro.obs.trace.current_ids`), so log lines from a ``--telemetry`` run
+can be joined against the run's ``trace.jsonl`` by trace id.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 from typing import Optional
 
@@ -28,17 +35,55 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
 
 
-def configure_basic_logging(level: int = logging.INFO) -> None:
-    """Attach a simple stream handler to the package logger (idempotent).
+class JsonLineFormatter(logging.Formatter):
+    """One compact JSON object per record, trace-correlated when possible."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        # Imported here, not at module top: obs.trace is part of the telemetry
+        # layer and utils.logging must stay importable below it.
+        from repro.obs.trace import current_ids
+
+        payload = {
+            "ts": self.formatTime(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id, span_id = current_ids()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+            payload["span_id"] = span_id
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def configure_basic_logging(level: int = logging.INFO, json_lines: bool = False) -> None:
+    """Attach a stream handler to the package logger (idempotent).
 
     Intended for examples and benchmarks; applications should configure
-    logging themselves.
+    logging themselves.  ``json_lines=True`` switches the handler owned by
+    this function to :class:`JsonLineFormatter`; repeated calls re-format the
+    same handler instead of stacking new ones.
     """
     logger = get_logger()
-    if not logger.handlers:
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, "_repro_basic", False):
+            handler = existing
+            break
+    if handler is None and logger.handlers:
+        # A handler someone else attached: leave it alone, stay idempotent.
+        logger.setLevel(level)
+        return
+    if handler is None:
         handler = logging.StreamHandler()
+        handler._repro_basic = True
+        logger.addHandler(handler)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
         )
-        logger.addHandler(handler)
     logger.setLevel(level)

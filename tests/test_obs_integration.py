@@ -1,0 +1,415 @@
+"""End-to-end pins for the unified telemetry layer.
+
+The hard contract of the observability PR: **telemetry is a pure observer**.
+Nothing it records touches an RNG or the experiment state, so a run with
+telemetry enabled is bit-identical to the same run with it disabled.  This
+module pins that for every instrumented subsystem:
+
+* the streaming fleet engine (serial and sharded) — full ``FleetReport``
+  equality, adaptation timeline included;
+* the serving front door — equality of the deterministic projection (counts,
+  quality, tier routing, swaps and the simulated-delay aggregate; wall-clock
+  latencies are real time and excluded by construction);
+* the adaptive controller — full report equality plus the lifecycle linkage
+  (retrain spans parented under their tick, gate/swap events stamped with
+  the retrain span's ids);
+* faults and checkpoints — equality under injection, with activations and
+  save/load visible as events and counters.
+
+It also pins the artifact layer (trace.jsonl header + schema, metrics.json
+payload round-trip, Prometheus rendering, the summarize digest) and the CLI
+surface (``--telemetry``, ``--profile`` over the shared registry,
+``repro obs summarize``).
+"""
+
+import json
+import re
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentRunner, apply_overrides, get_scenario
+from repro.fleet.devices import DeviceFleet, WindowPool
+from repro.fleet.engine import FleetEngine, ShardedFleetEngine
+from repro.fleet.faults import FaultEvent, FaultSpec
+from repro.fleet.profiling import STAGES, StageProfiler
+from repro.obs.export import Telemetry, read_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spec import ObsSpec
+from repro.obs.summary import summarize_trace
+from repro.serving.run import serve_workload
+
+TINY = {
+    "data.weeks": "10",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "3",
+    "policy.episodes": "3",
+    "fleet.n_devices": "16",
+    "fleet.ticks": "12",
+    "fleet.metrics_window": "4",
+    "fleet.arrival_rate": "1.0",
+}
+
+SERVE_TINY = {
+    "data.weeks": "8",
+    "detectors.0.epochs": "2",
+    "detectors.1.epochs": "2",
+    "detectors.2.epochs": "2",
+    "policy.episodes": "2",
+    "fleet.n_devices": "64",
+    "fleet.ticks": "10",
+    "fleet.arrival_rate": "1.0",
+    "serve.max_requests": "40",
+    "serve.offered_rps": "200",
+}
+
+ADAPT_TINY = {
+    "data.weeks": "12",
+    "detectors.0.epochs": "3",
+    "detectors.1.epochs": "3",
+    "detectors.2.epochs": "3",
+    "policy.episodes": "3",
+    "fleet.n_devices": "64",
+    "fleet.arrival_rate": "1.0",
+    "adapt.min_retrain_windows": "32",
+}
+
+
+@pytest.fixture(scope="module")
+def fleet_trained():
+    spec = apply_overrides(get_scenario("fleet-burst-storm"), TINY)
+    runner = ExperimentRunner(spec)
+    for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+        getattr(runner, stage)()
+    return spec, runner
+
+
+@pytest.fixture(scope="module")
+def serve_trained():
+    spec = apply_overrides(get_scenario("serve-front-door"), SERVE_TINY)
+    runner = ExperimentRunner(spec)
+    for stage in ("prepare_data", "fit_detectors", "deploy", "train_policy"):
+        getattr(runner, stage)()
+    return spec, runner
+
+
+def _engine_kwargs(spec, runner):
+    state = runner.state
+    return dict(
+        system=state.system,
+        policy=state.policy,
+        context_extractor=state.context_extractor,
+        spec=spec.fleet,
+        pool=WindowPool.from_labeled(state.standardized_all),
+        master_seed=spec.seed,
+        name=spec.name,
+        tier_names=spec.topology.tier_names,
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_reports(fleet_trained, tmp_path_factory):
+    """(baseline report, telemetered report, telemetry, artifact paths)."""
+    spec, runner = fleet_trained
+    baseline = FleetEngine(**_engine_kwargs(spec, runner)).run()
+    out_dir = tmp_path_factory.mktemp("telemetry")
+    telemetry = Telemetry(out_dir=out_dir, spec=ObsSpec(dir=str(out_dir)),
+                          name=spec.name)
+    traced = FleetEngine(**_engine_kwargs(spec, runner), telemetry=telemetry).run()
+    paths = telemetry.finalize()
+    return baseline, traced, telemetry, paths
+
+
+class TestFleetBitIdentity:
+    def test_telemetry_run_is_bit_identical(self, fleet_reports):
+        baseline, traced, _telemetry, _paths = fleet_reports
+        assert traced == baseline  # dataclass equality: every field
+
+    def test_sharded_telemetry_run_is_bit_identical(self, fleet_trained):
+        spec, runner = fleet_trained
+        kwargs = _engine_kwargs(spec, runner)
+        baseline = ShardedFleetEngine(**kwargs, n_shards=2).run()
+        telemetry = Telemetry(name=spec.name)
+        traced = ShardedFleetEngine(**kwargs, n_shards=2, telemetry=telemetry).run()
+        assert traced == baseline
+        # Serial shard engines share the registry, so counts accumulate.
+        family = telemetry.registry.get("fleet_windows_total")
+        assert family is not None and family.value() == traced.n_windows
+
+    def test_telemetry_forces_serial_shards(self, fleet_trained):
+        spec, runner = fleet_trained
+        engine = ShardedFleetEngine(
+            **_engine_kwargs(spec, runner), n_shards=2,
+            parallel=True, telemetry=Telemetry(),
+        )
+        assert engine._resolve_parallel() is False
+
+    def test_faulted_checkpointed_run_is_bit_identical(self, fleet_trained, tmp_path):
+        spec, runner = fleet_trained
+        kwargs = _engine_kwargs(spec, runner)
+        faults = FaultSpec(events=(
+            FaultEvent(kind="link-degrade", at_tick=3, until_tick=8,
+                       link=0, factor=4.0),
+        ))
+        baseline = FleetEngine(
+            **kwargs, faults=faults,
+            checkpoint_dir=str(tmp_path / "ck-a"), checkpoint_cadence=4,
+        ).run()
+        telemetry = Telemetry(name=spec.name)
+        traced = FleetEngine(
+            **kwargs, faults=faults, telemetry=telemetry,
+            checkpoint_dir=str(tmp_path / "ck-b"), checkpoint_cadence=4,
+        ).run()
+        assert traced == baseline
+        names = [e["name"] for e in telemetry.events]
+        assert names.count("fault.link") == 1  # activation edge only
+        assert names.count("checkpoint.save") == 2  # ticks 4 and 8
+        # 5 active ticks: 3..7 (until_tick is exclusive).
+        active = telemetry.registry.get("fleet_fault_active_ticks_total")
+        assert active.value(kind="link-degrade") == 5
+        assert telemetry.registry.get("checkpoint_saves_total").value() == 2
+        assert telemetry.registry.get("checkpoint_saved_bytes_total").value() > 0
+
+
+class TestFleetTelemetryContent:
+    def test_counters_match_the_report(self, fleet_reports):
+        _baseline, traced, telemetry, _paths = fleet_reports
+        registry = telemetry.registry
+        assert registry.get("fleet_windows_total").value() == traced.n_windows
+        tiers = registry.get("fleet_tier_windows_total")
+        for usage in traced.tiers:
+            assert tiers.value(tier=usage.tier) == usage.requests
+        assert registry.get("fleet_run_seconds_total").value() > 0
+
+    def test_engine_auto_creates_registry_backed_profiler(self, fleet_reports):
+        _baseline, _traced, telemetry, _paths = fleet_reports
+        stage_family = telemetry.registry.get("fleet_stage_seconds_total")
+        assert stage_family is not None
+        recorded = {key[0] for key in stage_family._children}
+        assert recorded == set(STAGES)
+
+    def test_trace_artifacts_on_disk(self, fleet_reports, fleet_trained):
+        spec, _runner = fleet_trained
+        _baseline, traced, _telemetry, paths = fleet_reports
+        records = read_trace(paths["trace"])
+        assert records[0]["kind"] == "header"
+        assert records[0]["name"] == spec.name
+        ticks = [r for r in records if r.get("name") == "fleet.tick"]
+        assert len(ticks) == spec.fleet.ticks
+        run_span = next(r for r in records if r.get("name") == "fleet.run")
+        assert all(t["parent_id"] == run_span["span_id"] for t in ticks)
+        assert run_span["attributes"]["windows"] == traced.n_windows
+        # Every tick span carries the per-stage wall-clock breakdown.
+        assert all(f"{stage}_ms" in ticks[0]["attributes"] for stage in STAGES)
+
+    def test_metrics_artifacts_round_trip(self, fleet_reports):
+        _baseline, traced, telemetry, paths = fleet_reports
+        payload = json.loads(paths["metrics_json"].read_text())
+        rebuilt = MetricsRegistry.from_payload(payload)
+        assert rebuilt.to_payload() == telemetry.registry.to_payload()
+        prom = paths["metrics_prom"].read_text()
+        line = re.compile(
+            r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+            r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9].*)$"
+        )
+        assert prom and all(line.match(ln) for ln in prom.splitlines())
+        assert f"fleet_windows_total {traced.n_windows}" in prom
+
+    def test_summarize_digest(self, fleet_reports, fleet_trained):
+        spec, _runner = fleet_trained
+        _baseline, _traced, _telemetry, paths = fleet_reports
+        digest = summarize_trace(paths["trace"])
+        assert f"telemetry digest: {spec.name}" in digest
+        assert "top 10 spans by duration:" in digest
+        assert "tier utilization:" in digest
+
+    def test_profiler_shim_breakdown_is_registry_agnostic(self):
+        plain = StageProfiler()
+        backed = StageProfiler(registry=MetricsRegistry())
+        for profiler in (plain, backed):
+            profiler.add("arrivals", 0.25)
+            profiler.add("detect", 0.5)
+            profiler.total_seconds = 1.0
+            profiler.n_windows = 100
+            profiler.ticks = 4
+        assert backed.summary() == plain.summary()
+        assert backed.seconds == plain.seconds
+
+
+class TestServingBitIdentity:
+    @staticmethod
+    def _serve(trained, telemetry=None, **overrides):
+        spec, runner = trained
+        state = runner.state
+        pool = WindowPool.from_labeled(state.standardized_all)
+        return serve_workload(
+            system=state.system,
+            policy=state.policy,
+            context_extractor=state.context_extractor,
+            serving=replace(spec.serve, **overrides),
+            fleet=DeviceFleet(spec.fleet, pool, master_seed=spec.seed),
+            master_seed=spec.seed,
+            name=spec.name,
+            tier_names=spec.topology.tier_names,
+            telemetry=telemetry,
+        )
+
+    @staticmethod
+    def _projection(report, results):
+        """The deterministic slice of a serving run (no wall-clock fields)."""
+        return (
+            report.n_submitted, report.n_served, report.n_rejected,
+            report.n_shed, report.n_expired, report.n_dropped,
+            report.accuracy, report.f1,
+            tuple((t.tier, t.requests) for t in report.tiers),
+            report.n_swaps, report.swap_versions,
+            report.mean_simulated_delay_ms,
+            tuple((r.device_id, r.status, r.layer, r.prediction, r.shed_reason)
+                  for r in results),
+        )
+
+    def test_telemetry_run_matches_deterministic_projection(self, serve_trained):
+        baseline = self._projection(*self._serve(serve_trained))
+        telemetry = Telemetry()
+        traced_report, traced_results = self._serve(serve_trained, telemetry)
+        assert self._projection(traced_report, traced_results) == baseline
+
+    def test_request_spans_and_status_counters(self, serve_trained):
+        telemetry = Telemetry()
+        report, _results = self._serve(serve_trained, telemetry)
+        statuses = telemetry.registry.get("serve_requests_total")
+        assert statuses.value(status="submitted") == report.n_submitted
+        assert statuses.value(status="served") == report.n_served
+        tiers = telemetry.registry.get("serve_tier_requests_total")
+        for usage in report.tiers:
+            assert tiers.value(tier=usage.tier) == usage.requests
+        requests = [s for s in telemetry.spans if s["name"] == "serve.request"]
+        assert len(requests) == report.n_submitted
+        assert all(s["attributes"]["status"] == "served" for s in requests)
+        # serve.batch spans are per-tier micro-batches; a dispatch batch
+        # splits across tiers, so there are at least as many spans as batches
+        # and their sizes add back up to the served total.
+        batches = [s for s in telemetry.spans if s["name"] == "serve.batch"]
+        assert len(batches) >= report.n_batches
+        assert sum(s["attributes"]["n"] for s in batches) == report.n_served
+
+    def test_overload_events_alongside_the_warning(self, serve_trained):
+        telemetry = Telemetry()
+        with pytest.warns(RuntimeWarning, match="serving ingress overloaded"):
+            report, _results = self._serve(
+                serve_trained, telemetry,
+                offered_rps=5000.0, queue_capacity=8, shed_policy="reject-new",
+            )
+        assert report.n_rejected > 0
+        overloads = [e for e in telemetry.events if e["name"] == "serve.overload"]
+        assert len(overloads) == report.n_rejected
+        assert all(e["reason"] == "rejected" for e in overloads)
+        assert all(e["policy"] == "reject-new" for e in overloads)
+        statuses = telemetry.registry.get("serve_requests_total")
+        assert statuses.value(status="rejected") == report.n_rejected
+
+    def test_overload_telemetry_preserves_conservation(self, serve_trained):
+        # Under overload the shed/served split is wall-clock-dependent (queue
+        # eviction races dispatch) with or without telemetry, so the pin here
+        # is the zero-drop conservation contract and event/counter agreement,
+        # not projection equality.
+        telemetry = Telemetry()
+        with pytest.warns(RuntimeWarning):
+            report, results = self._serve(
+                serve_trained, telemetry,
+                offered_rps=5000.0, queue_capacity=8, shed_policy="shed-oldest",
+            )
+        assert report.n_submitted == len(results) == 40
+        assert report.n_dropped == 0
+        assert report.n_shed > 0
+        sheds = [e for e in telemetry.events
+                 if e["name"] == "serve.overload" and e["reason"] == "shed"]
+        assert len(sheds) == report.n_shed
+        assert all(e["policy"] == "shed-oldest" for e in sheds)
+        shed_spans = [s for s in telemetry.spans
+                      if s["name"] == "serve.request"
+                      and s["attributes"].get("status") == "shed"]
+        assert len(shed_spans) == report.n_shed
+
+
+class TestAdaptiveBitIdentity:
+    def test_telemetry_run_is_bit_identical_with_lifecycle_linkage(
+        self, tmp_path_factory
+    ):
+        spec = apply_overrides(get_scenario("adapt-1k-drift-recovery"), ADAPT_TINY)
+        baseline = ExperimentRunner(spec).run_fleet(
+            registry_root=str(tmp_path_factory.mktemp("registry-a"))
+        )
+        out_dir = tmp_path_factory.mktemp("telemetry-adapt")
+        runner = ExperimentRunner(
+            apply_overrides(spec, {"obs.dir": str(out_dir)})
+        )
+        traced = runner.run_fleet(
+            registry_root=str(tmp_path_factory.mktemp("registry-b"))
+        )
+        paths = runner.telemetry.finalize()
+        assert traced == baseline  # adaptation timeline included
+
+        records = read_trace(paths["trace"])
+        spans = {r["span_id"]: r for r in records if r["kind"] == "span"}
+        retrains = [r for r in records if r.get("name") == "adapt.retrain"]
+        timeline = traced.adaptation
+        assert len(retrains) == len(timeline.retrains)
+        # Each retrain span hangs off the fleet.tick span of its own tick...
+        for span in retrains:
+            parent = spans[span["parent_id"]]
+            assert parent["name"] == "fleet.tick"
+            assert parent["attributes"]["tick"] == span["attributes"]["tick"]
+        # ...and the gate/swap events are stamped with the retrain span ids.
+        gates = [r for r in records if r.get("name") == "adapt.gate"]
+        swaps = [r for r in records if r.get("name") == "adapt.swap"]
+        assert len(gates) == len(timeline.retrains)
+        assert len(swaps) == len(timeline.swaps)
+        for event in gates + swaps:
+            assert spans[event["span_id"]]["name"] == "adapt.retrain"
+        drifts = [r for r in records if r.get("name") == "adapt.drift"]
+        assert len(drifts) == len(timeline.drifts)
+
+        registry = MetricsRegistry.from_payload(
+            json.loads(paths["metrics_json"].read_text())
+        )
+        accepted = sum(1 for r in timeline.retrains if r.accepted)
+        retrain_counter = registry.get("adapt_retrains_total")
+        assert retrain_counter.value(accepted="true") == accepted
+        assert registry.get("adapt_swaps_total").value() == len(timeline.swaps)
+
+
+class TestCliSurface:
+    TINY_SETS = [arg for key, value in TINY.items()
+                 for arg in ("--set", f"{key}={value}")]
+
+    def test_fleet_telemetry_flag_and_obs_summarize(self, tmp_path, capsys):
+        out_dir = tmp_path / "telemetry"
+        assert main([
+            "fleet", "fleet-burst-storm", *self.TINY_SETS,
+            "--telemetry", str(out_dir), "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage wall-clock breakdown:" in out
+        assert f"Telemetry: {out_dir}" in out
+        for name in ("trace.jsonl", "metrics.json", "metrics.prom"):
+            assert (out_dir / name).is_file()
+        assert main(["obs", "summarize", str(out_dir / "trace.jsonl")]) == 0
+        digest = capsys.readouterr().out
+        assert "telemetry digest: fleet-burst-storm" in digest
+        assert "tier utilization:" in digest
+
+    def test_obs_summarize_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no trace file" in capsys.readouterr().err
+
+    def test_telemetry_flag_is_obs_spec_sugar(self, capsys):
+        assert main([
+            "fleet", "fleet-burst-storm", "--spec-only",
+            "--telemetry", "/tmp/somewhere",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["obs"]["dir"] == "/tmp/somewhere"
+        assert payload["obs"]["trace"] is True

@@ -1,0 +1,272 @@
+"""Unit pins for the telemetry metrics registry.
+
+The registry is the numeric half of the observability layer; what matters
+is the merge algebra (sharded workers fold into one registry), the payload
+round-trip (the ``metrics.json`` artifact) and the Prometheus rendering.
+The acceptance pins:
+
+* merge is associative and commutative, and the empty registry is the
+  identity on both sides — all compared through ``to_payload``, so the
+  checks cover every family kind, labelset and histogram bucket;
+* ``to_payload`` survives an actual JSON round-trip (dump + load), not just
+  a dict copy;
+* the Prometheus text rendering is cumulative-bucket correct and
+  label-escaped.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import DEFAULT_BUCKETS, PAYLOAD_VERSION, MetricsRegistry
+
+
+def _sample(seed_values):
+    """A registry exercising all three kinds, labels included."""
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "Requests.", labelnames=("tier",))
+    depth = registry.gauge("queue_depth", "Peak queue depth.")
+    latency = registry.histogram(
+        "latency_ms", "Latency.", buckets=(1.0, 10.0, 100.0)
+    )
+    for tier, count, level, value in seed_values:
+        requests.labels(tier=tier).value += count
+        depth.set_max(level)
+        latency.observe(value)
+    return registry
+
+
+class TestFamilies:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", "Hits.")
+        family.inc()
+        family.inc(2.5)
+        assert family.value() == 3.5
+
+    def test_labeled_cells_are_independent_and_cached(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", labelnames=("tier",))
+        family.labels(tier="edge").value += 2
+        family.labels(tier="cloud").value += 5
+        assert family.value(tier="edge") == 2
+        assert family.value(tier="cloud") == 5
+        assert family.labels(tier="edge") is family.labels(tier="edge")
+
+    def test_gauge_set_and_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7.0)
+        gauge.set_max(3.0)
+        assert gauge.value() == 7.0
+        gauge.set_max(11.0)
+        assert gauge.value() == 11.0
+
+    def test_histogram_bucket_assignment(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 100.0, 1e6):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # le-bounds are inclusive; the final slot is +Inf.
+        assert snap["counts"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(0.5 + 1.0 + 5.0 + 100.0 + 1e6)
+
+    def test_default_buckets_are_used_when_unspecified(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        assert hist.buckets == DEFAULT_BUCKETS
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits.", labelnames=("tier",))
+        again = registry.counter("hits_total", "Hits.", labelnames=("tier",))
+        assert again is first
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ConfigurationError, match="already registered as"):
+            registry.gauge("x_total")
+
+    def test_label_schema_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("tier",))
+        with pytest.raises(ConfigurationError, match="labels"):
+            registry.counter("x_total", labelnames=("shard",))
+
+    def test_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError, match="buckets"):
+            registry.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("")
+        with pytest.raises(ConfigurationError):
+            registry.counter("bad name")
+        with pytest.raises(ConfigurationError):
+            registry.counter("7lives")
+
+    def test_non_increasing_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            registry.histogram("lat", buckets=(1.0, 1.0, 2.0))
+
+    def test_labeled_family_refuses_unlabeled_access(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", labelnames=("tier",))
+        with pytest.raises(ConfigurationError, match="address a child"):
+            family.inc()
+
+    def test_wrong_labelset_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", labelnames=("tier",))
+        with pytest.raises(ConfigurationError, match="takes labels"):
+            family.labels(shard="0")
+
+    def test_histogram_value_read_refused(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        with pytest.raises(ConfigurationError, match="snapshot"):
+            hist.value()
+
+
+class TestMergeAlgebra:
+    A = [("edge", 1, 3.0, 0.5), ("cloud", 2, 1.0, 50.0)]
+    B = [("edge", 4, 9.0, 5.0), ("iot", 1, 2.0, 1e6)]
+    C = [("cloud", 3, 4.0, 0.1)]
+
+    def test_counters_add_gauges_max_histograms_elementwise(self):
+        merged = MetricsRegistry.merge([_sample(self.A), _sample(self.B)])
+        assert merged.get("requests_total").value(tier="edge") == 5
+        assert merged.get("requests_total").value(tier="iot") == 1
+        assert merged.get("queue_depth").value() == 9.0
+        snap = merged.get("latency_ms").snapshot()
+        assert snap["count"] == 4
+        # A observed 0.5 and 50.0; B observed 5.0 and 1e6 (the +Inf slot).
+        assert snap["counts"] == [1, 1, 1, 1]
+
+    def test_merge_is_associative(self):
+        a, b, c = _sample(self.A), _sample(self.B), _sample(self.C)
+        left = MetricsRegistry.merge(
+            [MetricsRegistry.merge([_sample(self.A), _sample(self.B)]), c]
+        )
+        right = MetricsRegistry.merge(
+            [a, MetricsRegistry.merge([b, _sample(self.C)])]
+        )
+        assert left.to_payload() == right.to_payload()
+
+    def test_merge_is_commutative(self):
+        ab = MetricsRegistry.merge([_sample(self.A), _sample(self.B)])
+        ba = MetricsRegistry.merge([_sample(self.B), _sample(self.A)])
+        assert ab.to_payload() == ba.to_payload()
+
+    def test_empty_registry_is_identity_both_sides(self):
+        base = _sample(self.A).to_payload()
+        left = MetricsRegistry.merge([MetricsRegistry(), _sample(self.A)])
+        right = MetricsRegistry.merge([_sample(self.A), MetricsRegistry()])
+        assert left.to_payload() == base
+        assert right.to_payload() == base
+
+    def test_merge_of_empties_is_empty(self):
+        merged = MetricsRegistry.merge([MetricsRegistry(), MetricsRegistry()])
+        assert len(merged) == 0
+        assert merged.to_payload()["metrics"] == []
+
+    def test_disjoint_families_carry_over_whole(self):
+        one = MetricsRegistry()
+        one.counter("a_total").inc(3)
+        two = MetricsRegistry()
+        two.gauge("b").set(5.0)
+        merged = MetricsRegistry.merge([one, two])
+        assert merged.get("a_total").value() == 3
+        assert merged.get("b").value() == 5.0
+
+    def test_merge_kind_conflict_rejected(self):
+        one = MetricsRegistry()
+        one.counter("x_total")
+        two = MetricsRegistry()
+        two.gauge("x_total")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            one.merge_from(two)
+
+
+class TestPayloadRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        registry = _sample(TestMergeAlgebra.A + TestMergeAlgebra.B)
+        payload = registry.to_payload()
+        wire = json.dumps(payload)
+        rebuilt = MetricsRegistry.from_payload(json.loads(wire))
+        assert rebuilt.to_payload() == payload
+
+    def test_payload_is_versioned_and_typed(self):
+        payload = MetricsRegistry().to_payload()
+        assert payload["kind"] == "obs-metrics-registry"
+        assert payload["version"] == PAYLOAD_VERSION
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a metrics-registry"):
+            MetricsRegistry.from_payload({"kind": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        payload = MetricsRegistry().to_payload()
+        payload["version"] = PAYLOAD_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            MetricsRegistry.from_payload(payload)
+
+    def test_bucket_count_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        payload = registry.to_payload()
+        payload["metrics"][0]["children"][0]["counts"] = [1, 0]
+        with pytest.raises(ConfigurationError, match="bucket counts"):
+            MetricsRegistry.from_payload(payload)
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits.", labelnames=("tier",)).labels(
+            tier="edge"
+        ).value += 3
+        registry.gauge("depth", "Depth.").set(2.5)
+        text = registry.render_prometheus()
+        assert "# HELP hits_total Hits.\n# TYPE hits_total counter\n" in text
+        assert 'hits_total{tier="edge"} 3\n' in text
+        assert "# TYPE depth gauge\ndepth 2.5\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "Latency.", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 99.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="10"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_sum 105.2" in text
+        assert "lat_count 4" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("path",)).labels(
+            path='a"b\\c\nd'
+        ).value += 1
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_families_render_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz_total").inc()
+        registry.counter("aa_total").inc()
+        text = registry.render_prometheus()
+        assert text.index("aa_total") < text.index("zz_total")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
