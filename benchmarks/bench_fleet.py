@@ -21,7 +21,10 @@ future PRs have a trajectory to regress against:
 * **telemetry** — the warm columnar run with the full observability layer on
   (per-tick spans, events, metrics registry, JSONL + Prometheus export),
   measuring the cost of instrumentation (must stay within 10% on full-sized
-  sweeps, and bit-identical always — telemetry is a pure observer).
+  sweeps, and bit-identical always — telemetry is a pure observer);
+* **sharded telemetry** — the 2-shard run with per-shard child sessions
+  (shard-NN/ sinks, scoped span ids, registry fold on join) against the
+  untelemetered 2-shard run, under the same 10% ceiling.
 
 Three properties are asserted on top of the timings:
 
@@ -62,8 +65,10 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 #: v2: legacy/columnar split replaces the single "unsharded" entry; sharded
 #: entries record their execution mode.  v3 adds the "checkpointing" block
 #: (durable-checkpoint overhead at increasing cadence).  v4 adds the
-#: "telemetry" block (observability-layer overhead vs warm columnar).
-SCHEMA_VERSION = 4
+#: "telemetry" block (observability-layer overhead vs warm columnar).  v5
+#: adds the "sharded_telemetry" block (per-shard child sessions + merge vs
+#: the untelemetered sharded run).
+SCHEMA_VERSION = 5
 
 #: The scenario whose fleet workload is streamed.
 SCENARIO = "fleet-1k-drift"
@@ -136,6 +141,18 @@ def _timed_runs(fn, repeats: int):
         result = fn()
         seconds.append(time.perf_counter() - start)
     return seconds, result
+
+
+def _paired_overhead(subject_seconds, baseline_seconds):
+    """Minimum pairwise overhead ratio across interleaved repeats.
+
+    Each repeat times the baseline and subject legs back to back, so a pair
+    shares whatever machine conditions held during that repeat; the cleanest
+    pair bounds the intrinsic overhead.  Dividing the global minima instead
+    would compare legs from different repeats and pick up cross-repeat drift
+    — whole percents on a busy single-core box.
+    """
+    return min(s / b for s, b in zip(subject_seconds, baseline_seconds)) - 1.0
 
 
 def run_bench_fleet(
@@ -225,9 +242,17 @@ def run_bench_fleet(
     # registry-backed stage profiler, counters, live JSONL writes.  The
     # finalize step (fsync + atomic rename of the three artifacts) runs
     # outside the timer: it is a fixed O(1) epilogue, not a per-window cost.
+    # The baseline leg is re-timed here, interleaved with the telemetered leg
+    # inside the same repeat loop, so both see the same machine conditions —
+    # comparing against the columnar block timed minutes earlier makes the
+    # ratio drift by whole percents on a busy single-core box.
     telemetry_seconds = []
+    telemetry_baseline_seconds = []
     telemetry_report = None
     for _ in range(repeats):
+        start = time.perf_counter()
+        FleetEngine(**kwargs).run()
+        telemetry_baseline_seconds.append(time.perf_counter() - start)
         with tempfile.TemporaryDirectory(prefix="bench-fleet-obs-") as obs_dir:
             telemetry = Telemetry(
                 out_dir=obs_dir, spec=ObsSpec(dir=obs_dir), name=SCENARIO
@@ -237,18 +262,71 @@ def run_bench_fleet(
             telemetry_seconds.append(time.perf_counter() - start)
             telemetry.finalize()
     telemetry_best = min(telemetry_seconds)
+    telemetry_baseline_best = min(telemetry_baseline_seconds)
     report["telemetry"] = {
         "seconds": telemetry_best,
         "windows_per_second": n_windows / telemetry_best,
-        "overhead_vs_columnar": telemetry_best / columnar_best - 1.0,
+        "baseline_seconds": telemetry_baseline_best,
+        "overhead_vs_columnar": _paired_overhead(
+            telemetry_seconds, telemetry_baseline_seconds
+        ),
         "bit_identical": telemetry_report == columnar_report,
         "max_overhead": MAX_TELEMETRY_OVERHEAD,
         "note": (
-            "overhead_vs_columnar compares best-of-N warm columnar wall-clock "
-            "with and without the telemetry pipeline live (spans, events, "
-            "metrics, incremental JSONL); the O(1) finalize export is not "
-            "timed; the <= max_overhead ceiling is enforced on full-sized "
-            "sweeps only"
+            "overhead_vs_columnar is the minimum paired ratio of warm "
+            "columnar wall-clock with and without the telemetry pipeline "
+            "live (spans, events, metrics, incremental JSONL); both legs of "
+            "each pair are timed back to back so the cleanest pair bounds "
+            "the intrinsic overhead; the O(1) finalize export is not timed; "
+            "the <= max_overhead ceiling is enforced on full-sized sweeps "
+            "only"
+        ),
+    }
+
+    # -- sharded telemetry overhead: child sessions + fold vs plain shards -----
+    # Each shard runs its own child Telemetry session (shard-scoped span ids,
+    # shard-NN/ sinks) and the parent folds the registries on join; this
+    # block prices that whole pipeline against the untelemetered 2-shard run.
+    shard_count = min(2, max(shards))
+    plain_sharded_seconds = []
+    plain_sharded_report = None
+    sharded_tel_seconds = []
+    sharded_tel_report = None
+    # Interleave the plain and telemetered legs (same reasoning as above).
+    for _ in range(repeats):
+        start = time.perf_counter()
+        plain_sharded_report = ShardedFleetEngine(
+            **kwargs, n_shards=shard_count
+        ).run()
+        plain_sharded_seconds.append(time.perf_counter() - start)
+        with tempfile.TemporaryDirectory(prefix="bench-fleet-shard-obs-") as obs_dir:
+            telemetry = Telemetry(
+                out_dir=obs_dir, spec=ObsSpec(dir=obs_dir), name=SCENARIO
+            )
+            start = time.perf_counter()
+            sharded_tel_report = ShardedFleetEngine(
+                **kwargs, n_shards=shard_count, telemetry=telemetry
+            ).run()
+            sharded_tel_seconds.append(time.perf_counter() - start)
+            telemetry.finalize()
+    plain_sharded_best = min(plain_sharded_seconds)
+    sharded_tel_best = min(sharded_tel_seconds)
+    report["sharded_telemetry"] = {
+        "n_shards": shard_count,
+        "seconds": sharded_tel_best,
+        "windows_per_second": n_windows / sharded_tel_best,
+        "plain_seconds": plain_sharded_best,
+        "overhead_vs_plain_sharded": _paired_overhead(
+            sharded_tel_seconds, plain_sharded_seconds
+        ),
+        "bit_identical": sharded_tel_report == plain_sharded_report,
+        "max_overhead": MAX_TELEMETRY_OVERHEAD,
+        "note": (
+            "overhead_vs_plain_sharded is the minimum paired ratio of "
+            "sharded wall-clock with and without per-shard child telemetry "
+            "sessions (shard-NN/ sinks, scoped span ids, registry fold on "
+            "join); both legs of each pair are timed back to back; the <= "
+            "max_overhead ceiling is enforced on full-sized sweeps only"
         ),
     }
 
@@ -359,6 +437,9 @@ def _assert_report(report: dict) -> None:
     assert report["telemetry"]["bit_identical"], (
         "the telemetry layer perturbed the stream (it must be a pure observer)"
     )
+    assert report["sharded_telemetry"]["bit_identical"], (
+        "per-shard child telemetry sessions perturbed the sharded stream"
+    )
     if report["scaling"]["columnar_floor_enforced"]:
         slowest = max(
             report["checkpointing"]["entries"], key=lambda e: e["cadence"]
@@ -372,6 +453,11 @@ def _assert_report(report: dict) -> None:
         assert telemetry_overhead <= MAX_TELEMETRY_OVERHEAD, (
             f"the telemetry pipeline cost {telemetry_overhead:.1%} of warm "
             f"columnar throughput (ceiling: {MAX_TELEMETRY_OVERHEAD:.0%})"
+        )
+        sharded_overhead = report["sharded_telemetry"]["overhead_vs_plain_sharded"]
+        assert sharded_overhead <= MAX_TELEMETRY_OVERHEAD, (
+            f"per-shard child telemetry cost {sharded_overhead:.1%} of sharded "
+            f"throughput (ceiling: {MAX_TELEMETRY_OVERHEAD:.0%})"
         )
 
 
@@ -402,6 +488,13 @@ def _print_report(report: dict) -> None:
         f"  telemetry      {telemetry['windows_per_second']:10.0f} windows/s "
         f"({telemetry['overhead_vs_columnar']:+.1%} vs columnar, bit-identical: "
         f"{telemetry['bit_identical']})"
+    )
+    sharded_telemetry = report["sharded_telemetry"]
+    print(
+        f"  shard-telem    {sharded_telemetry['windows_per_second']:10.0f} windows/s "
+        f"({sharded_telemetry['overhead_vs_plain_sharded']:+.1%} vs "
+        f"{sharded_telemetry['n_shards']}-shard plain, bit-identical: "
+        f"{sharded_telemetry['bit_identical']})"
     )
     for entry in report["sharded"]:
         print(

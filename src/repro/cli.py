@@ -166,7 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--telemetry", type=str, default=None, metavar="DIR",
                        help="write telemetry (trace.jsonl, metrics.json, "
                        "metrics.prom) to DIR; sugar for --set obs.dir=DIR "
-                       "(telemetered sharded runs stream serially in-process)")
+                       "(sharded runs write per-shard shard-NN/ sinks and "
+                       "merge them into DIR)")
+    fleet.add_argument("--watch", type=int, nargs="?", const=1, default=None,
+                       metavar="N",
+                       help="print a rolling health line every N ticks "
+                       "(default 1) and evaluate the stock fleet alert rules; "
+                       "uses an in-memory telemetry session when --telemetry "
+                       "is absent")
     fleet.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
 
@@ -200,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry", type=str, default=None, metavar="DIR",
                        help="write telemetry (trace.jsonl, metrics.json, "
                        "metrics.prom) to DIR; sugar for --set obs.dir=DIR")
+    serve.add_argument("--watch", type=int, nargs="?", const=8, default=None,
+                       metavar="N",
+                       help="print a rolling health line every N served "
+                       "requests (default 8) with SLO burn-rate alerting; "
+                       "uses an in-memory telemetry session when --telemetry "
+                       "is absent")
     serve.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
 
@@ -241,18 +254,59 @@ def build_parser() -> argparse.ArgumentParser:
     obs = subparsers.add_parser(
         "obs",
         help="inspect telemetry written by --telemetry runs "
-        "(trace.jsonl digests)",
+        "(trace.jsonl digests, live top/tail views)",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
         "summarize",
         help="print a digest of one run's trace.jsonl (top spans, tier "
-        "utilization, overload, adaptation timeline, fault activations)",
+        "utilization, latency percentiles, overload, adaptation timeline, "
+        "fault activations); sharded run directories aggregate every "
+        "shard-NN/ sink",
     )
     summarize.add_argument(
         "path",
+        help="a trace.jsonl file or the telemetry directory holding one "
+        "(possibly with shard-NN/ subdirectories)",
+    )
+    top = obs_sub.add_parser(
+        "top",
+        help="render a refreshing digest of a telemetered run (tier "
+        "utilization, queue depth, rolling p99 vs SLO, active alerts); "
+        "follows a live run's trace.jsonl.tmp as it grows",
+    )
+    top.add_argument(
+        "path",
+        help="a trace.jsonl file or the telemetry directory of a running "
+        "or finished telemetered run",
+    )
+    top.add_argument("--follow", action="store_true",
+                     help="keep refreshing until the run finalizes its trace "
+                     "(or --duration elapses)")
+    top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                     help="refresh interval while following (default 1.0)")
+    top.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                     help="stop following after this many seconds (implies "
+                     "--follow)")
+    top.add_argument("--slo-ms", type=float, default=None, metavar="MS",
+                     help="annotate the rolling p99 with this SLO bound")
+    tail = obs_sub.add_parser(
+        "tail",
+        help="print trace records as human-readable lines, optionally "
+        "following a live run",
+    )
+    tail.add_argument(
+        "path",
         help="a trace.jsonl file or the telemetry directory holding one",
     )
+    tail.add_argument("--follow", action="store_true",
+                      help="keep polling for new records until the run "
+                      "finalizes its trace (or --duration elapses)")
+    tail.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                      help="poll interval while following (default 0.5)")
+    tail.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                      help="stop following after this many seconds (implies "
+                      "--follow)")
 
     list_parser = subparsers.add_parser("list", help="list the registered scenarios")
     list_parser.add_argument(
@@ -426,6 +480,40 @@ def _finalize_telemetry(runner, args: argparse.Namespace) -> None:
         print(f"Telemetry: {paths['trace'].parent}")
 
 
+def _attach_watch(runner, args: argparse.Namespace, serving: bool = False) -> None:
+    """Wire ``--watch N`` onto the runner's telemetry session.
+
+    With no ``--telemetry`` directory an in-memory session is attached just
+    for the watch — the run still streams bit-identical (telemetry never
+    draws RNG), it just gains the rolling health lines and alert evaluation.
+    """
+    watch = getattr(args, "watch", None)
+    if watch is None:
+        return
+    if watch < 1:
+        raise ReproError(f"--watch must be a positive cadence, got {watch}")
+    from repro.obs.alerts import default_fleet_rules, default_serving_rules
+    from repro.obs.live import RollupWatcher
+
+    if runner.telemetry is None:
+        from repro.obs.export import Telemetry
+
+        runner.telemetry = Telemetry()
+    if serving:
+        rules = default_serving_rules(runner.spec.serve)
+        label = "serve"
+    else:
+        rules = default_fleet_rules()
+        label = "fleet"
+    runner.telemetry.watcher = RollupWatcher(
+        runner.telemetry,
+        rules=rules,
+        every=watch,
+        label=label,
+        printer=print,
+    )
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
     if args.spec_only:
@@ -467,6 +555,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
     ):
         registry_root = str(Path(args.output_dir) / "registry")
     runner = ExperimentRunner(spec)
+    _attach_watch(runner, args, serving=False)
     profiler = None
     if args.profile:
         from repro.fleet.profiling import StageProfiler
@@ -527,6 +616,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
     runner = ExperimentRunner(spec)
+    _attach_watch(runner, args, serving=True)
     report = runner.run_serve(hot_swap=args.hot_swap)
     if not args.quiet:
         print(report.summary())
@@ -602,10 +692,65 @@ def _run_models(args: argparse.Namespace) -> int:
 
 
 def _run_obs(args: argparse.Namespace) -> int:
-    from repro.obs.summary import summarize_trace
+    if args.obs_command == "summarize":
+        from repro.obs.summary import summarize_trace
 
-    print(summarize_trace(args.path))
-    return 0
+        print(summarize_trace(args.path))
+        return 0
+    if args.obs_command == "tail":
+        return _obs_tail(args)
+    return _obs_top(args)
+
+
+def _follow_loop(args: argparse.Namespace, step) -> int:
+    """Shared poll loop of ``obs top``/``obs tail``.
+
+    ``step(records)`` consumes one poll's records.  One-shot without
+    ``--follow``/``--duration``; otherwise polls every ``--interval`` seconds
+    until the trace finalizes and drains, or ``--duration`` elapses.
+    """
+    import time
+
+    from repro.obs.export import TraceFollower
+
+    follower = TraceFollower(args.path)
+    follow = args.follow or args.duration is not None
+    deadline = (
+        time.monotonic() + args.duration if args.duration is not None else None
+    )
+    while True:
+        records = follower.poll()
+        step(records)
+        if not follow:
+            return 0
+        if follower.finalized and not records:
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            return 0
+        time.sleep(args.interval)
+
+
+def _obs_top(args: argparse.Namespace) -> int:
+    from repro.obs.live import TopView
+
+    view = TopView(slo_p99_ms=args.slo_ms)
+
+    def step(records) -> None:
+        view.update(records)
+        print(view.render())
+        print()
+
+    return _follow_loop(args, step)
+
+
+def _obs_tail(args: argparse.Namespace) -> int:
+    from repro.obs.live import format_tail_line
+
+    def step(records) -> None:
+        for record in records:
+            print(format_tail_line(record))
+
+    return _follow_loop(args, step)
 
 
 def _list_scenarios(verbose: bool = False) -> int:

@@ -474,6 +474,7 @@ class FleetEngine:
         profiler = self.profiler
         telemetry = self.telemetry
         tracing = telemetry is not None and telemetry.trace_enabled
+        watcher = telemetry.watcher if telemetry is not None else None
         tier_cells = self._tier_cells()
         faulted = self._schedule is not None
         extract = self.context_extractor.extract
@@ -566,6 +567,10 @@ class FleetEngine:
                 self._end_tick_span(
                     tick_span, stage_mark, int(batch.n), int(batch.online)
                 )
+            if watcher is not None:
+                # After the span closes: the watcher reads the registry and
+                # may emit its own events, which must not nest under the tick.
+                watcher.observe(tick + 1)
 
     def _tier_cells(self):
         """Pre-resolved per-tier window counters (``None`` untelemetered)."""
@@ -603,6 +608,7 @@ class FleetEngine:
         profiler = self.profiler
         telemetry = self.telemetry
         tracing = telemetry is not None and telemetry.trace_enabled
+        watcher = telemetry.watcher if telemetry is not None else None
         tier_cells = self._tier_cells()
         faulted = self._schedule is not None
         for tick in range(start_tick, self.spec.ticks):
@@ -685,6 +691,8 @@ class FleetEngine:
                 self._end_tick_span(
                     tick_span, stage_mark, len(arrivals), int(online)
                 )
+            if watcher is not None:
+                watcher.observe(tick + 1)
 
     def run(self, resume: bool = False) -> FleetReport:
         """Stream the fleet and assemble the :class:`FleetReport`."""
@@ -715,10 +723,28 @@ class FleetEngine:
         return self.run(resume=True)
 
 
-def _run_shard_worker(payload: dict, resume: bool = False) -> StreamingMetrics:
-    """In-process shard entry point (serial shards and the pool fallback)."""
+def _run_shard_worker(payload: dict, resume: bool = False) -> "sharding.ShardResult":
+    """In-process shard entry point (serial shards and the pool fallback).
+
+    Mirrors the pooled workers' protocol: on telemetered runs the shard gets
+    its own child session built from the ``obs`` recipe, and the result
+    carries its compact payload for the parent to absorb.  The input dict is
+    never mutated, so crash recovery can re-run from the same payload with a
+    *fresh* child session (whose sink overwrites the crashed shard's
+    half-written ``.tmp``).
+    """
+    payload = dict(payload)
+    config = payload.pop("obs", None)
+    child = None
+    if config is not None:
+        child = config.child(payload.get("shard_index", 0))
+        payload["telemetry"] = child
     engine = FleetEngine(**payload)
-    return engine.run_metrics(resume=resume)
+    metrics = engine.run_metrics(resume=resume)
+    return sharding.ShardResult(
+        metrics=metrics,
+        obs=child.shard_payload() if child is not None else None,
+    )
 
 
 class ShardedFleetEngine:
@@ -733,9 +759,13 @@ class ShardedFleetEngine:
     fork only when the host actually has more than one CPU to run workers
     on — a single-core host pays fork/IPC overhead for pure time-slicing,
     which is exactly what made multi-shard runs *slower* than one shard).
-    Attaching a profiler or a telemetry session forces serial shards
-    (per-stage wall-clock across forked workers would not add up to anything
-    meaningful, and the single-writer JSONL sink cannot span processes).
+    Attaching a profiler forces serial shards (per-stage wall-clock across
+    forked workers would not add up to anything meaningful).  A telemetry
+    session does *not*: each shard — pooled or serial — runs its own child
+    session (``shard-NN/`` sinks mirroring the checkpoint layout, shard-
+    scoped trace ids) and the parent absorbs the children in shard order
+    through the deterministic registry merge algebra, so the merged metrics
+    equal what a serial unsharded run records.
     """
 
     def __init__(
@@ -806,11 +836,7 @@ class ShardedFleetEngine:
             )
 
     def _resolve_parallel(self) -> bool:
-        if (
-            self.parallel is False
-            or self.profiler is not None
-            or self.telemetry is not None
-        ):
+        if self.parallel is False or self.profiler is not None:
             return False
         if self.parallel == "auto":
             # Only the CPU count matters: run_sharded itself picks the
@@ -833,6 +859,12 @@ class ShardedFleetEngine:
             "faults": self.faults,
             "checkpoint_dir": self.checkpoint_dir,
             "checkpoint_cadence": self.checkpoint_cadence,
+            # The frozen recipe shard workers build child telemetry sessions
+            # from (None on untelemetered runs); also part of the fork-pool
+            # structural key, via sharding._structural_key.
+            "obs": (
+                self.telemetry.shard_config() if self.telemetry is not None else None
+            ),
         }
 
     def _partitions(self) -> List[List[int]]:
@@ -849,9 +881,14 @@ class ShardedFleetEngine:
                 **shared,
                 "device_ids": partition,
                 "profiler": self.profiler,
-                "telemetry": self.telemetry,
                 "shard_index": index,
             }
+            if self.n_shards == 1:
+                # A 1-shard "sharded" run is just the serial run: the parent
+                # session records directly (tick spans, unscoped ids) instead
+                # of routing through a pointless shard-00 child.
+                payload["obs"] = None
+                payload["telemetry"] = self.telemetry
             if self.checkpoint_dir is not None:
                 payload["checkpoint_dir"] = shard_checkpoint_dir(
                     self.checkpoint_dir, index
@@ -859,13 +896,16 @@ class ShardedFleetEngine:
             payloads.append(payload)
         return payloads
 
-    def _recover_shard(self, payload: dict) -> StreamingMetrics:
+    def _recover_shard(self, payload: dict) -> "sharding.ShardResult":
         """Re-run a crashed shard in-process from its last durable checkpoint.
 
         At-most-once by construction: the dead worker returned nothing, so its
         partial stream was never merged, and the recovery run (resumed from
         the shard's own checkpoint store, crash events disarmed) produces the
-        shard's complete metrics exactly once.
+        shard's complete metrics exactly once.  On telemetered runs the
+        recovery builds a fresh child session whose sink overwrites the
+        crashed shard's half-written ``trace.jsonl.tmp`` — the merged parent
+        only ever sees the complete recovered shard.
         """
         warnings.warn(
             f"shard {payload.get('shard_index', 0)} crashed; recovering it "
@@ -874,6 +914,29 @@ class ShardedFleetEngine:
             stacklevel=3,
         )
         return _run_shard_worker(payload, resume=True)
+
+    def _absorb_shards(self, results: list) -> List[StreamingMetrics]:
+        """Fold child telemetry into the parent session, in shard order.
+
+        Child registries merge through the deterministic algebra (counters
+        add, gauges max, histogram buckets add elementwise); in-memory
+        children's spans/events re-emit through the parent sink with their
+        shard-scoped ids.  Each merge is logged as a ``shard.merge`` event,
+        and the parent's watcher (``--watch``) observes shard completions.
+        """
+        telemetry = self.telemetry
+        metrics = []
+        for index, result in enumerate(results):
+            metrics.append(result.metrics)
+            if telemetry is None or result.obs is None:
+                continue
+            telemetry.absorb_shard(result.obs)
+            telemetry.event(
+                "shard.merge", shard=index, scope=result.obs.get("scope")
+            )
+            if telemetry.watcher is not None:
+                telemetry.watcher.observe(float(index + 1))
+        return metrics
 
     def _run_shards(self, resume: bool = False) -> List[StreamingMetrics]:
         payloads = self._shard_payloads()
@@ -889,7 +952,7 @@ class ShardedFleetEngine:
                     results.append(_run_shard_worker(payload, resume=resume))
                 except WorkerCrash:
                     results.append(self._recover_shard(payload))
-            return results
+            return self._absorb_shards(results)
         try:
             parts = sharding.run_sharded(
                 self._shared_kwargs(), self._partitions(), self.n_shards
@@ -909,15 +972,17 @@ class ShardedFleetEngine:
                     results.append(_run_shard_worker(payload))
                 except WorkerCrash:
                     results.append(self._recover_shard(payload))
-            return results
+            return self._absorb_shards(results)
         # Injected shard crashes surface as WorkerCrash placeholders in the
         # pooled results; recover each from its shard checkpoint store.
-        return [
-            self._recover_shard(payloads[index])
-            if isinstance(part, WorkerCrash)
-            else part
-            for index, part in enumerate(parts)
-        ]
+        return self._absorb_shards(
+            [
+                self._recover_shard(payloads[index])
+                if isinstance(part, WorkerCrash)
+                else part
+                for index, part in enumerate(parts)
+            ]
+        )
 
     def run(self, resume: bool = False) -> FleetReport:
         """Run every shard, merge in shard order and assemble the report."""

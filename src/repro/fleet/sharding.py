@@ -115,6 +115,10 @@ def _structural_key(heavy: dict) -> tuple:
         heavy.get("faults"),
         heavy.get("checkpoint_dir"),
         heavy.get("checkpoint_cadence", 0),
+        # ShardObsConfig is frozen too: a telemetered run and an
+        # untelemetered one must never share a forked snapshot (the child
+        # sessions are built inside the worker from this recipe).
+        heavy.get("obs"),
     )
 
 
@@ -221,6 +225,29 @@ def _install_signal_cleanup() -> None:
     _signal_cleanup_installed = True
 
 
+@dataclass
+class ShardResult:
+    """One shard's compact return: metrics arrays plus telemetry payload.
+
+    ``obs`` is ``None`` on untelemetered runs, else the child session's
+    :meth:`~repro.obs.export.Telemetry.shard_payload` for the parent to
+    absorb through the deterministic merge algebra.
+    """
+
+    metrics: object
+    obs: Optional[dict] = None
+
+
+def _shard_child_telemetry(kwargs: dict, shard_index: int):
+    """Pop the shard-telemetry recipe (if any) and build the child session."""
+    config = kwargs.pop("obs", None)
+    if config is None:
+        return None
+    child = config.child(shard_index)
+    kwargs["telemetry"] = child
+    return child
+
+
 def _worker_run_shard(task: Tuple[int, int, List[int]]) -> dict:
     """Fork-pool entry point: resolve inherited state, stream, return arrays."""
     token, shard_index, device_ids = task
@@ -233,15 +260,20 @@ def _worker_run_shard(task: Tuple[int, int, List[int]]) -> dict:
     if base:
         kwargs["checkpoint_dir"] = shard_checkpoint_dir(base, shard_index)
     kwargs["shard_index"] = shard_index
+    child = _shard_child_telemetry(kwargs, shard_index)
     engine = FleetEngine(device_ids=device_ids, **kwargs)
-    return engine.run_metrics().to_payload()
+    metrics = engine.run_metrics().to_payload()
+    return {
+        "metrics": metrics,
+        "obs": child.shard_payload() if child is not None else None,
+    }
 
 
 def run_sharded(heavy: dict, partitions: Sequence[Sequence[int]], processes: int) -> list:
     """Run one :class:`~repro.fleet.engine.FleetEngine` per partition in the pool.
 
-    Returns, in partition order, per-shard
-    :class:`~repro.fleet.metrics.StreamingMetrics` — or the
+    Returns, in partition order, per-shard :class:`ShardResult` (metrics plus
+    the child telemetry payload on telemetered runs) — or the
     :class:`~repro.fleet.faults.WorkerCrash` a shard died with (an *injected*
     crash is an application event, not a pool failure: the worker survives
     and the caller recovers the shard from its checkpoints).  Anything else
@@ -250,8 +282,6 @@ def run_sharded(heavy: dict, partitions: Sequence[Sequence[int]], processes: int
     ``KeyboardInterrupt``/``SystemExit`` mid-run must not leave a cached pool
     of orphaned workers behind.
     """
-    from repro.fleet.metrics import StreamingMetrics
-
     _install_signal_cleanup()
     if fork_available():
         token = _publish(heavy)
@@ -273,13 +303,26 @@ def run_sharded(heavy: dict, partitions: Sequence[Sequence[int]], processes: int
             # reused; on KeyboardInterrupt this also reaps the workers.
             _drop_pool(processes)
             raise
-        return [
-            result
-            if isinstance(result, WorkerCrash)
-            else StreamingMetrics.from_payload(result)
-            for result in results
-        ]
+        return _revive_results(results)
     return _run_sharded_spawn(heavy, partitions, processes)
+
+
+def _revive_results(results: list) -> list:
+    """Turn worker payload dicts back into :class:`ShardResult` objects."""
+    from repro.fleet.metrics import StreamingMetrics
+
+    revived = []
+    for result in results:
+        if isinstance(result, WorkerCrash):
+            revived.append(result)
+        else:
+            revived.append(
+                ShardResult(
+                    metrics=StreamingMetrics.from_payload(result["metrics"]),
+                    obs=result.get("obs"),
+                )
+            )
+    return revived
 
 
 # -- spawn fallback: the window pool ships once through SharedMemory ------------
@@ -353,8 +396,13 @@ def _worker_run_shard_spawn(payload: dict) -> dict:
     anomalous_segment, anomalous = attach_array(anomalous_spec, untrack=True)
     try:
         payload["pool"] = WindowPool(normal=normal, anomalous=anomalous)
+        child = _shard_child_telemetry(payload, payload["shard_index"])
         engine = FleetEngine(**payload)
-        return engine.run_metrics().to_payload()
+        metrics = engine.run_metrics().to_payload()
+        return {
+            "metrics": metrics,
+            "obs": child.shard_payload() if child is not None else None,
+        }
     finally:
         normal_segment.close()
         anomalous_segment.close()
@@ -362,7 +410,6 @@ def _worker_run_shard_spawn(payload: dict) -> dict:
 
 def _run_sharded_spawn(heavy: dict, partitions, processes: int) -> list:
     from repro.fleet.checkpoint import shard_checkpoint_dir
-    from repro.fleet.metrics import StreamingMetrics
 
     _install_signal_cleanup()
     pool_obj = heavy["pool"]
@@ -401,9 +448,4 @@ def _run_sharded_spawn(heavy: dict, partitions, processes: int) -> list:
             segment.unlink()
             if segment in _ACTIVE_SEGMENTS:
                 _ACTIVE_SEGMENTS.remove(segment)
-    return [
-        result
-        if isinstance(result, WorkerCrash)
-        else StreamingMetrics.from_payload(result)
-        for result in results
-    ]
+    return _revive_results(results)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
@@ -47,13 +48,33 @@ TRACE_FILE = "trace.jsonl"
 METRICS_JSON_FILE = "metrics.json"
 METRICS_PROM_FILE = "metrics.prom"
 
+#: Version stamp of the compact shard-telemetry payload returned by workers.
+SHARD_PAYLOAD_VERSION = 1
+
+
+def shard_obs_dir(base: PathLike, shard_index: int) -> str:
+    """Shard ``shard_index``'s telemetry sink directory under ``base``.
+
+    Mirrors :func:`~repro.fleet.checkpoint.shard_checkpoint_dir` so a sharded
+    telemetered run and a sharded checkpointed run lay out their per-shard
+    state identically (``<base>/shard-NN/``).
+    """
+    return str(Path(base) / f"shard-{int(shard_index):02d}")
+
 
 class JsonlSink:
-    """Incremental JSONL writer with an atomic tmp+rename close."""
+    """Incremental JSONL writer with an atomic tmp+rename close.
 
-    def __init__(self, path: PathLike) -> None:
+    ``line_buffered=True`` flushes after every record so a live reader
+    (``repro obs top --follow``) sees spans while the run is still going;
+    the default buffers normally — cheaper, and the atomic close publishes
+    everything at once.
+    """
+
+    def __init__(self, path: PathLike, line_buffered: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.line_buffered = bool(line_buffered)
         self._tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         self._handle = self._tmp.open("w", encoding="utf-8")
         self.n_records = 0
@@ -69,6 +90,8 @@ class JsonlSink:
         json.dump(record, self._handle, separators=(",", ":"), sort_keys=True)
         self._handle.write("\n")
         self.n_records += 1
+        if self.line_buffered:
+            self._handle.flush()
 
     def close(self) -> Path:
         """Flush, fsync and atomically rename the tmp file into place."""
@@ -95,30 +118,115 @@ def write_prometheus(registry: MetricsRegistry, path: PathLike) -> Path:
     return path
 
 
-def read_trace(path: PathLike) -> List[Dict[str, Any]]:
-    """Parse a ``trace.jsonl`` file; malformed lines raise cleanly."""
+def read_trace(
+    path: PathLike, tolerate_partial_tail: bool = False
+) -> List[Dict[str, Any]]:
+    """Parse a ``trace.jsonl`` file; malformed lines raise cleanly.
+
+    ``tolerate_partial_tail=True`` reads a file that is still being written
+    (or died mid-write): a *final* line that is malformed or missing its
+    newline is silently dropped instead of raising — it is the half-flushed
+    record a live writer has not finished yet.  Malformed lines anywhere
+    else still raise; torn middle lines are corruption, not liveness.
+    """
     path = Path(path)
     if not path.is_file():
         raise SerializationError(f"no trace file at {path}")
+    data = path.read_bytes()
     records = []
-    with path.open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
+    lines = data.split(b"\n")
+    ends_with_newline = data.endswith(b"\n")
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        # The only candidate for a partially-written record is the very last
+        # line of a file with no trailing newline.
+        partial_candidate = (
+            tolerate_partial_tail and not ends_with_newline and lineno == len(lines)
+        )
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if partial_candidate:
+                continue
+            raise SerializationError(
+                f"malformed JSON on line {lineno} of {path}: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "kind" not in record:
+            if partial_candidate:
+                continue
+            raise SerializationError(
+                f"line {lineno} of {path} is not a telemetry record "
+                "(an object with a 'kind' field)"
+            )
+        records.append(record)
+    return records
+
+
+class TraceFollower:
+    """Incremental ``trace.jsonl`` reader for live runs (``--follow``).
+
+    Tracks a byte offset and returns only complete new records on each
+    :meth:`poll`.  Two liveness details matter:
+
+    * a running :class:`Telemetry` session writes to ``trace.jsonl.tmp`` and
+      renames on finalize — the follower reads whichever exists, and the
+      byte offset survives the rename because the content is identical;
+    * the final line may be partially written at read time (appends are not
+      atomic); the follower holds everything after the last newline back
+      until the line completes, so a torn tail is *deferred*, never an
+      error (pinned by the truncated-tail test).
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        path = Path(path)
+        if path.is_dir():
+            path = path / TRACE_FILE
+        self.path = path
+        self._offset = 0
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the sink has been atomically renamed into place."""
+        return self.path.is_file()
+
+    def _source(self) -> Optional[Path]:
+        if self.path.is_file():
+            return self.path
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        if tmp.is_file():
+            return tmp
+        return None
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """All complete records appended since the last poll (maybe empty)."""
+        source = self._source()
+        if source is None:
+            return []
+        with source.open("rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        chunk = data[: end + 1]
+        self._offset += end + 1
+        records = []
+        for raw in chunk.split(b"\n"):
+            line = raw.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise SerializationError(
-                    f"malformed JSON on line {lineno} of {path}: {exc}"
-                ) from exc
-            if not isinstance(record, dict) or "kind" not in record:
-                raise SerializationError(
-                    f"line {lineno} of {path} is not a telemetry record "
-                    "(an object with a 'kind' field)"
-                )
-            records.append(record)
-    return records
+            except json.JSONDecodeError:
+                # A complete-but-malformed line mid-stream: skip it rather
+                # than kill a live view (the strict read_trace still raises
+                # for offline reads).
+                continue
+            if isinstance(record, dict) and "kind" in record:
+                records.append(record)
+        return records
 
 
 class Telemetry:
@@ -136,28 +244,37 @@ class Telemetry:
         out_dir: Optional[PathLike] = None,
         spec: Optional[ObsSpec] = None,
         name: str = "run",
+        scope: str = "",
     ) -> None:
         self.spec = spec or ObsSpec()
         self.name = str(name)
+        self.scope = str(scope)
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.registry = MetricsRegistry()
         #: Finished span records (in-memory mirror; JSONL-backed when out_dir).
         self.spans: List[Dict[str, Any]] = []
         #: Structured event records (same layout as the JSONL lines).
         self.events: List[Dict[str, Any]] = []
-        self.tracer = Tracer(sink=self._record_span)
+        self.tracer = Tracer(sink=self._record_span, scope=self.scope)
+        #: Optional :class:`~repro.obs.live.RollupWatcher` the instrumented
+        #: loops drive at tick/request boundaries (``--watch`` and alerting).
+        #: Purely observational: it reads the registry, never the run state.
+        self.watcher = None
         self._sink: Optional[JsonlSink] = None
         self._finalized: Optional[Dict[str, Path]] = None
         if self.out_dir is not None:
             self.out_dir.mkdir(parents=True, exist_ok=True)
-            self._sink = JsonlSink(self.out_dir / TRACE_FILE)
-            self._sink.write(
-                {
-                    "kind": "header",
-                    "schema": TRACE_SCHEMA_VERSION,
-                    "name": self.name,
-                }
+            self._sink = JsonlSink(
+                self.out_dir / TRACE_FILE, line_buffered=self.spec.flush
             )
+            header: Dict[str, Any] = {
+                "kind": "header",
+                "schema": TRACE_SCHEMA_VERSION,
+                "name": self.name,
+            }
+            if self.scope:
+                header["scope"] = self.scope
+            self._sink.write(header)
 
     # -- recording --------------------------------------------------------------
 
@@ -185,6 +302,13 @@ class Telemetry:
         """
         if not self.spec.events:
             return
+        reserved = {"kind", "name", "time_s"} & fields.keys()
+        if reserved:
+            # A field named "kind" would silently overwrite the record
+            # schema and hide the event from every kind == "event" consumer.
+            raise ConfigurationError(
+                f"event {name!r} uses reserved field(s) {sorted(reserved)}"
+            )
         record: Dict[str, Any] = {
             "kind": "event",
             "name": str(name),
@@ -199,6 +323,83 @@ class Telemetry:
             self._sink.write(record)
         else:
             self.events.append(record)
+
+    # -- sharded runs ------------------------------------------------------------
+
+    def child(self, shard_index: int) -> "Telemetry":
+        """Shard ``shard_index``'s child session (the in-process path).
+
+        The child mirrors the checkpoint layout — ``<out_dir>/shard-NN/``
+        sinks when this session writes to disk, in-memory records otherwise —
+        and scopes its tracer ids (``s01-...``) so merged traces stay
+        collision-free.  Fold it back with :meth:`absorb_shard`.
+        """
+        return self.shard_config().child(shard_index)
+
+    def shard_config(self) -> "ShardObsConfig":
+        """The frozen recipe worker processes build their child sessions from.
+
+        Hashable (it keys the fork-pool's published-state snapshot) and
+        picklable (the spawn path ships it), unlike the live session with its
+        open file handle.
+        """
+        return ShardObsConfig(
+            dir=str(self.out_dir) if self.out_dir is not None else None,
+            name=self.name,
+            spec=self.spec,
+        )
+
+    def shard_payload(self) -> Dict[str, Any]:
+        """This child session's compact payload for the parent to absorb.
+
+        Disk-backed children finalize their ``shard-NN/`` sink first and
+        return only the registry (the spans are already durable in the shard
+        directory); in-memory children return spans and events too, so
+        nothing is lost on the in-process path.
+        """
+        payload: Dict[str, Any] = {
+            "kind": "obs-shard",
+            "version": SHARD_PAYLOAD_VERSION,
+            "scope": self.scope,
+            "registry": self.registry.to_payload(),
+        }
+        if self.out_dir is not None:
+            self.finalize()
+            payload["dir"] = str(self.out_dir)
+        else:
+            payload["spans"] = list(self.spans)
+            payload["events"] = list(self.events)
+        return payload
+
+    def absorb_shard(self, payload: Mapping[str, Any]) -> None:
+        """Fold one shard's :meth:`shard_payload` into this parent session.
+
+        The registry folds through the deterministic merge algebra; span and
+        event records from in-memory children are re-emitted through this
+        session's sink (their ids carry the shard scope, so they cannot
+        collide with the parent's or another shard's).  Shards are absorbed
+        in shard order, so the merged trace is deterministic.
+        """
+        if payload.get("kind") != "obs-shard":
+            raise ConfigurationError(
+                f"not a shard telemetry payload: kind={payload.get('kind')!r}"
+            )
+        if payload.get("version") != SHARD_PAYLOAD_VERSION:
+            raise ConfigurationError(
+                f"shard telemetry payload version {payload.get('version')!r} "
+                f"is not readable by this build (version {SHARD_PAYLOAD_VERSION})"
+            )
+        self.registry.merge_from(MetricsRegistry.from_payload(payload["registry"]))
+        for record in payload.get("spans", ()):
+            self._write_record(record, self.spans)
+        for record in payload.get("events", ()):
+            self._write_record(record, self.events)
+
+    def _write_record(self, record: Dict[str, Any], fallback: List[Dict[str, Any]]) -> None:
+        if self._sink is not None and not self._sink.closed:
+            self._sink.write(record)
+        else:
+            fallback.append(record)
 
     # -- finalisation -----------------------------------------------------------
 
@@ -223,3 +424,30 @@ class Telemetry:
             )
         self._finalized = paths
         return paths
+
+
+@dataclass(frozen=True)
+class ShardObsConfig:
+    """How a shard worker rebuilds its child :class:`Telemetry` session.
+
+    A live session holds an open file handle and cannot cross a process
+    boundary; this frozen value can — it rides in the published shared
+    kwargs (fork pool), pickles into spawn payloads, and its hashability
+    makes telemetry configuration part of the fork-pool's structural key, so
+    runs with different telemetry setups never share a forked snapshot.
+    """
+
+    #: The *parent* session's output directory (``None`` = in-memory child).
+    dir: Optional[str]
+    name: str
+    spec: ObsSpec
+
+    def child(self, shard_index: int) -> Telemetry:
+        """Build shard ``shard_index``'s child session from this recipe."""
+        index = int(shard_index)
+        return Telemetry(
+            out_dir=shard_obs_dir(self.dir, index) if self.dir is not None else None,
+            spec=self.spec,
+            name=f"{self.name}/shard-{index:02d}",
+            scope=f"s{index:02d}-",
+        )

@@ -70,6 +70,68 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def estimate_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Prometheus-style interpolated quantile from fixed-bucket counts.
+
+    ``bounds`` are the finite bucket upper bounds and ``counts`` the
+    *non-cumulative* per-bucket counts with the trailing ``+Inf`` slot (the
+    :class:`_HistogramCell` layout).  The estimate is linear interpolation
+    inside the bucket holding the target rank, with the conventional
+    Prometheus edge cases: a rank landing in the ``+Inf`` bucket clamps to
+    the largest finite bound, and the first bucket interpolates from zero.
+
+    The result is a pure function of the summed bucket counts, so it is
+    exact under merge reordering: however shard registries are merged (any
+    order, any grouping), equal total counts give equal quantiles — the
+    property the merge-invariance tests pin.  Returns ``None`` for an empty
+    histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, bound in enumerate(bounds):
+        previous = cumulative
+        cumulative += counts[i]
+        if cumulative >= rank and counts[i] > 0:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            fraction = (rank - previous) / counts[i]
+            return lower + (float(bound) - lower) * fraction
+    # The rank lands in the +Inf bucket: clamp to the largest finite bound.
+    return float(bounds[-1])
+
+
+def estimate_fraction_above(
+    bounds: Sequence[float], counts: Sequence[int], threshold: float
+) -> Optional[float]:
+    """The estimated fraction of observations above ``threshold``.
+
+    Counts in buckets entirely above the threshold are taken whole; the
+    bucket straddling it contributes linearly-interpolated partial mass
+    (the same within-bucket-uniform assumption as :func:`estimate_quantile`,
+    and equally merge-order invariant).  Observations in the ``+Inf`` bucket
+    always count as above any finite threshold.  Returns ``None`` for an
+    empty histogram.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return None
+    threshold = float(threshold)
+    above = float(counts[-1])  # the +Inf bucket
+    for i, bound in enumerate(bounds):
+        lower = bounds[i - 1] if i > 0 else 0.0
+        if threshold <= lower:
+            above += counts[i]
+        elif threshold < bound:
+            above += counts[i] * (bound - threshold) / (bound - lower)
+    return above / total
+
+
 class _Cell:
     """One (labelset -> value) child shared by counters and gauges."""
 
@@ -89,6 +151,10 @@ class _HistogramCell:
         self.counts = [0] * (n_buckets + 1)
         self.sum = 0.0
         self.count = 0
+
+    def quantile(self, q: float, bounds: Sequence[float]) -> Optional[float]:
+        """Interpolated quantile of this cell (see :func:`estimate_quantile`)."""
+        return estimate_quantile(bounds, self.counts, q)
 
 
 class _MetricFamily:
@@ -200,6 +266,18 @@ class _MetricFamily:
             raise ConfigurationError(f"{self.name!r} is not a histogram")
         cell = self.labels(**labelvalues) if labelvalues else self._default()
         return {"counts": list(cell.counts), "sum": cell.sum, "count": cell.count}
+
+    def quantile(self, q: float, **labelvalues: Any) -> Optional[float]:
+        """One histogram child's interpolated quantile (``None`` when empty).
+
+        The estimate is a pure function of the bucket counts, so any merge
+        order of shard registries yields the same value (pinned by the
+        merge-invariance property tests).
+        """
+        if self.kind != "histogram":
+            raise ConfigurationError(f"{self.name!r} is not a histogram")
+        cell = self.labels(**labelvalues) if labelvalues else self._default()
+        return cell.quantile(q, self.buckets)
 
 
 class MetricsRegistry:
@@ -383,6 +461,25 @@ class MetricsRegistry:
         for part in parts:
             merged.merge_from(part)
         return merged
+
+    def project(
+        self, drop_substrings: Sequence[str] = ("seconds",)
+    ) -> Dict[str, Any]:
+        """The payload with families whose name contains a marker dropped.
+
+        Wall-clock families (``*_seconds*`` counters and the checkpoint
+        timing histograms) legitimately differ between a sharded and a
+        serial run; dropping them leaves exactly the deterministic counts,
+        which is what the merged-shard-registry ≡ serial-run-registry pins
+        compare.
+        """
+        payload = self.to_payload()
+        payload["metrics"] = [
+            record
+            for record in payload["metrics"]
+            if not any(marker in record["name"] for marker in drop_substrings)
+        ]
+        return payload
 
     # -- Prometheus text exposition ---------------------------------------------
 

@@ -33,6 +33,11 @@ class ObsSpec:
     #: Record structured events (overload sheds, fault activations, drift,
     #: checkpoint saves).
     events: bool = True
+    #: Flush the trace sink after every record so a live reader
+    #: (``repro obs top --follow``) sees spans mid-run.  Off by default —
+    #: line-buffered writes cost syscalls the telemetry overhead budget
+    #: does not need to pay when nobody is watching.
+    flush: bool = False
 
     @property
     def enabled(self) -> bool:

@@ -1,11 +1,17 @@
 """Human-readable digests of telemetry artifacts (``repro obs summarize``).
 
 :func:`summarize_trace` renders one run's ``trace.jsonl`` into a terminal
-digest: the top spans by duration, tier utilization, overload counts and the
-adaptation timeline.  The span/event stream alone is enough for a useful
-digest; when the sibling ``metrics.json`` written by
+digest: the top spans by duration, tier utilization, latency percentiles,
+overload counts and the adaptation timeline.  The span/event stream alone is
+enough for a useful digest; when the sibling ``metrics.json`` written by
 :meth:`~repro.obs.export.Telemetry.finalize` is present, its exact counters
 take precedence over counts reconstructed from spans.
+
+Sharded run directories work too: a directory containing ``shard-NN/``
+telemetry sinks is summarized across all of them — the parent's folded
+``metrics.json`` is used when present (it already contains every shard
+through the merge algebra), else the shard registries are merged on the fly,
+and the shard trace streams are concatenated in shard order.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.obs.export import METRICS_JSON_FILE, read_trace
+from repro.obs.export import METRICS_JSON_FILE, TRACE_FILE, read_trace
 from repro.obs.metrics import MetricsRegistry
 
 PathLike = Union[str, Path]
@@ -74,6 +80,29 @@ def _overload_counts(registry: Optional[MetricsRegistry], events: List[dict]) ->
     return dict(counts)
 
 
+#: Histograms the digest shows interpolated percentiles for, when present.
+_PERCENTILE_FAMILIES = ("serve_latency_ms", "serve_queue_wait_ms", "serve_batch_size")
+
+
+def _latency_lines(registry: Optional[MetricsRegistry]) -> List[str]:
+    """p50/p90/p99 lines for the well-known latency histograms."""
+    if registry is None:
+        return []
+    lines = []
+    for name in _PERCENTILE_FAMILIES:
+        family = registry.get(name)
+        if family is None or family.kind != "histogram":
+            continue
+        quantiles = [family.quantile(q) for q in (0.50, 0.90, 0.99)]
+        if quantiles[0] is None:
+            continue
+        p50, p90, p99 = quantiles
+        lines.append(
+            f"  {name:<22s} p50={p50:8.1f}  p90={p90:8.1f}  p99={p99:8.1f}"
+        )
+    return lines
+
+
 def _format_attr(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
@@ -116,6 +145,12 @@ def summarize_records(records: List[dict], registry: Optional[MetricsRegistry] =
             share = 100.0 * tiers[tier] / total if total else 0.0
             lines.append(f"  {tier:<16s} {tiers[tier]:>10d}  ({share:5.1f}%)")
 
+    percentiles = _latency_lines(registry)
+    if percentiles:
+        lines.append("")
+        lines.append("latency percentiles (histogram-estimated):")
+        lines.extend(percentiles)
+
     overload = _overload_counts(registry, events)
     if any(overload.values()):
         lines.append("")
@@ -152,10 +187,48 @@ def summarize_records(records: List[dict], registry: Optional[MetricsRegistry] =
     return "\n".join(lines)
 
 
+def _shard_traces(directory: Path) -> List[Path]:
+    """The per-shard trace files under a sharded run directory, shard order."""
+    return sorted(
+        shard_dir / TRACE_FILE
+        for shard_dir in directory.glob("shard-[0-9][0-9]")
+        if (shard_dir / TRACE_FILE).is_file()
+    )
+
+
 def summarize_trace(path: PathLike) -> str:
-    """Render the digest of one ``trace.jsonl`` (or a telemetry directory)."""
+    """Render the digest of one ``trace.jsonl`` or a telemetry directory.
+
+    A directory may be a plain run (``trace.jsonl`` inside), a sharded run
+    (``shard-NN/`` sinks, aggregated across all of them), or both — the
+    parent trace plus per-shard traces of a sharded telemetered run.
+    """
     path = Path(path)
-    if path.is_dir():
-        path = path / "trace.jsonl"
-    records = read_trace(path)
-    return summarize_records(records, registry=_load_sibling_registry(path))
+    if not path.is_dir():
+        return summarize_records(
+            read_trace(path), registry=_load_sibling_registry(path)
+        )
+    trace = path / TRACE_FILE
+    records: List[dict] = []
+    if trace.is_file():
+        records.extend(read_trace(trace))
+    shard_traces = _shard_traces(path)
+    for shard_trace in shard_traces:
+        records.extend(read_trace(shard_trace))
+    # The parent's metrics.json already folded every shard (the merge
+    # algebra); only merge shard registries ourselves when it is absent.
+    registry = _load_sibling_registry(trace)
+    if registry is None and shard_traces:
+        merged = None
+        for shard_trace in shard_traces:
+            shard_registry = _load_sibling_registry(shard_trace)
+            if shard_registry is None:
+                continue
+            if merged is None:
+                merged = MetricsRegistry()
+            merged.merge_from(shard_registry)
+        registry = merged
+    if not records:
+        # Surface the same clean error a plain missing trace file raises.
+        records = read_trace(trace)
+    return summarize_records(records, registry=registry)

@@ -125,14 +125,22 @@ class Tracer:
     ``sink`` is called with each finished span; ``None`` collects finished
     spans in :attr:`finished` (handy in tests).  ``clock`` defaults to
     :func:`time.perf_counter` and is injectable for deterministic tests.
+
+    ``scope`` prefixes every id this tracer hands out (``"s01-"`` for shard
+    1's child telemetry session).  Two shard tracers both count from 1, so
+    without a scope their ids would collide when the parent merges shard
+    traces; with it, merged traces stay deterministic *and* collision-free —
+    ids are a pure function of (scope, per-tracer ordinal), never RNG.
     """
 
     def __init__(
         self,
         sink: Optional[Callable[[Span], None]] = None,
         clock: Callable[[], float] = perf_counter,
+        scope: str = "",
     ) -> None:
         self.clock = clock
+        self.scope = str(scope)
         self._sink = sink
         #: Finished spans, kept only when no sink is attached.
         self.finished: List[Span] = []
@@ -140,7 +148,7 @@ class Tracer:
 
     def _new_id(self) -> str:
         self._next_id += 1
-        return f"{self._next_id:012x}"
+        return f"{self.scope}{self._next_id:012x}"
 
     def start_span(
         self,

@@ -205,6 +205,10 @@ class IngestServer:
             self._tel_swaps = registry.counter(
                 "serve_swaps_total", "Drain-and-swap deployments landed."
             )
+            self._tel_queue_depth = registry.gauge(
+                "serve_queue_depth",
+                "Peak ingress queue depth observed (gauges merge by max).",
+            )
 
         # -- runtime state (created by start()) ---------------------------------
         self._queue: Deque[_Pending] = deque()
@@ -319,6 +323,8 @@ class IngestServer:
             _Pending(int(device_id), np.asarray(window, dtype=float), label,
                      arrival, future, span)
         )
+        if telemetry is not None:
+            self._tel_queue_depth.set_max(len(self._queue))
         self._wake.set()
         return await future
 
@@ -546,6 +552,13 @@ class IngestServer:
                 if batch_span is not None:
                     batch_span.end(
                         tier=self.tier_names[served], model_version=version
+                    )
+                if telemetry.watcher is not None:
+                    # Progress key = requests served so far; the watcher
+                    # decides the cadence.  The instantaneous queue depth
+                    # rides on the watch.rollup event for the live views.
+                    telemetry.watcher.observe(
+                        float(self.n_served), queue_depth=len(self._queue)
                     )
             known = [i for i, p in enumerate(pending) if p.label is not None]
             if known:

@@ -30,6 +30,7 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import ExperimentRunner, apply_overrides, get_scenario
+from repro.fleet import sharding
 from repro.fleet.devices import DeviceFleet, WindowPool
 from repro.fleet.engine import FleetEngine, ShardedFleetEngine
 from repro.fleet.faults import FaultEvent, FaultSpec
@@ -39,6 +40,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spec import ObsSpec
 from repro.obs.summary import summarize_trace
 from repro.serving.run import serve_workload
+
+#: Wall-clock metric families legitimately differ between a sharded and a
+#: serial run (and between any two runs); everything else must merge exactly.
+_CLOCK_FREE = ("seconds",)
 
 TINY = {
     "data.weeks": "10",
@@ -134,17 +139,25 @@ class TestFleetBitIdentity:
         telemetry = Telemetry(name=spec.name)
         traced = ShardedFleetEngine(**kwargs, n_shards=2, telemetry=telemetry).run()
         assert traced == baseline
-        # Serial shard engines share the registry, so counts accumulate.
+        # Each shard ran its own child session; the parent's registry holds
+        # the fold of both, so counts still add up to the merged totals.
         family = telemetry.registry.get("fleet_windows_total")
         assert family is not None and family.value() == traced.n_windows
 
-    def test_telemetry_forces_serial_shards(self, fleet_trained):
+    def test_telemetry_no_longer_forces_serial_shards(self, fleet_trained):
+        # Child shard sessions made the old telemetry->serial coupling
+        # unnecessary; only the profiler still forces serial (cross-process
+        # wall-clock would not add up to anything meaningful).
         spec, runner = fleet_trained
-        engine = ShardedFleetEngine(
-            **_engine_kwargs(spec, runner), n_shards=2,
-            parallel=True, telemetry=Telemetry(),
+        kwargs = _engine_kwargs(spec, runner)
+        telemetered = ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=True, telemetry=Telemetry(),
         )
-        assert engine._resolve_parallel() is False
+        assert telemetered._resolve_parallel() is True
+        profiled = ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=True, profiler=StageProfiler(),
+        )
+        assert profiled._resolve_parallel() is False
 
     def test_faulted_checkpointed_run_is_bit_identical(self, fleet_trained, tmp_path):
         spec, runner = fleet_trained
@@ -171,6 +184,113 @@ class TestFleetBitIdentity:
         assert active.value(kind="link-degrade") == 5
         assert telemetry.registry.get("checkpoint_saves_total").value() == 2
         assert telemetry.registry.get("checkpoint_saved_bytes_total").value() > 0
+
+
+class TestShardedTelemetry:
+    """Cross-shard telemetry: child sessions, shard sinks, deterministic merge."""
+
+    def test_merged_shard_registry_equals_serial_run_registry(self, fleet_trained):
+        spec, runner = fleet_trained
+        kwargs = _engine_kwargs(spec, runner)
+        serial_tel = Telemetry(name=spec.name)
+        FleetEngine(**kwargs, telemetry=serial_tel).run()
+        sharded_tel = Telemetry(name=spec.name)
+        ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=False, telemetry=sharded_tel
+        ).run()
+        assert sharded_tel.registry.project(
+            drop_substrings=_CLOCK_FREE
+        ) == serial_tel.registry.project(drop_substrings=_CLOCK_FREE)
+
+    def test_shard_sinks_mirror_checkpoint_layout(self, fleet_trained, tmp_path):
+        spec, runner = fleet_trained
+        kwargs = _engine_kwargs(spec, runner)
+        out = tmp_path / "obs"
+        telemetry = Telemetry(
+            out_dir=out, spec=ObsSpec(dir=str(out)), name=spec.name
+        )
+        report = ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=False, telemetry=telemetry
+        ).run()
+        paths = telemetry.finalize()
+        shard_windows = 0
+        for index in (0, 1):
+            shard_dir = out / f"shard-{index:02d}"
+            assert (shard_dir / "trace.jsonl").is_file()
+            assert (shard_dir / "metrics.json").is_file()
+            records = read_trace(shard_dir / "trace.jsonl")
+            assert records[0]["kind"] == "header"
+            assert records[0]["scope"] == f"s{index:02d}-"
+            spans = [r for r in records if r["kind"] == "span"]
+            assert spans
+            # Shard-scoped ids: merged traces can never collide.
+            assert all(
+                r["span_id"].startswith(f"s{index:02d}-") for r in spans
+            )
+            shard_registry = MetricsRegistry.from_payload(
+                json.loads((shard_dir / "metrics.json").read_text())
+            )
+            shard_windows += shard_registry.get("fleet_windows_total").value()
+        # The parent trace records each fold, in shard order.
+        parent_records = read_trace(paths["trace"])
+        merges = [r for r in parent_records if r.get("name") == "shard.merge"]
+        assert [m["shard"] for m in merges] == [0, 1]
+        # And the parent's finalized registry is the fold of both shards.
+        merged = MetricsRegistry.from_payload(
+            json.loads(paths["metrics_json"].read_text())
+        )
+        assert merged.get("fleet_windows_total").value() == shard_windows
+        assert shard_windows == report.n_windows
+
+    def test_summarize_aggregates_sharded_run_dir(self, fleet_trained, tmp_path):
+        spec, runner = fleet_trained
+        kwargs = _engine_kwargs(spec, runner)
+        out = tmp_path / "obs"
+        telemetry = Telemetry(
+            out_dir=out, spec=ObsSpec(dir=str(out)), name=spec.name
+        )
+        ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=False, telemetry=telemetry
+        ).run()
+        telemetry.finalize()
+        digest = summarize_trace(out)
+        assert "tier utilization:" in digest
+        # Tick spans live in the shard sinks; the directory digest sees them.
+        assert "fleet.tick" in digest
+
+    def test_in_memory_children_fold_spans_into_parent(self, fleet_trained):
+        spec, runner = fleet_trained
+        kwargs = _engine_kwargs(spec, runner)
+        telemetry = Telemetry(name=spec.name)
+        ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=False, telemetry=telemetry
+        ).run()
+        ids = [span["span_id"] for span in telemetry.spans]
+        assert any(span_id.startswith("s00-") for span_id in ids)
+        assert any(span_id.startswith("s01-") for span_id in ids)
+        assert len(ids) == len(set(ids))
+
+    @pytest.mark.skipif(
+        not sharding.fork_available(), reason="needs the fork start method"
+    )
+    def test_pooled_shards_match_serial_shards(self, fleet_trained):
+        spec, runner = fleet_trained
+        kwargs = _engine_kwargs(spec, runner)
+        serial_tel = Telemetry(name=spec.name)
+        serial = ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=False, telemetry=serial_tel
+        ).run()
+        pooled_tel = Telemetry(name=spec.name)
+        pooled = ShardedFleetEngine(
+            **kwargs, n_shards=2, parallel=True, telemetry=pooled_tel
+        ).run()
+        try:
+            assert pooled == serial
+            assert pooled_tel.registry.project(
+                drop_substrings=_CLOCK_FREE
+            ) == serial_tel.registry.project(drop_substrings=_CLOCK_FREE)
+        finally:
+            sharding.shutdown()
 
 
 class TestFleetTelemetryContent:
@@ -332,6 +452,41 @@ class TestServingBitIdentity:
                       if s["name"] == "serve.request"
                       and s["attributes"].get("status") == "shed"]
         assert len(shed_spans) == report.n_shed
+
+    def test_burn_rate_alert_fires_under_overload_and_resolves(self, serve_trained):
+        from repro.obs.alerts import default_serving_rules
+        from repro.obs.live import RollupWatcher
+
+        telemetry = Telemetry()
+        telemetry.watcher = RollupWatcher(
+            telemetry,
+            rules=default_serving_rules(),
+            every=2,
+            label="serve",
+        )
+        # 2x+ overload against a tiny queue: most submissions shed while the
+        # generator runs, then the queue drains with no new traffic — the
+        # burn rate collapses to zero and the alert must resolve.
+        with pytest.warns(RuntimeWarning):
+            report, _results = self._serve(
+                serve_trained, telemetry,
+                offered_rps=2000.0, queue_capacity=16,
+                shed_policy="shed-oldest", max_requests=80,
+            )
+        assert report.n_shed > 0
+        fires = [e for e in telemetry.events
+                 if e["name"] == "alert.fire" and e["alert"] == "slo-burn-rate"]
+        resolves = [e for e in telemetry.events
+                    if e["name"] == "alert.resolve" and e["alert"] == "slo-burn-rate"]
+        assert fires, "expected the shed burn-rate alert to fire under overload"
+        assert resolves, "expected the alert to resolve once the queue drained"
+        assert fires[0]["key"] < resolves[0]["key"]
+        assert fires[0]["fast_burn"] > fires[0]["factor"]
+        rollups = [e for e in telemetry.events if e["name"] == "watch.rollup"]
+        assert rollups
+        # The rollup stream saw the alert active and then clear.
+        assert any("slo-burn-rate" in e["alerts"] for e in rollups)
+        assert "slo-burn-rate" not in rollups[-1]["alerts"]
 
 
 class TestAdaptiveBitIdentity:
