@@ -22,6 +22,8 @@ Usage::
 ``bench_serving.py`` reports (absolute req/s, wall-clock seconds, measured
 latencies) so cross-host CI gates only the machine-relative ratios
 (``sustained_throughput_ratio``) and the SLO pass/fail booleans.
+``--preset qualify`` does the same for ``repro qualify`` reports: observed
+values and margins are masked, the contract ``passed`` booleans gate.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from pathlib import Path
 #: Leaf-key substrings marking a benefit metric (a drop is a regression).
 BENEFIT_MARKERS = (
     "per_second", "speedup", "f1", "accuracy", "precision", "recall",
-    "compression_ratio", "throughput", "slo_met",
+    "compression_ratio", "throughput", "slo_met", "passed",
 )
 #: Leaf-key substrings marking a cost metric (an increase is a regression).
 COST_MARKERS = ("seconds", "latency", "delay", "error", "bytes")
@@ -44,8 +46,14 @@ COST_MARKERS = ("seconds", "latency", "delay", "error", "bytes")
 #: leaf of a ``bench_serving.py`` report is machine-dependent; what remains
 #: gated is machine-relative (``sustained_throughput_ratio``) or a pass/fail
 #: contract (``slo_met``).
+#: ``qualify``: the observed ``value``/``margin`` leaves of a
+#: ``repro qualify`` report include wall-clock-shaped serving observations
+#: (retry counts, redirect counts); what remains gated is the contract
+#: verdicts themselves — the per-contract / per-case / whole-pack ``passed``
+#: booleans, which must never flip true -> false.
 IGNORE_PRESETS = {
     "serving": ("seconds", "latency", "_ms", "delay", "rps"),
+    "qualify": ("value", "margin", "n_failed"),
 }
 
 

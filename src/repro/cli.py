@@ -39,6 +39,14 @@ the drain-and-swap gate without dropping a request::
     python -m repro.cli models list --registry reports/registry
     python -m repro.cli models rollback iot --registry reports/registry
 
+``repro qualify`` runs a registered pack of hostile/heterogeneous scenarios
+(see :mod:`repro.fleet.qualify`) and judges each against its pinned pass/fail
+contracts, exiting 0 only when every contract holds::
+
+    python -m repro.cli qualify --pack hostile --output-dir reports/
+    python -m repro.cli qualify --pack hostile --scenario qualify-flash-crowd
+    python -m repro.cli qualify --pack control   # deliberately fails (exit 1)
+
 The legacy subcommands ``univariate`` / ``multivariate`` / ``both`` are kept
 as deprecated aliases over the corresponding scenarios; each prints a pointer
 to the ``run`` command on stderr and emits a once-per-process
@@ -215,6 +223,36 @@ def build_parser() -> argparse.ArgumentParser:
                        "is absent")
     serve.add_argument("--spec-only", action="store_true",
                        help="print the resolved spec as JSON and exit without running")
+
+    qualify = subparsers.add_parser(
+        "qualify",
+        help="run a qualification pack of hostile/heterogeneous scenarios and "
+        "judge each against its pinned pass/fail contracts",
+    )
+    qualify.add_argument("--pack", type=str, default="hostile",
+                         help="qualification pack to run (default: hostile; "
+                         "'control' is the deliberately-failing control pack)")
+    qualify.add_argument("--scenario", type=str, default=None,
+                         help="run only this scenario of the pack")
+    qualify.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a qualify field by dotted path, e.g. "
+        "--set qualify.ticks_scale=0.5; repeatable",
+    )
+    qualify.add_argument("--seed", type=int, default=None,
+                         help="master random seed applied to every case")
+    qualify.add_argument("--output-dir", type=str, default=None,
+                         help="directory for the JSON qualification report")
+    qualify.add_argument("--quiet", action="store_true",
+                         help="suppress the qualification matrix output")
+    qualify.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                         help="write the qualification run's telemetry "
+                         "(trace.jsonl with alert.fire events, metrics.json) "
+                         "to DIR")
 
     resume = subparsers.add_parser(
         "resume",
@@ -629,6 +667,38 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_qualify(args: argparse.Namespace) -> int:
+    from repro.fleet.qualify import (
+        QualifySpec,
+        apply_qualify_overrides,
+        run_qualification,
+    )
+
+    spec = QualifySpec(pack=args.pack, scenario=args.scenario)
+    overrides = parse_set_arguments(args.overrides)
+    if overrides:
+        spec = apply_qualify_overrides(spec, overrides)
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+    telemetry = None
+    if args.telemetry:
+        from repro.obs.export import Telemetry
+
+        telemetry = Telemetry(out_dir=args.telemetry, name=f"qualify-{spec.pack}")
+    printer = None if args.quiet else print
+    report = run_qualification(spec, telemetry=telemetry, printer=printer)
+    if telemetry is not None:
+        telemetry.finalize()
+    if not args.quiet:
+        print(report.summary())
+    if args.output_dir:
+        path = Path(args.output_dir) / f"qualify_{spec.pack}.json"
+        report.to_json(path)
+        if not args.quiet:
+            print(f"Wrote {path}")
+    return 0 if report.passed else 1
+
+
 def _run_resume(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentSpec
     from repro.fleet.checkpoint import load_run_descriptor
@@ -843,6 +913,8 @@ def run_command(args: argparse.Namespace) -> int:
         return _run_fleet(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "qualify":
+        return _run_qualify(args)
     if args.command == "resume":
         return _run_resume(args)
     if args.command == "models":

@@ -61,6 +61,7 @@ import repro.experiments.scenarios  # noqa: F401  (registers the built-ins)
 import repro.fleet.scenarios  # noqa: F401  (registers the fleet scenarios)
 import repro.adapt.scenarios  # noqa: F401  (registers the adaptation scenarios)
 import repro.serving.scenarios  # noqa: F401  (registers the serving scenarios)
+import repro.fleet.qualify  # noqa: F401  (registers the qualification scenarios)
 
 __all__ = [
     # specs

@@ -614,6 +614,7 @@ class ExperimentRunner:
             tier_names=self.tier_names,
             swap=swap,
             telemetry=self.telemetry,
+            faults=self.spec.faults,
         )
         state.serving_report = report
         self._done("serve")

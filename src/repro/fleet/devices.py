@@ -26,8 +26,10 @@ from repro.data.datasets import LabeledWindows
 from repro.exceptions import ConfigurationError
 from repro.fleet import stream_cache
 from repro.fleet.mutators import (
+    AdversarialCamouflage,
     AnomalyBurst,
     ConceptDrift,
+    CorrelatedDrift,
     DeviceChurn,
     PhaseJitter,
     SensorDropout,
@@ -45,12 +47,14 @@ _SEED_MASK = 0xFFFFFFFF
 _BUILTIN_MUTATORS = (
     StreamMutator,
     ConceptDrift,
+    CorrelatedDrift,
     AnomalyBurst,
     DeviceChurn,
     PhaseJitter,
     SensorStuck,
     SensorSpike,
     SensorDropout,
+    AdversarialCamouflage,
 )
 
 
@@ -158,11 +162,23 @@ class VirtualDevice:
             master_seed, spec.seed, device_id
         )
         self._rng_state: Optional[dict] = None
+        self._init_class_params()
         # Per-mutator device parameters, drawn from this device's own RNG in
         # mutator order (creation draws precede every emission draw).
         self.states = [
-            mutator.device_state(self._rng, pool.window_shape) for mutator in self.mutators
+            mutator.device_state_for(self.device_id, self._rng, pool.window_shape)
+            for mutator in self.mutators
         ]
+
+    def _init_class_params(self) -> None:
+        """Resolve this device's heterogeneous-class parameters from the spec.
+
+        Pure spec lookups (no RNG), so they are re-derived identically when a
+        device is rebuilt from a cached creation snapshot.
+        """
+        self.arrival_rate = self.spec.device_arrival_rate(self.device_id)
+        self.base_anomaly_rate = self.spec.device_anomaly_rate(self.device_id)
+        self.amp_scale, self.amp_offset = self.spec.device_amplitude(self.device_id)
 
     @classmethod
     def from_snapshot(
@@ -187,6 +203,7 @@ class VirtualDevice:
         device.pool = pool
         device.mutators = tuple(mutators)
         device.spec = spec
+        device._init_class_params()
         device.states = states
         device._rng = None
         device._rng_state = rng_state
@@ -211,7 +228,7 @@ class VirtualDevice:
         )
 
     def _anomaly_rate(self, tick: int) -> float:
-        rate = self.spec.anomaly_rate
+        rate = self.base_anomaly_rate
         for mutator, state in zip(self.mutators, self.states):
             rate = mutator.anomaly_rate(rate, state, tick)
         return rate
@@ -224,15 +241,21 @@ class VirtualDevice:
 
     def _emit_online(self, tick: int) -> List[WindowArrival]:
         """Arrivals for ``tick``, assuming the caller already checked online."""
-        count = int(self.rng.poisson(self.spec.arrival_rate))
+        count = int(self.rng.poisson(self.arrival_rate * self.spec.rate_multiplier(tick)))
         arrivals: List[WindowArrival] = []
         rate = self._anomaly_rate(tick)
+        apply_amplitude = self.amp_scale != 1.0 or self.amp_offset != 0.0
         for _ in range(count):
             anomalous = bool(self.rng.random() < rate) and self.pool.anomalous.shape[0] > 0
             source = self.pool.anomalous if anomalous else self.pool.normal
             window = source[int(self.rng.integers(source.shape[0]))]
             for mutator, state in zip(self.mutators, self.states):
                 window = mutator.transform(window, state, tick, self.rng)
+            if apply_amplitude:
+                # The class amplitude affine runs after all mutators and draws
+                # no RNG; the columnar path replays the identical elementwise
+                # expression in _assemble, preserving bit-identity.
+                window = window * self.amp_scale + self.amp_offset
             arrivals.append(
                 WindowArrival(
                     device_id=self.device_id,
@@ -393,6 +416,21 @@ class DeviceFleet:
         self._id_array = np.fromiter(
             (device.device_id for device in devices), dtype=np.int64, count=len(devices)
         )
+        # Heterogeneous-class parameters, resolved once per fleet.  Plain
+        # Python float lists where the per-row value feeds an RNG call, so
+        # the columnar path hands the generators the exact same Python floats
+        # the per-window reference path does.
+        self._arrival_rates = [device.arrival_rate for device in devices]
+        self._base_anomaly_rates = [device.base_anomaly_rate for device in devices]
+        self._amp_scales = np.array(
+            [device.amp_scale for device in devices], dtype=float
+        )
+        self._amp_offsets = np.array(
+            [device.amp_offset for device in devices], dtype=float
+        )
+        self._has_amplitude = bool(
+            np.any(self._amp_scales != 1.0) or np.any(self._amp_offsets != 0.0)
+        )
         self._stream_key = (
             (*self._creation_key, self.pool.normal.shape[0], self.pool.anomalous.shape[0])
             if self._creation_key is not None
@@ -501,17 +539,18 @@ class DeviceFleet:
             online_rows = np.flatnonzero(mask).tolist()
             online = len(online_rows)
 
-        base_rate = self.spec.anomaly_rate
+        base_rates = self._base_anomaly_rates
         rates_list = None
         if self._rate_positions:
-            rates = np.full(n_devices, base_rate, dtype=float)
+            rates = np.array(base_rates, dtype=float)
             for position in self._rate_positions:
                 rates = self.mutators[position].anomaly_rate_batch(
                     rates, self._stacked[position], self._states_cols[position], tick
                 )
             rates_list = np.asarray(rates, dtype=float).tolist()
 
-        arrival_rate = self.spec.arrival_rate
+        arrival_rates = self._arrival_rates
+        rate_multiplier = self.spec.rate_multiplier(tick)
         n_normal = self.pool.normal.shape[0]
         n_anomalous = self.pool.anomalous.shape[0]
         has_anomalies = n_anomalous > 0
@@ -524,10 +563,10 @@ class DeviceFleet:
         for row in online_rows:
             device = devices[row]
             rng = device.rng
-            count = rng.poisson(arrival_rate)
+            count = rng.poisson(arrival_rates[row] * rate_multiplier)
             if not count:
                 continue
-            rate = rates_list[row] if rates_list is not None else base_rate
+            rate = rates_list[row] if rates_list is not None else base_rates[row]
             random = rng.random
             integers = rng.integers
             states = device.states
@@ -573,6 +612,18 @@ class DeviceFleet:
                 tick,
                 chunk.draws.get(position),
             )
+        if self._has_amplitude:
+            # Mirror of the reference path's per-device affine: same skip
+            # condition per device, same elementwise w*scale+offset float ops.
+            scales = self._amp_scales[chunk.rows]
+            offsets = self._amp_offsets[chunk.rows]
+            affected = (scales != 1.0) | (offsets != 0.0)
+            if affected.any():
+                shape = (-1,) + (1,) * (windows.ndim - 1)
+                windows[affected] = (
+                    windows[affected] * scales[affected].reshape(shape)
+                    + offsets[affected].reshape(shape)
+                )
         return ColumnarArrivals(
             windows=windows,
             labels=anomalous.astype(np.int64),

@@ -183,6 +183,24 @@ class FaultSchedule:
             else:
                 links[event.link].set_status("degraded", factor=event.factor)
 
+    def down_links(self, tick: int) -> Tuple[int, ...]:
+        """Indices of links scheduled hard-down at ``tick`` (pure, sorted).
+
+        The serving front door uses this to decide — without touching the
+        shared :class:`~repro.hec.simulation.HECSystem` from the event loop —
+        whether a batch's target tier sits behind a partition and should
+        retry with backoff before failing over.
+        """
+        return tuple(
+            sorted(
+                {
+                    e.link
+                    for e in self._link_events
+                    if e.kind == "link-down" and e.active(tick)
+                }
+            )
+        )
+
     def kills_process(self, tick: int) -> bool:
         """Whether a ``process-kill`` event fires exactly at ``tick``."""
         return any(e.at_tick == tick for e in self._kill_events)

@@ -46,6 +46,18 @@ class StreamMutator:
         """Per-device parameters, drawn from the device's own RNG at creation."""
         return {}
 
+    def device_state_for(
+        self, device_id: int, rng: np.random.Generator, window_shape: tuple
+    ) -> Dict[str, Any]:
+        """Per-device parameters with the device's identity in scope.
+
+        Most mutators ignore the id and delegate to :meth:`device_state`;
+        cohort-structured mutators (e.g. :class:`CorrelatedDrift`) use it to
+        derive *shared* parameters without consuming device RNG draws, which
+        keeps the streams partition-independent.
+        """
+        return self.device_state(rng, window_shape)
+
     def anomaly_rate(self, base_rate: float, state: Dict[str, Any], tick: int) -> float:
         """The effective anomaly probability for this device at ``tick``."""
         return base_rate
@@ -406,3 +418,99 @@ class SensorDropout(StreamMutator):
 
     def online_batch(self, stacked, states, tick):
         return ~stacked["fails"] | (tick < stacked["fail_ticks"])
+
+
+class CorrelatedDrift(ConceptDrift):
+    """Concept drift with a *shared* direction per device cohort.
+
+    Independent per-device drift (the :class:`ConceptDrift` base) averages
+    out across the fleet; correlated drift does not — every device in cohort
+    ``device_id % n_cohorts`` moves along the same direction, so the fleet's
+    windowed F1 collapses coherently instead of degrading gracefully.  The
+    cohort directions are a pure function of ``seed`` (via a private
+    :class:`numpy.random.SeedSequence`) and consume **zero** draws from the
+    device RNGs, so device streams remain partition-independent and
+    bit-identical to an uncorrelated run of the same seed.
+
+    The drift math itself (transform, state stacking, batch hook) is
+    inherited from :class:`ConceptDrift`, so columnar==legacy bit-identity
+    carries over for free.
+    """
+
+    def __init__(
+        self,
+        drift_per_tick: float = 0.01,
+        saturation_tick: int = 0,
+        n_cohorts: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(drift_per_tick=drift_per_tick, saturation_tick=saturation_tick)
+        self.n_cohorts = int(n_cohorts)
+        self.seed = int(seed)
+        self._directions: Dict[tuple, np.ndarray] = {}
+
+    def _direction(self, cohort: int, window_shape: tuple) -> np.ndarray:
+        key = (cohort, tuple(window_shape))
+        direction = self._directions.get(key)
+        if direction is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence((self.seed & 0xFFFFFFFF, cohort))
+            )
+            direction = rng.normal(size=window_shape)
+            norm = float(np.linalg.norm(direction))
+            if norm > 0:
+                direction = direction / norm
+            self._directions[key] = direction
+        return direction
+
+    def device_state_for(self, device_id, rng, window_shape):
+        cohort = int(device_id) % self.n_cohorts
+        return {"drift_direction": self._direction(cohort, window_shape)}
+
+    def device_state(self, rng, window_shape):
+        # Identity-free fallback (never used by the fleet, which calls
+        # device_state_for): cohort 0's direction, still draw-free.
+        return {"drift_direction": self._direction(0, window_shape)}
+
+
+class AdversarialCamouflage(StreamMutator):
+    """Adversarial amplitude camouflage: outliers shrunk toward the boundary.
+
+    The standardised anomaly pool lives in a higher-RMS envelope than the
+    normal pool, and reconstruction detectors separate the two on exactly
+    that excess energy.  This mutator models an adversary (or a lossy sensor
+    front-end) that compresses high-amplitude windows toward the normal
+    envelope: any window whose RMS exceeds ``target_amplitude`` keeps only a
+    ``1 - strength`` fraction of the excess.  It is label-free — ground
+    truth is untouched, normal windows (mostly under the target) pass
+    through — so detectors lose recall on the camouflaged anomalies, and a
+    qualification contract can pin how much loss is tolerable.
+
+    No RNG draws: the shrink factor is a pure function of the window, so
+    the per-device streams are unperturbed and the columnar batch hook is a
+    row-wise replay of the same scalar math (bit-identical).
+    """
+
+    def __init__(self, target_amplitude: float = 1.0, strength: float = 0.8) -> None:
+        self.target_amplitude = float(target_amplitude)
+        self.strength = float(strength)
+
+    def _factor(self, window: np.ndarray) -> float:
+        rms = float(np.sqrt(np.mean(np.square(window))))
+        if rms <= self.target_amplitude or rms == 0.0:
+            return 1.0
+        excess = rms - self.target_amplitude
+        return (self.target_amplitude + (1.0 - self.strength) * excess) / rms
+
+    def transform(self, window, state, tick, rng):
+        factor = self._factor(window)
+        if factor == 1.0:
+            return window
+        return window * factor
+
+    def transform_batch(self, windows, stacked, rows, tick, draws):
+        for i in range(windows.shape[0]):
+            factor = self._factor(windows[i])
+            if factor != 1.0:
+                windows[i] = windows[i] * factor
+        return windows

@@ -15,8 +15,9 @@ spec tree can import it without cycles.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Any, Mapping, Tuple
+from typing import Any, Mapping, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import checked_dataclass_kwargs
@@ -30,6 +31,8 @@ MUTATOR_KINDS = (
     "sensor-stuck",
     "sensor-spike",
     "sensor-dropout",
+    "correlated-drift",
+    "camouflage",
 )
 
 
@@ -72,6 +75,17 @@ class MutatorSpec:
     # per-device tick drawn uniformly from [0, ``dropout_horizon``).
     dropout_fraction: float = 0.1
     dropout_horizon: int = 32
+    # correlated-drift: devices share one drift direction per cohort
+    # (``device_id % drift_cohorts``); directions derive from ``drift_seed``
+    # alone so every shard agrees without consuming device RNG draws.
+    # Reuses ``drift_per_tick``/``drift_saturation_tick`` for magnitude.
+    drift_cohorts: int = 4
+    drift_seed: int = 0
+    # camouflage: anomalous-looking windows whose RMS amplitude exceeds
+    # ``camouflage_target`` are shrunk toward it by ``camouflage_strength``
+    # (1.0 = pinned exactly to the target envelope, 0.0 = untouched).
+    camouflage_target: float = 1.0
+    camouflage_strength: float = 0.8
 
     def __post_init__(self) -> None:
         if self.kind not in MUTATOR_KINDS:
@@ -119,12 +133,27 @@ class MutatorSpec:
             raise ConfigurationError(
                 f"dropout_horizon must be positive, got {self.dropout_horizon}"
             )
+        if self.drift_cohorts <= 0:
+            raise ConfigurationError(
+                f"drift_cohorts must be positive, got {self.drift_cohorts}"
+            )
+        if self.camouflage_target <= 0:
+            raise ConfigurationError(
+                f"camouflage_target must be positive, got {self.camouflage_target}"
+            )
+        if not 0.0 <= self.camouflage_strength <= 1.0:
+            raise ConfigurationError(
+                f"camouflage_strength must lie in [0, 1], "
+                f"got {self.camouflage_strength}"
+            )
 
     def build(self):
         """The concrete :mod:`repro.fleet.mutators` instance for this spec."""
         from repro.fleet.mutators import (
+            AdversarialCamouflage,
             AnomalyBurst,
             ConceptDrift,
+            CorrelatedDrift,
             DeviceChurn,
             PhaseJitter,
             SensorDropout,
@@ -132,6 +161,18 @@ class MutatorSpec:
             SensorStuck,
         )
 
+        if self.kind == "correlated-drift":
+            return CorrelatedDrift(
+                drift_per_tick=self.drift_per_tick,
+                saturation_tick=self.drift_saturation_tick,
+                n_cohorts=self.drift_cohorts,
+                seed=self.drift_seed,
+            )
+        if self.kind == "camouflage":
+            return AdversarialCamouflage(
+                target_amplitude=self.camouflage_target,
+                strength=self.camouflage_strength,
+            )
         if self.kind == "sensor-stuck":
             return SensorStuck(
                 stuck_fraction=self.stuck_fraction, stuck_scale=self.stuck_scale
@@ -169,6 +210,112 @@ class MutatorSpec:
 
 
 @dataclass(frozen=True)
+class DeviceClassSpec:
+    """One heterogeneous slice of the fleet population.
+
+    Devices are partitioned into classes by cumulative ``weight`` over the id
+    range (a pure function of the spec and the device id), so shard
+    partitioning never changes which class a device belongs to.  ``None``
+    rate fields inherit the fleet-level value; the amplitude affine
+    (``window * amplitude_scale + amplitude_offset``) reshapes the class's
+    signal envelope without consuming any RNG draws.
+    """
+
+    name: str
+    weight: float = 1.0
+    arrival_rate: Optional[float] = None
+    anomaly_rate: Optional[float] = None
+    amplitude_scale: float = 1.0
+    amplitude_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("device class name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"device class {self.name!r}: weight must be positive, "
+                f"got {self.weight}"
+            )
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ConfigurationError(
+                f"device class {self.name!r}: arrival_rate must be positive, "
+                f"got {self.arrival_rate}"
+            )
+        if self.anomaly_rate is not None and not 0.0 <= self.anomaly_rate <= 1.0:
+            raise ConfigurationError(
+                f"device class {self.name!r}: anomaly_rate must lie in [0, 1], "
+                f"got {self.anomaly_rate}"
+            )
+        if self.amplitude_scale <= 0:
+            raise ConfigurationError(
+                f"device class {self.name!r}: amplitude_scale must be positive, "
+                f"got {self.amplitude_scale}"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeviceClassSpec":
+        return cls(**checked_dataclass_kwargs(cls, payload, "device class"))
+
+
+@dataclass(frozen=True)
+class LoadCurveSpec:
+    """A time-varying multiplier on the fleet's Poisson arrival rates.
+
+    ``rate_multiplier(tick)`` is a pure function shared by
+    :class:`~repro.fleet.devices.DeviceFleet` (both the legacy and columnar
+    paths apply the identical float expression, preserving bit-identity) and
+    the serving load generator, so the diurnal swing and the flash-crowd
+    spike hit fleet simulation and the front door in the same tick windows.
+    """
+
+    #: Sinusoidal swing: rate × (1 + amplitude·sin(2π·tick/period)).
+    diurnal_amplitude: float = 0.0
+    diurnal_period: int = 24
+    #: Flash crowd: rate × flash_multiplier for ticks in
+    #: [flash_at_tick, flash_at_tick + flash_ticks).
+    flash_multiplier: float = 1.0
+    flash_at_tick: int = 0
+    flash_ticks: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigurationError(
+                f"diurnal_amplitude must lie in [0, 1), "
+                f"got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period <= 0:
+            raise ConfigurationError(
+                f"diurnal_period must be positive, got {self.diurnal_period}"
+            )
+        if self.flash_multiplier < 1.0:
+            raise ConfigurationError(
+                f"flash_multiplier must be >= 1, got {self.flash_multiplier}"
+            )
+        if self.flash_at_tick < 0 or self.flash_ticks < 0:
+            raise ConfigurationError(
+                f"flash window must be non-negative, got "
+                f"{self.flash_at_tick}/{self.flash_ticks}"
+            )
+
+    def rate_multiplier(self, tick: int) -> float:
+        """The (positive) arrival-rate multiplier in effect at ``tick``."""
+        multiplier = 1.0
+        if self.diurnal_amplitude > 0.0:
+            multiplier *= 1.0 + self.diurnal_amplitude * math.sin(
+                2.0 * math.pi * tick / self.diurnal_period
+            )
+        if self.flash_ticks > 0 and (
+            self.flash_at_tick <= tick < self.flash_at_tick + self.flash_ticks
+        ):
+            multiplier *= self.flash_multiplier
+        return multiplier
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LoadCurveSpec":
+        return cls(**checked_dataclass_kwargs(cls, payload, "load curve"))
+
+
+@dataclass(frozen=True)
 class FleetSpec:
     """A streaming fleet workload attached to an experiment.
 
@@ -191,6 +338,10 @@ class FleetSpec:
     #: Worker processes for :class:`~repro.fleet.engine.ShardedFleetEngine`.
     n_shards: int = 1
     mutators: Tuple[MutatorSpec, ...] = ()
+    #: Heterogeneous population slices; empty = one homogeneous class.
+    device_classes: Tuple[DeviceClassSpec, ...] = ()
+    #: Time-varying arrival-rate driver; ``None`` = constant rate.
+    load_curve: Optional[LoadCurveSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -220,10 +371,67 @@ class FleetSpec:
                 f"n_shards ({self.n_shards}) cannot exceed n_devices ({self.n_devices})"
             )
         object.__setattr__(self, "mutators", tuple(self.mutators))
+        object.__setattr__(self, "device_classes", tuple(self.device_classes))
+        names = [cls.name for cls in self.device_classes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate device class names: {sorted(names)}")
 
     def build_mutators(self):
         """Concrete mutator instances, in spec order."""
         return tuple(mutator.build() for mutator in self.mutators)
+
+    # -- heterogeneous classes -------------------------------------------
+
+    def class_boundaries(self) -> Tuple[int, ...]:
+        """Exclusive upper device-id bound of each class, last == n_devices.
+
+        Pure function of the spec: cumulative class weights mapped onto the
+        id range, so the class of a device never depends on sharding.
+        """
+        if not self.device_classes:
+            return ()
+        total = sum(cls.weight for cls in self.device_classes)
+        cumulative = 0.0
+        bounds = []
+        for cls in self.device_classes:
+            cumulative += cls.weight
+            bounds.append(int(math.floor(cumulative / total * self.n_devices)))
+        bounds[-1] = self.n_devices
+        return tuple(bounds)
+
+    def device_class(self, device_id: int) -> Optional[DeviceClassSpec]:
+        """The class a device belongs to (``None`` for homogeneous fleets)."""
+        if not self.device_classes:
+            return None
+        for bound, cls in zip(self.class_boundaries(), self.device_classes):
+            if device_id < bound:
+                return cls
+        return self.device_classes[-1]
+
+    def device_arrival_rate(self, device_id: int) -> float:
+        cls = self.device_class(device_id)
+        if cls is None or cls.arrival_rate is None:
+            return self.arrival_rate
+        return cls.arrival_rate
+
+    def device_anomaly_rate(self, device_id: int) -> float:
+        cls = self.device_class(device_id)
+        if cls is None or cls.anomaly_rate is None:
+            return self.anomaly_rate
+        return cls.anomaly_rate
+
+    def device_amplitude(self, device_id: int) -> Tuple[float, float]:
+        """``(scale, offset)`` of the class amplitude affine for a device."""
+        cls = self.device_class(device_id)
+        if cls is None:
+            return (1.0, 0.0)
+        return (cls.amplitude_scale, cls.amplitude_offset)
+
+    def rate_multiplier(self, tick: int) -> float:
+        """Load-curve arrival multiplier at ``tick`` (1.0 without a curve)."""
+        if self.load_curve is None:
+            return 1.0
+        return self.load_curve.rate_multiplier(tick)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FleetSpec":
@@ -233,4 +441,12 @@ class FleetSpec:
                 m if isinstance(m, MutatorSpec) else MutatorSpec.from_dict(m)
                 for m in kwargs["mutators"]
             )
+        if "device_classes" in kwargs:
+            kwargs["device_classes"] = tuple(
+                c if isinstance(c, DeviceClassSpec) else DeviceClassSpec.from_dict(c)
+                for c in kwargs["device_classes"]
+            )
+        if "load_curve" in kwargs and kwargs["load_curve"] is not None:
+            if not isinstance(kwargs["load_curve"], LoadCurveSpec):
+                kwargs["load_curve"] = LoadCurveSpec.from_dict(kwargs["load_curve"])
         return cls(**kwargs)

@@ -43,7 +43,7 @@ class OpenLoopLoadGenerator:
         self.serving = serving
         # Columnar arrivals must be drawn sequentially from tick 0 (the fleet
         # contract), so the request stream is materialised once, up front.
-        windows, labels, device_ids = [], [], []
+        windows, labels, device_ids, ticks = [], [], [], []
         collected = 0
         for tick in range(fleet.spec.ticks):
             batch = fleet.arrivals_columnar(tick)
@@ -54,6 +54,7 @@ class OpenLoopLoadGenerator:
                 windows.append(batch.windows[:take])
                 labels.append(batch.labels[:take])
                 device_ids.append(batch.device_ids[:take])
+                ticks.append(np.full(take, tick, dtype=np.int64))
                 collected += take
         if not collected:
             raise ConfigurationError(
@@ -63,16 +64,27 @@ class OpenLoopLoadGenerator:
         self.windows = np.concatenate(windows, axis=0)
         self.labels = np.concatenate(labels, axis=0)
         self.device_ids = np.concatenate(device_ids, axis=0)
+        #: Origin fleet tick per request (drives serving-path fault windows).
+        self.ticks = np.concatenate(ticks, axis=0)
         rng = np.random.default_rng(
             np.random.SeedSequence(
                 [int(e) & 0xFFFFFFFF for e in (master_seed, serving.seed, _ARRIVAL_TAG)]
             )
         )
         # Scheduled offsets from the run start: exponential inter-arrivals at
-        # the offered rate (a Poisson arrival process).
-        self.offsets = np.cumsum(
-            rng.exponential(1.0 / serving.offered_rps, size=self.n_requests)
-        )
+        # the offered rate (a Poisson arrival process).  With a fleet load
+        # curve the *same* time-varying multiplier that drove the device
+        # Poisson rates modulates the offered rate per request, so the flash
+        # crowd hits the front door in the same tick windows it hit the fleet.
+        if fleet.spec.load_curve is None:
+            gaps = rng.exponential(1.0 / serving.offered_rps, size=self.n_requests)
+        else:
+            multipliers = np.array(
+                [fleet.spec.rate_multiplier(t) for t in range(fleet.spec.ticks)]
+            )
+            rates = serving.offered_rps * multipliers[self.ticks]
+            gaps = rng.exponential(1.0, size=self.n_requests) / rates
+        self.offsets = np.cumsum(gaps)
 
     @property
     def n_requests(self) -> int:
@@ -100,6 +112,7 @@ class OpenLoopLoadGenerator:
                         self.windows[i],
                         label=int(self.labels[i]),
                         arrival_time=target,
+                        tick=int(self.ticks[i]),
                     )
                 )
             )

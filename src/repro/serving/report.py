@@ -84,6 +84,10 @@ class ServingReport:
     n_swaps: int
     swap_versions: Tuple[int, ...]
     shed_policy: str
+    # -- fault injection ---------------------------------------------------------
+    #: Backoff retries spent against tiers behind a down link (0 on healthy
+    #: runs; defaulted so pre-fault-injection payloads still load).
+    n_retries: int = 0
 
     # -- serialization -----------------------------------------------------------
 
@@ -144,6 +148,8 @@ class ServingReport:
                 f"({100 * tier.fraction:5.1f}%)"
                 + (f"  [{tier.redirected} redirected]" if tier.redirected else "")
             )
+        if self.n_retries:
+            lines.append(f"  fault retries: {self.n_retries} (backoff before failover)")
         if self.n_swaps:
             versions = " -> ".join(f"v{v}" for v in self.swap_versions)
             lines.append(f"  hot swaps: {self.n_swaps} ({versions})")
@@ -225,4 +231,5 @@ def report_from_server(
         n_swaps=int(server.n_swaps),
         swap_versions=tuple(int(v) for v in server.swap_versions),
         shed_policy=serving.shed_policy,
+        n_retries=int(server.n_retries),
     )

@@ -63,13 +63,16 @@ def serve_workload(
     swap: Optional[Callable[[], object]] = None,
     swap_at_fraction: float = 0.5,
     telemetry=None,
+    faults=None,
 ) -> Tuple[ServingReport, List[ServeResult]]:
     """Serve the fleet's arrival stream through the front door, end to end.
 
     Returns the report plus the per-request results in submission order.
     When ``swap`` is given, it lands once through
     :meth:`~repro.serving.server.IngestServer.drain_and_swap` after
-    ``swap_at_fraction`` of the stream has been offered.
+    ``swap_at_fraction`` of the stream has been offered.  ``faults`` (a
+    :class:`~repro.fleet.faults.FaultSpec`) injects its link windows into
+    the dispatch path, keyed by each request's origin fleet tick.
     """
 
     async def _main():
@@ -81,6 +84,7 @@ def serve_workload(
             master_seed=master_seed,
             tier_names=tier_names,
             telemetry=telemetry,
+            faults=faults,
         )
         generator = OpenLoopLoadGenerator(fleet, serving, master_seed=master_seed)
         await server.start()

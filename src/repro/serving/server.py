@@ -56,6 +56,7 @@ from typing import Callable, Deque, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.fleet.faults import FaultSchedule, FaultSpec
 from repro.fleet.metrics import DelayReservoir, confusion_counts
 from repro.obs.export import Telemetry
 from repro.obs.metrics import DEFAULT_BUCKETS
@@ -103,15 +104,17 @@ class ServeResult:
 class _Pending:
     """One queued submission awaiting its micro-batch."""
 
-    __slots__ = ("device_id", "window", "label", "arrival_time", "future", "span")
+    __slots__ = ("device_id", "window", "label", "arrival_time", "future", "span", "tick")
 
-    def __init__(self, device_id, window, label, arrival_time, future, span=None):
+    def __init__(self, device_id, window, label, arrival_time, future, span=None, tick=None):
         self.device_id = device_id
         self.window = window
         self.label = label
         self.arrival_time = arrival_time
         self.future = future
         self.span = span
+        #: Origin fleet tick of the window (drives serving fault windows).
+        self.tick = tick
 
 
 class IngestServer:
@@ -127,6 +130,7 @@ class IngestServer:
         master_seed: int = 0,
         tier_names: Optional[Sequence[str]] = None,
         telemetry: Optional[Telemetry] = None,
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         if policy.n_actions != system.n_layers:
             raise ConfigurationError(
@@ -156,6 +160,20 @@ class IngestServer:
         self.max_batch_size = 0
         self.n_swaps = 0
         self.swap_versions: List[int] = []
+        # -- serving-path fault injection ---------------------------------------
+        #: The experiment's fault plan; link windows are keyed by the origin
+        #: fleet tick each request carries (pure, wall-clock-free), so which
+        #: batches hit a partition is deterministic under a fixed seed.
+        self.faults = faults
+        self._fault_schedule: Optional[FaultSchedule] = None
+        if faults is not None and faults.events:
+            schedule = FaultSchedule(faults)
+            if schedule.has_link_faults:
+                self._fault_schedule = schedule
+        #: Retry-with-backoff attempts spent on batches whose chosen tier sat
+        #: behind a down link before failing over (report + contract input).
+        self.n_retries = 0
+        self._fault_tick = 0
         self.latency = DelayReservoir(
             serving.reservoir_size, (master_seed, serving.seed, _SERVE_TAG)
         )
@@ -209,6 +227,10 @@ class IngestServer:
                 "serve_queue_depth",
                 "Peak ingress queue depth observed (gauges merge by max).",
             )
+            self._tel_retries = registry.counter(
+                "serve_retries_total",
+                "Backoff retries against tiers behind a down link.",
+            )
 
         # -- runtime state (created by start()) ---------------------------------
         self._queue: Deque[_Pending] = deque()
@@ -246,6 +268,10 @@ class IngestServer:
         self.system.reset()
         self.system.topology.warm_links()
         self.system.record_log = False
+        if self.faults is not None:
+            self.system.configure_failover(
+                self.faults.failover_retries, self.faults.retry_timeout_ms
+            )
         self._batcher = self._loop.create_task(self._run())
 
     async def stop(self) -> None:
@@ -258,6 +284,10 @@ class IngestServer:
         await self._idle.wait()
         self._executor.shutdown(wait=True)
         self.system.record_log = self._saved_record_log
+        if self._fault_schedule is not None:
+            # Leave the topology healthy for whoever uses the system next.
+            for link in self.system.topology.links:
+                link.set_status("up")
 
     # -- ingestion --------------------------------------------------------------
 
@@ -267,12 +297,15 @@ class IngestServer:
         window: np.ndarray,
         label: Optional[int] = None,
         arrival_time: Optional[float] = None,
+        tick: Optional[int] = None,
     ) -> ServeResult:
         """Submit one window; resolves when served, rejected or shed.
 
         ``arrival_time`` (event-loop clock) lets an open-loop generator pass
         the *scheduled* send time, so measured latency includes any lag the
         caller accumulated — coordinated-omission-free percentiles.
+        ``tick`` carries the window's origin fleet tick; with a fault plan
+        configured it selects which link faults cover the request.
         """
         if not self._started or self._closing:
             raise ConfigurationError(
@@ -321,7 +354,8 @@ class IngestServer:
             )
         self._queue.append(
             _Pending(int(device_id), np.asarray(window, dtype=float), label,
-                     arrival, future, span)
+                     arrival, future, span,
+                     tick if tick is None else int(tick))
         )
         if telemetry is not None:
             self._tel_queue_depth.set_max(len(self._queue))
@@ -400,6 +434,72 @@ class IngestServer:
                     shed_reason=reason,
                 )
             )
+
+    # -- serving-path fault injection -------------------------------------------
+
+    def _batch_tick(self, pending: List[_Pending]) -> Optional[int]:
+        """The fault tick governing a batch (``None`` without a fault plan).
+
+        Requests carry their origin fleet tick; the newest one in the batch
+        wins, and tickless submissions inherit the latest tick seen so far —
+        the fault clock never runs backwards.
+        """
+        if self._fault_schedule is None:
+            return None
+        ticks = [p.tick for p in pending if p.tick is not None]
+        tick = max(ticks) if ticks else self._fault_tick
+        if tick > self._fault_tick:
+            self._fault_tick = tick
+        return tick
+
+    def _tier_partitioned(self, layer: int, tick: int) -> bool:
+        """Whether ``layer`` sits behind a link scheduled down at ``tick``.
+
+        Computed purely from the fault schedule (never from the shared
+        system, which only the detect executor thread may touch): the uplink
+        chain to ``layer`` is links ``0..layer-1``.
+        """
+        down = self._fault_schedule.down_links(tick)
+        return any(index < layer for index in down)
+
+    async def _retry_with_backoff(self, layer: int, tick: int) -> None:
+        """Spend the failover retry budget against a partitioned tier.
+
+        Exponential backoff starting at ``retry_timeout_ms`` (scaled like
+        service pacing by ``service_time_scale``); the partition state is a
+        pure function of the batch's tick, so once the budget is spent the
+        batch proceeds and the system's failover redirects it to the best
+        reachable tier with the retry delay charged to its simulated delay.
+        """
+        backoff = (
+            self.faults.retry_timeout_ms
+            * self.serving.service_time_scale
+            / 1000.0
+        )
+        for attempt in range(self.faults.failover_retries):
+            self.n_retries += 1
+            if self.telemetry is not None:
+                self._tel_retries.inc()
+                self.telemetry.event(
+                    "serve.retry",
+                    tier=self.tier_names[layer],
+                    tick=int(tick),
+                    attempt=attempt + 1,
+                )
+            if backoff > 0:
+                await asyncio.sleep(backoff)
+            backoff *= 2.0
+
+    def _detect_batch(self, layer: int, windows: np.ndarray, tick: Optional[int]):
+        """Detect one batch, applying the tick's link faults first.
+
+        Runs on the single-worker detect executor, which serialises the link
+        mutation with every other batch's detection — concurrent tier tasks
+        can never observe a torn link state.
+        """
+        if self._fault_schedule is not None and tick is not None:
+            self._fault_schedule.apply_links(self.system, tick)
+        return self.system.detect_batch_columnar(layer, windows)
 
     async def _run(self) -> None:
         """The micro-batcher: collect, then dispatch under the swap gate."""
@@ -521,8 +621,11 @@ class IngestServer:
                 batch_span = telemetry.tracer.start_span(
                     "serve.batch", tier=self.tier_names[layer], n=len(pending)
                 )
+            batch_tick = self._batch_tick(pending)
+            if batch_tick is not None and self._tier_partitioned(layer, batch_tick):
+                await self._retry_with_backoff(layer, batch_tick)
             detected = await self._loop.run_in_executor(
-                self._executor, self.system.detect_batch_columnar, layer, windows
+                self._executor, self._detect_batch, layer, windows, batch_tick
             )
             # Safe to read outside the gate: a swap needs the in-flight count
             # (which includes this task) to reach zero first.

@@ -13,6 +13,7 @@ The acceptance pins live here:
 """
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -375,6 +376,49 @@ class TestCompareResults:
         )
         assert compare_main([old, new, "--preset", "serving"]) == 1
         assert "sustained_throughput_ratio" in capsys.readouterr().out
+
+    def test_qualify_preset_masks_observed_values_gates_verdicts(self, tmp_path):
+        from benchmarks.compare_results import main as compare_main
+
+        # Observed values and margins drift across hosts (retry counts,
+        # redirect counts); the contract verdicts are what stays gated.
+        old = self._write(tmp_path, "old.json", {
+            "passed": True,
+            "cases": [{"passed": True, "contracts": [
+                {"name": "c", "value": 4.0, "margin": 3.0, "passed": True},
+            ]}],
+        })
+        new = self._write(tmp_path, "new.json", {
+            "passed": True,
+            "cases": [{"passed": True, "contracts": [
+                {"name": "c", "value": 1.0, "margin": 0.1, "passed": True},
+            ]}],
+        })
+        assert compare_main([old, new, "--preset", "qualify"]) == 0
+
+    def test_qualify_preset_gates_contract_flips(self, tmp_path, capsys):
+        from benchmarks.compare_results import main as compare_main
+
+        old = self._write(tmp_path, "old.json", {
+            "passed": True,
+            "cases": [{"passed": True, "contracts": [{"passed": True}]}],
+        })
+        new = self._write(tmp_path, "new.json", {
+            "passed": False,
+            "cases": [{"passed": False, "contracts": [{"passed": False}]}],
+        })
+        assert compare_main([old, new, "--preset", "qualify"]) == 1
+        assert "passed" in capsys.readouterr().out
+
+    def test_committed_qualify_baseline_self_compares_clean(self, capsys):
+        from benchmarks.compare_results import main as compare_main
+
+        baseline = str(
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "results" / "qualify.json"
+        )
+        assert compare_main([baseline, baseline, "--preset", "qualify"]) == 0
+        capsys.readouterr()
 
 
 class TestColumnarAdaptiveEquivalence:

@@ -783,6 +783,47 @@ class TestCliErrors:
         payload = json.loads(capsys.readouterr().out)
         assert payload["serve"]["shed_policy"] == "reject-new"
 
+    def test_qualify_unknown_pack_exits_nonzero(self, capsys):
+        assert main(["qualify", "--pack", "no-such-pack"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no-such-pack" in err
+
+    def test_qualify_unknown_scenario_exits_nonzero(self, capsys):
+        assert main(["qualify", "--scenario", "no-such-case"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no-such-case" in err
+
+    def test_qualify_invalid_set_key_exits_nonzero(self, capsys):
+        assert main(["qualify", "--set", "qualify.bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "qualify.bogus" in err
+
+    def test_qualify_non_qualify_set_key_exits_nonzero(self, capsys):
+        assert main(["qualify", "--set", "fleet.ticks=3"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "qualify.<field>" in err
+
+    def test_qualify_invalid_scale_exits_nonzero(self, capsys):
+        assert main(["qualify", "--set", "qualify.ticks_scale=-1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "ticks_scale" in err
+
+    def test_qualify_contract_construction_error_exits_nonzero(
+        self, capsys, monkeypatch
+    ):
+        import repro.fleet.qualify as qualify
+
+        def bad_pack(name):
+            # A malformed contract spec must surface through the CLI's
+            # uniform error path, not a traceback.
+            qualify.ContractSpec(name="broken", metric="f1", op="!=", bound=0.5)
+
+        monkeypatch.setattr(qualify, "get_pack", bad_pack)
+        assert main(["qualify"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "op must be one of" in err
+        assert len([line for line in err.splitlines() if line.strip()]) == 1
+
 
 # -- adaptive kill/resume --------------------------------------------------------
 

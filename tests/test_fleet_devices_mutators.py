@@ -422,3 +422,95 @@ class TestColumnarArrivals:
                     )
         finally:
             stream_cache.clear()
+
+
+class TestMutatorComposition:
+    """Property tests over random mutator pairs stacked on one device class.
+
+    Stacking any two registered mutators must (a) keep the columnar fast
+    path bit-identical to the legacy object path, and (b) keep every
+    device's stream a pure function of its device id — a fleet holding only
+    a subset of the devices replays exactly the same per-device draws, so
+    composition never perturbs the per-device RNG draw order.
+    """
+
+    CATALOG = (
+        MutatorSpec(kind="concept-drift", drift_per_tick=0.05),
+        MutatorSpec(kind="anomaly-burst", burst_period=4, burst_ticks=2),
+        MutatorSpec(kind="device-churn", churn_fraction=0.3, offline_ticks=2,
+                    churn_period=4),
+        MutatorSpec(kind="phase-jitter", max_shift=4),
+        MutatorSpec(kind="sensor-stuck", stuck_fraction=0.3),
+        MutatorSpec(kind="sensor-spike", spike_rate=0.2, spike_magnitude=5.0),
+        MutatorSpec(kind="sensor-dropout", dropout_fraction=0.3,
+                    dropout_horizon=8),
+        MutatorSpec(kind="correlated-drift", drift_per_tick=0.05,
+                    drift_cohorts=3),
+        MutatorSpec(kind="camouflage", camouflage_target=1.0,
+                    camouflage_strength=0.7),
+    )
+
+    def _pair(self, draw):
+        rng = np.random.default_rng(draw)
+        first, second = rng.choice(len(self.CATALOG), size=2, replace=False)
+        return (self.CATALOG[int(first)], self.CATALOG[int(second)])
+
+    def _spec(self, mutators):
+        from repro.fleet.spec import DeviceClassSpec
+
+        return FleetSpec(
+            n_devices=16, ticks=6, arrival_rate=1.0, anomaly_rate=0.2, seed=5,
+            device_classes=(
+                DeviceClassSpec(name="only", weight=1.0, arrival_rate=1.0),
+            ),
+            mutators=mutators,
+        )
+
+    @pytest.mark.parametrize("draw", range(10))
+    def test_random_pairs_columnar_matches_legacy(self, pool, draw):
+        pair = self._pair(draw)
+        spec = self._spec(pair)
+        legacy = DeviceFleet(spec, pool, master_seed=11)
+        fast = DeviceFleet(spec, pool, master_seed=11)
+        for tick in range(spec.ticks):
+            batch, online = legacy.arrivals(tick)
+            columnar = fast.arrivals_columnar(tick)
+            assert columnar.online == online
+            assert columnar.n == len(batch)
+            if batch:
+                assert np.array_equal(
+                    columnar.windows, np.stack([a.window for a in batch])
+                )
+                assert np.array_equal(columnar.labels, [a.label for a in batch])
+                assert np.array_equal(
+                    columnar.device_ids, [a.device_id for a in batch]
+                )
+                assert np.array_equal(
+                    columnar.timestamps, [a.timestamp for a in batch]
+                )
+
+    @pytest.mark.parametrize("draw", range(10))
+    def test_random_pairs_preserve_per_device_draw_order(self, pool, draw):
+        pair = self._pair(1000 + draw)
+        spec = self._spec(pair)
+        full = DeviceFleet(spec, pool, master_seed=11)
+        by_device = {}
+        for tick in range(spec.ticks):
+            batch, _ = full.arrivals(tick)
+            for arrival in batch:
+                by_device.setdefault(arrival.device_id, []).append(arrival)
+        subset_ids = [3, 7, 12]
+        subset = DeviceFleet(spec, pool, master_seed=11, device_ids=subset_ids)
+        subset_by_device = {}
+        for tick in range(spec.ticks):
+            batch, _ = subset.arrivals(tick)
+            for arrival in batch:
+                subset_by_device.setdefault(arrival.device_id, []).append(arrival)
+        for device_id in subset_ids:
+            expected = by_device.get(device_id, [])
+            observed = subset_by_device.get(device_id, [])
+            assert len(observed) == len(expected)
+            for a, b in zip(expected, observed):
+                assert a.timestamp == b.timestamp
+                assert a.label == b.label
+                assert np.array_equal(a.window, b.window)

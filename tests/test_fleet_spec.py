@@ -5,8 +5,10 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.experiments import ExperimentSpec, apply_overrides, get_scenario
 from repro.fleet.mutators import (
+    AdversarialCamouflage,
     AnomalyBurst,
     ConceptDrift,
+    CorrelatedDrift,
     DeviceChurn,
     PhaseJitter,
     SensorDropout,
@@ -27,6 +29,8 @@ class TestMutatorSpec:
             SensorStuck,
             SensorSpike,
             SensorDropout,
+            CorrelatedDrift,
+            AdversarialCamouflage,
         ]
 
     def test_unknown_kind_rejected(self):
